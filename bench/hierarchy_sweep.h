@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared computation for Figures 7-9: the suite-averaged two-level
+ * hierarchy sweep over relative L2 sizes, for the conventional
+ * baseline and each hit-last storage policy.
+ *
+ * For the hashed policy the L1-side hit-last table scales with the
+ * ratio (ratio entries per L1 line), matching the paper's reading of
+ * Figure 7 that "the hashing strategy needs only four hit-last bits
+ * for each cache line to get good performance".
+ */
+
+#ifndef DYNEX_BENCH_HIERARCHY_SWEEP_H
+#define DYNEX_BENCH_HIERARCHY_SWEEP_H
+
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/hierarchy.h"
+
+namespace dynex::bench
+{
+
+/** Suite-averaged results at one relative L2 size. */
+struct HierarchyRow
+{
+    std::uint64_t ratio = 0; ///< L2 size / L1 size
+
+    // L1 miss rates (percent of all references).
+    double l1Dm = 0.0;
+    double l1AssumeHit = 0.0;
+    double l1AssumeMiss = 0.0;
+    double l1Hashed = 0.0;
+    double l1Ideal = 0.0;
+
+    // L2 global miss rates (L2 misses per total reference, percent).
+    double l2Dm = 0.0;
+    double l2AssumeHit = 0.0;
+    double l2AssumeMiss = 0.0;
+    double l2Hashed = 0.0;
+    double l2Ideal = 0.0;
+};
+
+/** The relative L2 sizes of Figures 7-9. */
+inline std::vector<std::uint64_t>
+paperL2Ratios()
+{
+    return {1, 2, 4, 8, 16, 32, 64};
+}
+
+/** Run the full sweep (suite-averaged) at the canonical 32KB L1. */
+inline std::vector<HierarchyRow>
+hierarchySweep()
+{
+    const auto names = suiteNames();
+    const Count budget = refs();
+    std::vector<HierarchyRow> rows;
+
+    for (const std::uint64_t ratio : paperL2Ratios()) {
+        HierarchyRow row;
+        row.ratio = ratio;
+
+        for (const auto &name : names) {
+            const auto trace = Workloads::instructions(name, budget);
+
+            auto run = [&](bool dynex_l1, HitLastPolicy policy) {
+                HierarchyConfig config;
+                config.l1 =
+                    CacheGeometry::directMapped(kCacheBytes, kWordLine);
+                config.l2 = CacheGeometry::directMapped(
+                    kCacheBytes * ratio, kWordLine);
+                config.l1DynamicExclusion = dynex_l1;
+                config.policy = policy;
+                config.hashedEntriesPerLine =
+                    static_cast<std::uint32_t>(ratio);
+                TwoLevelCache hierarchy(config);
+                return runTrace(hierarchy, *trace);
+            };
+
+            const auto dm = run(false, HitLastPolicy::Ideal);
+            const auto hit = run(true, HitLastPolicy::AssumeHit);
+            const auto miss = run(true, HitLastPolicy::AssumeMiss);
+            const auto hashed = run(true, HitLastPolicy::Hashed);
+            const auto ideal = run(true, HitLastPolicy::Ideal);
+
+            row.l1Dm += 100.0 * dm.l1.missRate();
+            row.l1AssumeHit += 100.0 * hit.l1.missRate();
+            row.l1AssumeMiss += 100.0 * miss.l1.missRate();
+            row.l1Hashed += 100.0 * hashed.l1.missRate();
+            row.l1Ideal += 100.0 * ideal.l1.missRate();
+
+            row.l2Dm += 100.0 * dm.l2GlobalMissRate();
+            row.l2AssumeHit += 100.0 * hit.l2GlobalMissRate();
+            row.l2AssumeMiss += 100.0 * miss.l2GlobalMissRate();
+            row.l2Hashed += 100.0 * hashed.l2GlobalMissRate();
+            row.l2Ideal += 100.0 * ideal.l2GlobalMissRate();
+        }
+
+        const auto n = static_cast<double>(names.size());
+        row.l1Dm /= n;
+        row.l1AssumeHit /= n;
+        row.l1AssumeMiss /= n;
+        row.l1Hashed /= n;
+        row.l1Ideal /= n;
+        row.l2Dm /= n;
+        row.l2AssumeHit /= n;
+        row.l2AssumeMiss /= n;
+        row.l2Hashed /= n;
+        row.l2Ideal /= n;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace dynex::bench
+
+#endif // DYNEX_BENCH_HIERARCHY_SWEEP_H

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator cores: accesses
+ * per second for each cache model and the supporting machinery
+ * (next-use indexing, trace generation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/direct_mapped.h"
+#include "cache/dynamic_exclusion.h"
+#include "cache/optimal.h"
+#include "cache/set_assoc.h"
+#include "cache/victim.h"
+#include "trace/next_use.h"
+#include "tracegen/spec.h"
+#include "util/rng.h"
+
+namespace
+{
+
+using namespace dynex;
+
+Trace
+benchTrace(std::size_t refs)
+{
+    // A loopy synthetic stream resembling instruction traffic.
+    Rng rng(0xbe7c4);
+    Trace trace("bench");
+    trace.reserve(refs);
+    while (trace.size() < refs) {
+        const Addr base = 0x10000 + 4 * rng.nextBelow(32768);
+        const int body = 4 + static_cast<int>(rng.nextBelow(24));
+        const int iters = 1 + static_cast<int>(rng.nextBelow(6));
+        for (int i = 0; i < iters; ++i)
+            for (int j = 0; j < body; ++j)
+                trace.append(ifetch(base + 4 * static_cast<Addr>(j)));
+    }
+    return trace;
+}
+
+const Trace &
+sharedTrace()
+{
+    static const Trace trace = benchTrace(1 << 20);
+    return trace;
+}
+
+template <typename MakeCache>
+void
+runCacheBenchmark(benchmark::State &state, MakeCache make_cache)
+{
+    const Trace &trace = sharedTrace();
+    auto cache = make_cache();
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            benchmark::DoNotOptimize(cache->access(trace[i], i));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+void
+BM_DirectMapped(benchmark::State &state)
+{
+    runCacheBenchmark(state, [] {
+        return std::make_unique<DirectMappedCache>(
+            CacheGeometry::directMapped(32 * 1024, 4));
+    });
+}
+BENCHMARK(BM_DirectMapped);
+
+void
+BM_DynamicExclusion(benchmark::State &state)
+{
+    runCacheBenchmark(state, [] {
+        return std::make_unique<DynamicExclusionCache>(
+            CacheGeometry::directMapped(32 * 1024, 4));
+    });
+}
+BENCHMARK(BM_DynamicExclusion);
+
+void
+BM_SetAssoc4Way(benchmark::State &state)
+{
+    runCacheBenchmark(state, [] {
+        return std::make_unique<SetAssocCache>(
+            CacheGeometry::setAssociative(32 * 1024, 4, 4));
+    });
+}
+BENCHMARK(BM_SetAssoc4Way);
+
+void
+BM_VictimCache(benchmark::State &state)
+{
+    runCacheBenchmark(state, [] {
+        return std::make_unique<VictimCache>(
+            CacheGeometry::directMapped(32 * 1024, 4), 4);
+    });
+}
+BENCHMARK(BM_VictimCache);
+
+void
+BM_OptimalCache(benchmark::State &state)
+{
+    const Trace &trace = sharedTrace();
+    static const NextUseIndex index(trace, 4, NextUseMode::RunStart);
+    OptimalDirectMappedCache cache(
+        CacheGeometry::directMapped(32 * 1024, 4), index, true);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            benchmark::DoNotOptimize(cache.access(trace[i], i));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_OptimalCache);
+
+void
+BM_NextUseIndexBuild(benchmark::State &state)
+{
+    const Trace &trace = sharedTrace();
+    for (auto _ : state) {
+        NextUseIndex index(trace, 4, NextUseMode::RunStart);
+        benchmark::DoNotOptimize(index.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_NextUseIndexBuild);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const Trace trace = makeSpecTrace("li", 200000);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+#include "cache/cache.h"
+
+#include "cache/direct_mapped.h"
+#include "cache/dynamic_exclusion.h"
+#include "cache/factory.h"
+#include "cache/set_assoc.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace dynex
+{
+
+std::unique_ptr<CacheModel>
+makeCache(const std::string &kind, CacheGeometry geometry,
+          const DynamicExclusionConfig &dynex_config)
+{
+    if (iequals(kind, "dm")) {
+        geometry.ways = 1;
+        return std::make_unique<DirectMappedCache>(geometry);
+    }
+    if (iequals(kind, "dynex")) {
+        geometry.ways = 1;
+        return std::make_unique<DynamicExclusionCache>(geometry,
+                                                       dynex_config);
+    }
+    if (iequals(kind, "2way") || iequals(kind, "4way") ||
+        iequals(kind, "8way")) {
+        geometry.ways = static_cast<std::uint32_t>(kind[0] - '0');
+        return std::make_unique<SetAssocCache>(geometry);
+    }
+    if (iequals(kind, "fa")) {
+        geometry.ways = 0;
+        return std::make_unique<SetAssocCache>(geometry);
+    }
+    DYNEX_FATAL("unknown cache kind '", kind, "'");
+}
+
+} // namespace dynex

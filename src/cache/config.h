@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cache geometry: size, line size, associativity, and the derived
+ * index/tag arithmetic shared by every cache model.
+ */
+
+#ifndef DYNEX_CACHE_CONFIG_H
+#define DYNEX_CACHE_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/bitops.h"
+#include "util/types.h"
+
+namespace dynex
+{
+
+/**
+ * Describes a cache's shape. All fields must be powers of two and
+ * consistent (size = lines * lineBytes, lines a multiple of ways).
+ *
+ * ways == 0 denotes a fully-associative cache (one set).
+ */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0; ///< total data capacity
+    std::uint32_t lineBytes = 0; ///< bytes per cache line
+    std::uint32_t ways = 1;      ///< associativity; 0 = fully associative
+
+    /** Convenience constructor for a direct-mapped cache. */
+    static CacheGeometry directMapped(std::uint64_t size_bytes,
+                                      std::uint32_t line_bytes);
+
+    /** Convenience constructor for an n-way set-associative cache. */
+    static CacheGeometry setAssociative(std::uint64_t size_bytes,
+                                        std::uint32_t line_bytes,
+                                        std::uint32_t n_ways);
+
+    /** Convenience constructor for a fully-associative cache. */
+    static CacheGeometry fullyAssociative(std::uint64_t size_bytes,
+                                          std::uint32_t line_bytes);
+
+    /** Total number of cache lines. */
+    std::uint64_t
+    numLines() const
+    {
+        return sizeBytes / lineBytes;
+    }
+
+    /** Number of sets (1 for fully associative). */
+    std::uint64_t
+    numSets() const
+    {
+        return ways == 0 ? 1 : numLines() / ways;
+    }
+
+    /** Lines per set. */
+    std::uint32_t
+    linesPerSet() const
+    {
+        return ways == 0 ? static_cast<std::uint32_t>(numLines()) : ways;
+    }
+
+    /** log2(lineBytes). */
+    unsigned
+    lineShift() const
+    {
+        return floorLog2(lineBytes);
+    }
+
+    /** Map a byte address to its block (line-aligned) number. */
+    Addr
+    blockOf(Addr addr) const
+    {
+        return addr >> lineShift();
+    }
+
+    /** Map a byte address to its set index. */
+    std::uint64_t
+    setOf(Addr addr) const
+    {
+        return blockOf(addr) & (numSets() - 1);
+    }
+
+    /** Panics if the geometry is not internally consistent. */
+    void validate() const;
+
+    /** e.g. "32KB/16B direct-mapped" or "8KB/32B 4-way". */
+    std::string toString() const;
+
+    friend bool
+    operator==(const CacheGeometry &a, const CacheGeometry &b)
+    {
+        return a.sizeBytes == b.sizeBytes && a.lineBytes == b.lineBytes &&
+               a.ways == b.ways;
+    }
+};
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_CONFIG_H

@@ -1,0 +1,62 @@
+#include "cache/direct_mapped.h"
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+DirectMappedCache::DirectMappedCache(const CacheGeometry &geometry)
+    : CacheModel(geometry)
+{
+    DYNEX_ASSERT(geometry.ways == 1,
+                 "DirectMappedCache requires ways == 1, got ",
+                 geometry.ways);
+    tags.assign(geo.numLines(), 0);
+    valid.assign(geo.numLines(), false);
+}
+
+void
+DirectMappedCache::reset()
+{
+    std::fill(valid.begin(), valid.end(), false);
+    resetStats();
+}
+
+bool
+DirectMappedCache::contains(Addr addr) const
+{
+    const std::uint64_t set = geo.setOf(addr);
+    return valid[set] && tags[set] == geo.blockOf(addr);
+}
+
+Addr
+DirectMappedCache::residentBlock(std::uint64_t set) const
+{
+    return valid[set] ? tags[set] : kAddrInvalid;
+}
+
+AccessOutcome
+DirectMappedCache::doAccess(const MemRef &ref, Tick)
+{
+    const Addr block = geo.blockOf(ref.addr);
+    const std::uint64_t set = geo.setOf(ref.addr);
+
+    AccessOutcome outcome;
+    if (valid[set] && tags[set] == block) {
+        outcome.hit = true;
+        return outcome;
+    }
+
+    if (valid[set]) {
+        outcome.evicted = true;
+        outcome.victimBlock = tags[set];
+    } else {
+        noteColdMiss();
+    }
+    tags[set] = block;
+    valid[set] = true;
+    outcome.filled = true;
+    return outcome;
+}
+
+} // namespace dynex

@@ -1,0 +1,73 @@
+#include "cache/dynamic_exclusion.h"
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+DynamicExclusionCache::DynamicExclusionCache(
+    const CacheGeometry &geometry, const DynamicExclusionConfig &config,
+    std::unique_ptr<HitLastStore> store)
+    : CacheModel(geometry), cfg(config),
+      hitLast(store ? std::move(store)
+                    : std::make_unique<IdealHitLastStore>(
+                          config.initialHitLast))
+{
+    DYNEX_ASSERT(geometry.ways == 1,
+                 "dynamic exclusion applies to direct-mapped caches");
+    DYNEX_ASSERT(cfg.stickyMax >= 1, "stickyMax must be at least 1");
+    lines.resize(geo.numLines());
+}
+
+void
+DynamicExclusionCache::reset()
+{
+    for (auto &line : lines)
+        line = ExclusionLine{};
+    hitLast->reset();
+    events.reset();
+    lastBlock = kAddrInvalid;
+    resetStats();
+}
+
+bool
+DynamicExclusionCache::contains(Addr addr) const
+{
+    const auto &line = lines[geo.setOf(addr)];
+    return line.valid && line.tag == geo.blockOf(addr);
+}
+
+AccessOutcome
+DynamicExclusionCache::doAccess(const MemRef &ref, Tick)
+{
+    const Addr block = geo.blockOf(ref.addr);
+
+    AccessOutcome outcome;
+    if (cfg.useLastLine && block == lastBlock) {
+        // Sequential reference within the most recent line: served by
+        // the last-line buffer; exclusion state is deliberately left
+        // untouched (Section 6).
+        outcome.hit = true;
+        return outcome;
+    }
+    if (cfg.useLastLine)
+        lastBlock = block;
+
+    const std::uint64_t set = geo.setOf(ref.addr);
+    const bool h = hitLast->lookup(block);
+    const FsmStep step = exclusionStep(lines[set], block, h, cfg.stickyMax);
+    events.note(step.event);
+    if (step.newHitLast)
+        hitLast->update(block, *step.newHitLast);
+
+    outcome.hit = step.hit;
+    outcome.filled = step.allocated && !step.hit;
+    outcome.bypassed = step.event == FsmEvent::Bypass;
+    outcome.evicted = step.evicted;
+    outcome.victimBlock = step.victimTag;
+    if (step.event == FsmEvent::ColdFill)
+        noteColdMiss();
+    return outcome;
+}
+
+} // namespace dynex

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The dynamic-exclusion finite state machine of McFarling (ISCA 1992),
+ * Figure 1, as a pure per-line transition function shared by the
+ * single-level DynamicExclusionCache and the two-level hierarchy.
+ *
+ * Each cache line carries a sticky state; each *address* carries a
+ * hit-last bit h[x] stored outside the line (see hit_last.h for the
+ * storage options). On an access to block x when the line holds y:
+ *
+ *   cold (invalid line)      -> fill x;    s := max; h[x] := 1
+ *   hit  (x == y)            ->            s := max; h[x] := 1
+ *   miss, s == 0             -> replace y; s := max; h[x] := 1
+ *   miss, s > 0, h[x] == 1   -> replace y; s := max; h[x] := 0
+ *   miss, s > 0, h[x] == 0   -> BYPASS x;  s := s - 1
+ *
+ * With the paper's single sticky bit, max == 1. The generalization to
+ * a saturating counter (max > 1) is the multiple-sticky-bit extension
+ * of WRL TN-22, which can retain a line through the (abc)^n pattern at
+ * the cost of longer training.
+ */
+
+#ifndef DYNEX_CACHE_EXCLUSION_FSM_H
+#define DYNEX_CACHE_EXCLUSION_FSM_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/types.h"
+
+namespace dynex
+{
+
+/** Per-line state consumed and mutated by the FSM. */
+struct ExclusionLine
+{
+    Addr tag = 0;             ///< resident block number
+    bool valid = false;
+    std::uint8_t sticky = 0;  ///< saturating inertia counter
+    /**
+     * L1-side copy of the resident block's hit-last bit. The two-level
+     * hierarchy transfers this to the L2 entry when the line is
+     * replaced (Section 5 of the paper); single-level caches with an
+     * external store can ignore it.
+     */
+    bool hitLastCopy = false;
+};
+
+/** Which FSM transition fired. */
+enum class FsmEvent : std::uint8_t
+{
+    ColdFill,       ///< invalid line filled
+    Hit,            ///< resident block referenced
+    ReplaceUnsticky,///< conflict won because the line was not sticky
+    ReplaceHitLast, ///< conflict won because h[x] granted an override
+    Bypass,         ///< conflict lost; x passed through uncached
+};
+
+/** @return a short lowercase name for @p event. */
+const char *fsmEventName(FsmEvent event);
+
+/** Everything a caller needs to apply one FSM step's side effects. */
+struct FsmStep
+{
+    FsmEvent event = FsmEvent::ColdFill;
+    bool hit = false;       ///< x found in the line
+    bool allocated = false; ///< x now resident
+    /** New value of h[x], if the step writes it. */
+    std::optional<bool> newHitLast;
+    bool evicted = false;   ///< a valid block was displaced
+    Addr victimTag = kAddrInvalid;
+    /** The victim's carried hit-last copy (for transfer to L2). */
+    bool victimHitLast = false;
+};
+
+/**
+ * Apply one access to @p line.
+ *
+ * @param line the (mutated) cache-line state.
+ * @param tag block number of the access.
+ * @param hit_last_x the stored h[x] for this block, as looked up by
+ *        whatever storage policy the caller uses.
+ * @param sticky_max saturation value of the sticky counter (>= 1); the
+ *        paper's machine uses 1.
+ * @return the step record describing what happened.
+ */
+FsmStep exclusionStep(ExclusionLine &line, Addr tag, bool hit_last_x,
+                      std::uint8_t sticky_max = 1);
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_EXCLUSION_FSM_H

@@ -1,0 +1,101 @@
+#include "cache/exclusion_stream.h"
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+ExclusionStreamCache::ExclusionStreamCache(
+    const CacheGeometry &geometry, std::uint32_t buffer_depth,
+    std::uint8_t sticky_max, std::unique_ptr<HitLastStore> store)
+    : CacheModel(geometry),
+      hitLast(store ? std::move(store)
+                    : std::make_unique<IdealHitLastStore>(false)),
+      depth(buffer_depth), stickyMax(sticky_max)
+{
+    DYNEX_ASSERT(geometry.ways == 1,
+                 "dynamic exclusion applies to direct-mapped caches");
+    DYNEX_ASSERT(depth >= 1, "stream buffer depth must be at least 1");
+    DYNEX_ASSERT(sticky_max >= 1, "stickyMax must be at least 1");
+    lines.resize(geo.numLines());
+}
+
+void
+ExclusionStreamCache::reset()
+{
+    for (auto &line : lines)
+        line = ExclusionLine{};
+    hitLast->reset();
+    windowBase = kAddrInvalid;
+    lastBlock = kAddrInvalid;
+    streamHitCount = 0;
+    resetStats();
+}
+
+std::string
+ExclusionStreamCache::name() const
+{
+    return "dynex-stream" + std::to_string(depth);
+}
+
+bool
+ExclusionStreamCache::contains(Addr addr) const
+{
+    const auto &line = lines[geo.setOf(addr)];
+    return line.valid && line.tag == geo.blockOf(addr);
+}
+
+bool
+ExclusionStreamCache::inWindow(Addr block) const
+{
+    return windowBase != kAddrInvalid && block >= windowBase &&
+           block < windowBase + depth;
+}
+
+AccessOutcome
+ExclusionStreamCache::doAccess(const MemRef &ref, Tick)
+{
+    const Addr block = geo.blockOf(ref.addr);
+
+    AccessOutcome outcome;
+    if (block == lastBlock) {
+        // Within-line words: served wherever the line lives.
+        outcome.hit = true;
+        return outcome;
+    }
+    lastBlock = block;
+
+    const std::uint64_t set = geo.setOf(ref.addr);
+    auto &line = lines[set];
+    const bool in_l1 = line.valid && line.tag == block;
+    const bool buffered = inWindow(block);
+
+    if (!in_l1 && buffered) {
+        // Prefetched or exclusion-resident: the buffer supplied the
+        // line; slide the window so prefetching continues ahead.
+        ++streamHitCount;
+        windowBase = block + 1;
+    } else if (!in_l1) {
+        // Fetch from memory into the buffer (scheme 3: "all missing
+        // lines are stored in the stream buffer").
+        windowBase = block;
+    }
+
+    const bool h = hitLast->lookup(block);
+    const FsmStep step = exclusionStep(line, block, h, stickyMax);
+    if (step.newHitLast)
+        hitLast->update(block, *step.newHitLast);
+
+    outcome.hit = step.hit || buffered;
+    if (!outcome.hit) {
+        outcome.filled = step.allocated;
+        outcome.bypassed = step.event == FsmEvent::Bypass;
+        outcome.evicted = step.evicted;
+        outcome.victimBlock = step.victimTag;
+        if (step.event == FsmEvent::ColdFill)
+            noteColdMiss();
+    }
+    return outcome;
+}
+
+} // namespace dynex

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section 6, scheme 3: dynamic exclusion on a machine that already
+ * has a stream buffer. Missing lines are fetched into the stream
+ * buffer (which keeps prefetching sequentially ahead); the FSM decides
+ * per line-reference whether a line also moves into the L1 cache, and
+ * excluded lines simply stay buffer-resident, so sequential execution
+ * through an excluded line costs one fetch.
+ */
+
+#ifndef DYNEX_CACHE_EXCLUSION_STREAM_H
+#define DYNEX_CACHE_EXCLUSION_STREAM_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/exclusion_fsm.h"
+#include "cache/hit_last.h"
+
+namespace dynex
+{
+
+/**
+ * Direct-mapped dynamic-exclusion cache fronted by one sequential
+ * stream buffer of configurable depth (the buffer is the "somewhere"
+ * excluded lines are held, replacing scheme 2's last-line register).
+ *
+ * A reference is a hit if its line is in L1 or inside the buffer
+ * window; buffer hits slide the window forward (continued prefetch).
+ * Exclusion state advances once per line reference, exactly as in the
+ * other long-line schemes.
+ */
+class ExclusionStreamCache : public CacheModel
+{
+  public:
+    /**
+     * @param geometry must have ways == 1.
+     * @param depth lines the stream buffer holds.
+     * @param sticky_max sticky-counter saturation (1 = the paper).
+     * @param store hit-last storage; defaults to an ideal store.
+     */
+    ExclusionStreamCache(const CacheGeometry &geometry,
+                         std::uint32_t depth,
+                         std::uint8_t sticky_max = 1,
+                         std::unique_ptr<HitLastStore> store = nullptr);
+
+    void reset() override;
+    std::string name() const override;
+
+    /** References served by the stream buffer. */
+    Count streamHits() const { return streamHitCount; }
+
+    /** @return true iff @p addr's block is resident in L1 proper. */
+    bool contains(Addr addr) const;
+
+  protected:
+    AccessOutcome doAccess(const MemRef &ref, Tick tick) override;
+
+  private:
+    bool inWindow(Addr block) const;
+
+    std::unique_ptr<HitLastStore> hitLast;
+    std::vector<ExclusionLine> lines;
+    std::uint32_t depth;
+    std::uint8_t stickyMax;
+    Addr windowBase = kAddrInvalid; ///< first buffered block
+    Addr lastBlock = kAddrInvalid;  ///< most recent line reference
+    Count streamHitCount = 0;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_EXCLUSION_STREAM_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Convenience factory for building cache models by name, used by the
+ * examples and the sweep harness.
+ */
+
+#ifndef DYNEX_CACHE_FACTORY_H
+#define DYNEX_CACHE_FACTORY_H
+
+#include <memory>
+#include <string>
+
+#include "cache/cache.h"
+#include "cache/dynamic_exclusion.h"
+
+namespace dynex
+{
+
+class NextUseIndex;
+
+/**
+ * Build a cache model by kind name:
+ *  - "dm"              direct-mapped
+ *  - "dynex"           dynamic exclusion (ideal hit-last store)
+ *  - "2way"/"4way"/"8way"  set-associative LRU
+ *  - "fa"              fully-associative LRU
+ *
+ * The optimal cache is excluded here because it additionally needs a
+ * trace-specific next-use index; construct OptimalDirectMappedCache
+ * directly.
+ *
+ * @param kind model name as above.
+ * @param geometry cache shape; ways is overridden as the kind implies.
+ * @param dynex_config knobs applied when kind == "dynex".
+ */
+std::unique_ptr<CacheModel> makeCache(
+    const std::string &kind, CacheGeometry geometry,
+    const DynamicExclusionConfig &dynex_config = {});
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_FACTORY_H

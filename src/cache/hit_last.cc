@@ -1,0 +1,50 @@
+#include "cache/hit_last.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace dynex
+{
+
+bool
+IdealHitLastStore::lookup(Addr block) const
+{
+    const auto it = bits.find(block);
+    return it == bits.end() ? initialValue : it->second;
+}
+
+void
+IdealHitLastStore::update(Addr block, bool value)
+{
+    bits[block] = value;
+}
+
+HashedHitLastStore::HashedHitLastStore(std::uint64_t table_entries,
+                                       bool initial_value)
+    : bits(table_entries, initial_value), mask(table_entries - 1),
+      initialValue(initial_value)
+{
+    DYNEX_ASSERT(isPowerOfTwo(table_entries),
+                 "hit-last table size must be a power of two, got ",
+                 table_entries);
+}
+
+bool
+HashedHitLastStore::lookup(Addr block) const
+{
+    return bits[block & mask];
+}
+
+void
+HashedHitLastStore::update(Addr block, bool value)
+{
+    bits[block & mask] = value;
+}
+
+void
+HashedHitLastStore::reset()
+{
+    bits.assign(bits.size(), initialValue);
+}
+
+} // namespace dynex

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Storage backends for the per-address hit-last bits of the dynamic
+ * exclusion FSM (Section 5 of the paper).
+ *
+ * "In principle, there is one hit-last bit in memory associated with
+ * each instruction" — the IdealHitLastStore. In hardware the bits must
+ * live somewhere finite: a small direct-indexed table beside the L1
+ * (HashedHitLastStore, the paper's "hashed" option) or inside the L2
+ * lines (handled by TwoLevelCache with the assume-hit / assume-miss
+ * fallbacks for L2 misses).
+ */
+
+#ifndef DYNEX_CACHE_HIT_LAST_H
+#define DYNEX_CACHE_HIT_LAST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dynex
+{
+
+/**
+ * Lookup/update interface for hit-last bits, keyed by block number.
+ * Implementations may alias distinct blocks onto the same bit.
+ */
+class HitLastStore
+{
+  public:
+    virtual ~HitLastStore() = default;
+
+    /** @return the stored (or defaulted) h[block]. */
+    virtual bool lookup(Addr block) const = 0;
+
+    /** Record h[block] := value. */
+    virtual void update(Addr block, bool value) = 0;
+
+    /** Forget everything (back to the initial value). */
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Unbounded per-address storage: one exact bit per block ever seen,
+ * with a configurable initial value for never-seen blocks. This is the
+ * model behind the paper's single-level results (Figures 3-5, 11-15).
+ */
+class IdealHitLastStore : public HitLastStore
+{
+  public:
+    /** @param initial_value h for blocks never updated; the paper's
+     * cold state. False reproduces the cold-start training misses the
+     * paper notes for nasa7/tomcatv. */
+    explicit IdealHitLastStore(bool initial_value = false)
+        : initialValue(initial_value)
+    {}
+
+    bool lookup(Addr block) const override;
+    void update(Addr block, bool value) override;
+    void reset() override { bits.clear(); }
+    std::string name() const override { return "ideal"; }
+
+  private:
+    std::unordered_map<Addr, bool> bits;
+    bool initialValue;
+};
+
+/**
+ * A direct-indexed bit table of bounded size: block i uses bit
+ * (i mod table_entries). Aliasing between blocks that share a bit is
+ * deliberate — it models the paper's hardware option of "four hit-last
+ * bits for each cache line" kept entirely at the first level.
+ */
+class HashedHitLastStore : public HitLastStore
+{
+  public:
+    /**
+     * @param table_entries number of bits (power of two).
+     * @param initial_value h for never-updated slots.
+     */
+    explicit HashedHitLastStore(std::uint64_t table_entries,
+                                bool initial_value = false);
+
+    bool lookup(Addr block) const override;
+    void update(Addr block, bool value) override;
+    void reset() override;
+    std::string name() const override { return "hashed"; }
+
+    std::uint64_t tableEntries() const { return bits.size(); }
+
+  private:
+    std::vector<bool> bits;
+    std::uint64_t mask;
+    bool initialValue;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_HIT_LAST_H

@@ -1,0 +1,189 @@
+#include "cache/replacement.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace dynex
+{
+
+void
+LruPolicy::init(std::uint64_t num_sets, std::uint32_t num_ways)
+{
+    ways = num_ways;
+    lastTouch.assign(num_sets * num_ways, 0);
+}
+
+void
+LruPolicy::touch(std::uint64_t set, std::uint32_t way, Tick tick)
+{
+    lastTouch[set * ways + way] = tick + 1;
+}
+
+void
+LruPolicy::fill(std::uint64_t set, std::uint32_t way, Tick tick)
+{
+    lastTouch[set * ways + way] = tick + 1;
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint64_t set, Tick)
+{
+    std::uint32_t best = 0;
+    Tick oldest = lastTouch[set * ways];
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        const Tick t = lastTouch[set * ways + w];
+        if (t < oldest) {
+            oldest = t;
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+LruPolicy::reset()
+{
+    lastTouch.assign(lastTouch.size(), 0);
+}
+
+void
+FifoPolicy::init(std::uint64_t num_sets, std::uint32_t num_ways)
+{
+    ways = num_ways;
+    fillOrder.assign(num_sets * num_ways, 0);
+}
+
+void
+FifoPolicy::touch(std::uint64_t, std::uint32_t, Tick)
+{
+    // FIFO ignores hits by definition.
+}
+
+void
+FifoPolicy::fill(std::uint64_t set, std::uint32_t way, Tick tick)
+{
+    fillOrder[set * ways + way] = tick + 1;
+}
+
+std::uint32_t
+FifoPolicy::victim(std::uint64_t set, Tick)
+{
+    std::uint32_t best = 0;
+    Tick oldest = fillOrder[set * ways];
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        const Tick t = fillOrder[set * ways + w];
+        if (t < oldest) {
+            oldest = t;
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+FifoPolicy::reset()
+{
+    fillOrder.assign(fillOrder.size(), 0);
+}
+
+void
+RandomPolicy::init(std::uint64_t, std::uint32_t num_ways)
+{
+    ways = num_ways;
+}
+
+void
+RandomPolicy::touch(std::uint64_t, std::uint32_t, Tick)
+{
+}
+
+void
+RandomPolicy::fill(std::uint64_t, std::uint32_t, Tick)
+{
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint64_t, Tick)
+{
+    return static_cast<std::uint32_t>(rng.nextBelow(ways));
+}
+
+void
+RandomPolicy::reset()
+{
+    rng = Rng(seedValue);
+}
+
+void
+TreePlruPolicy::init(std::uint64_t num_sets, std::uint32_t num_ways)
+{
+    DYNEX_ASSERT(isPowerOfTwo(num_ways),
+                 "tree PLRU needs power-of-two ways, got ", num_ways);
+    ways = num_ways;
+    levels = num_ways == 1 ? 0 : floorLog2(num_ways);
+    treeBits.assign(num_sets * (num_ways - 1), false);
+}
+
+void
+TreePlruPolicy::markUsed(std::uint64_t set, std::uint32_t way)
+{
+    // Walk from the root toward the way, pointing each node AWAY from
+    // the path taken (so the victim search walks elsewhere).
+    std::size_t node = 0;
+    for (std::uint32_t level = 0; level < levels; ++level) {
+        const bool right =
+            (way >> (levels - 1 - level)) & 1u;
+        treeBits[set * (ways - 1) + node] = !right;
+        node = 2 * node + 1 + (right ? 1 : 0);
+    }
+}
+
+void
+TreePlruPolicy::touch(std::uint64_t set, std::uint32_t way, Tick)
+{
+    markUsed(set, way);
+}
+
+void
+TreePlruPolicy::fill(std::uint64_t set, std::uint32_t way, Tick)
+{
+    markUsed(set, way);
+}
+
+std::uint32_t
+TreePlruPolicy::victim(std::uint64_t set, Tick)
+{
+    // Follow the node bits from the root: each bit points toward the
+    // pseudo-least-recently-used subtree.
+    std::size_t node = 0;
+    std::uint32_t way = 0;
+    for (std::uint32_t level = 0; level < levels; ++level) {
+        const bool right = treeBits[set * (ways - 1) + node];
+        way = (way << 1) | (right ? 1u : 0u);
+        node = 2 * node + 1 + (right ? 1 : 0);
+    }
+    return way;
+}
+
+void
+TreePlruPolicy::reset()
+{
+    treeBits.assign(treeBits.size(), false);
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &policy_name)
+{
+    if (iequals(policy_name, "lru"))
+        return std::make_unique<LruPolicy>();
+    if (iequals(policy_name, "fifo"))
+        return std::make_unique<FifoPolicy>();
+    if (iequals(policy_name, "random"))
+        return std::make_unique<RandomPolicy>();
+    if (iequals(policy_name, "plru"))
+        return std::make_unique<TreePlruPolicy>();
+    DYNEX_FATAL("unknown replacement policy '", policy_name, "'");
+}
+
+} // namespace dynex

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pluggable replacement policies for the set-associative cache model.
+ */
+
+#ifndef DYNEX_CACHE_REPLACEMENT_H
+#define DYNEX_CACHE_REPLACEMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dynex
+{
+
+/**
+ * Chooses victims within a set. A policy instance is bound to one cache
+ * (numSets x ways) and keeps whatever per-way state it needs.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Called once by the owning cache before use. */
+    virtual void init(std::uint64_t num_sets, std::uint32_t num_ways) = 0;
+
+    /** A way in @p set was referenced (hit). */
+    virtual void touch(std::uint64_t set, std::uint32_t way, Tick tick) = 0;
+
+    /** A way in @p set was filled with a new block. */
+    virtual void fill(std::uint64_t set, std::uint32_t way, Tick tick) = 0;
+
+    /** Choose the way to victimize in @p set (all ways valid). */
+    virtual std::uint32_t victim(std::uint64_t set, Tick tick) = 0;
+
+    /** Forget all history. */
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Least-recently-used, tracked with per-way last-touch ticks. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(std::uint64_t num_sets, std::uint32_t num_ways) override;
+    void touch(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    void fill(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    std::uint32_t victim(std::uint64_t set, Tick tick) override;
+    void reset() override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::vector<Tick> lastTouch; // [set * ways + way]
+    std::uint32_t ways = 0;
+};
+
+/** First-in first-out (round-robin fill order per set). */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    void init(std::uint64_t num_sets, std::uint32_t num_ways) override;
+    void touch(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    void fill(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    std::uint32_t victim(std::uint64_t set, Tick tick) override;
+    void reset() override;
+    std::string name() const override { return "fifo"; }
+
+  private:
+    std::vector<Tick> fillOrder; // [set * ways + way]
+    std::uint32_t ways = 0;
+};
+
+/** Uniformly random victim selection (deterministic seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 0xdece11ed)
+        : rng(seed), seedValue(seed)
+    {}
+
+    void init(std::uint64_t num_sets, std::uint32_t num_ways) override;
+    void touch(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    void fill(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    std::uint32_t victim(std::uint64_t set, Tick tick) override;
+    void reset() override;
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng;
+    std::uint64_t seedValue;
+    std::uint32_t ways = 0;
+};
+
+/**
+ * Tree pseudo-LRU: the hardware-cheap LRU approximation used by real
+ * set-associative caches — one bit per internal node of a binary tree
+ * over the ways. Requires power-of-two associativity.
+ */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(std::uint64_t num_sets, std::uint32_t num_ways) override;
+    void touch(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    void fill(std::uint64_t set, std::uint32_t way, Tick tick) override;
+    std::uint32_t victim(std::uint64_t set, Tick tick) override;
+    void reset() override;
+    std::string name() const override { return "plru"; }
+
+  private:
+    /** Flip the path bits so @p way becomes most-recently used. */
+    void markUsed(std::uint64_t set, std::uint32_t way);
+
+    std::vector<bool> treeBits; ///< [set * (ways-1) + node]
+    std::uint32_t ways = 0;
+    std::uint32_t levels = 0;
+};
+
+/** Factory by name: "lru", "fifo", "random", or "plru". Panics on
+ * unknown names. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    const std::string &policy_name);
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_REPLACEMENT_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * N-way set-associative cache with a pluggable replacement policy.
+ * Used as the classical alternative the paper's introduction compares
+ * direct-mapped caches against.
+ */
+
+#ifndef DYNEX_CACHE_SET_ASSOC_H
+#define DYNEX_CACHE_SET_ASSOC_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/replacement.h"
+
+namespace dynex
+{
+
+/**
+ * Set-associative cache (covers fully-associative via ways == 0) with
+ * allocate-on-miss and a ReplacementPolicy for victim choice.
+ */
+class SetAssocCache : public CacheModel
+{
+  public:
+    /**
+     * @param geometry the cache shape (ways >= 2 or 0; use
+     *        DirectMappedCache for ways == 1).
+     * @param policy victim-selection policy; defaults to LRU.
+     */
+    explicit SetAssocCache(const CacheGeometry &geometry,
+                           std::unique_ptr<ReplacementPolicy> policy =
+                               nullptr);
+
+    void reset() override;
+    std::string name() const override;
+
+    /** @return true iff @p addr's block is currently resident. */
+    bool contains(Addr addr) const;
+
+  protected:
+    AccessOutcome doAccess(const MemRef &ref, Tick tick) override;
+
+  private:
+    std::uint32_t lineIndex(std::uint64_t set, std::uint32_t way) const;
+
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::vector<Addr> tags;
+    std::vector<bool> valid;
+    std::uint32_t waysPerSet;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_SET_ASSOC_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Profile-guided static exclusion: the compiler-based baseline the
+ * paper contrasts dynamic exclusion against (Section 2, citing
+ * McFarling '89/'91). A profiling pass decides, per block address,
+ * whether caching it is worthwhile; the production run then excludes
+ * the marked blocks unconditionally. The paper's point is that the
+ * FSM achieves this adaptively with no compiler support or profile
+ * data; this model quantifies that comparison.
+ */
+
+#ifndef DYNEX_CACHE_STATIC_EXCLUSION_H
+#define DYNEX_CACHE_STATIC_EXCLUSION_H
+
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.h"
+#include "trace/next_use.h"
+#include "trace/trace.h"
+
+namespace dynex
+{
+
+/**
+ * The exclusion set produced by a profiling pass: block numbers that
+ * should never be allocated into the cache.
+ */
+class ExclusionProfile
+{
+  public:
+    /**
+     * Build a profile by replaying @p trace against the optimal
+     * direct-mapped cache with bypass and marking every block that
+     * was bypassed more often than it was retained. This is an
+     * idealized profile (it uses the same trace it will be evaluated
+     * on — the best case for the static approach).
+     *
+     * @param trace profiling run.
+     * @param geometry the cache the profile targets.
+     */
+    static ExclusionProfile fromOptimalBypasses(
+        const Trace &trace, const CacheGeometry &geometry);
+
+    /** Mark a block for exclusion. */
+    void exclude(Addr block) { excluded.insert(block); }
+
+    /** @return true iff @p block must bypass the cache. */
+    bool
+    isExcluded(Addr block) const
+    {
+        return excluded.count(block) != 0;
+    }
+
+    std::size_t size() const { return excluded.size(); }
+
+  private:
+    std::unordered_set<Addr> excluded;
+};
+
+/**
+ * Direct-mapped cache that consults a fixed ExclusionProfile: profiled
+ * blocks are passed through, everything else allocates on miss.
+ */
+class StaticExclusionCache : public CacheModel
+{
+  public:
+    /**
+     * @param geometry must have ways == 1.
+     * @param profile the static exclusion set; must outlive the cache.
+     */
+    StaticExclusionCache(const CacheGeometry &geometry,
+                         const ExclusionProfile &profile);
+
+    void reset() override;
+    std::string name() const override { return "static-exclusion"; }
+
+  protected:
+    AccessOutcome doAccess(const MemRef &ref, Tick tick) override;
+
+  private:
+    const ExclusionProfile *exclusionSet;
+    std::vector<Addr> tags;
+    std::vector<bool> valid;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_CACHE_STATIC_EXCLUSION_H

@@ -1,0 +1,36 @@
+#include "cache/stats.h"
+
+#include <cstdio>
+
+namespace dynex
+{
+
+CacheStats &
+CacheStats::operator+=(const CacheStats &other)
+{
+    accesses += other.accesses;
+    hits += other.hits;
+    misses += other.misses;
+    coldMisses += other.coldMisses;
+    fills += other.fills;
+    bypasses += other.bypasses;
+    evictions += other.evictions;
+    return *this;
+}
+
+std::string
+CacheStats::toString() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu accesses, %llu misses (%.3f%%), %llu bypasses, "
+                  "%llu fills, %llu evictions",
+                  static_cast<unsigned long long>(accesses),
+                  static_cast<unsigned long long>(misses), missPercent(),
+                  static_cast<unsigned long long>(bypasses),
+                  static_cast<unsigned long long>(fills),
+                  static_cast<unsigned long long>(evictions));
+    return buf;
+}
+
+} // namespace dynex

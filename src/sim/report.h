@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure/table reporting for the bench harness: prints the series the
+ * paper's figures plot, records paper-vs-measured verdicts, and
+ * optionally writes CSV files (DYNEX_OUT directory).
+ */
+
+#ifndef DYNEX_SIM_REPORT_H
+#define DYNEX_SIM_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace dynex
+{
+
+/**
+ * One experiment's output: a titled table, free-form notes, and
+ * pass/info verdicts against the paper's claims. finish() prints
+ * everything to stdout and (if DYNEX_OUT is set) writes
+ * "<DYNEX_OUT>/<id>.csv".
+ */
+class FigureReport
+{
+  public:
+    /**
+     * @param figure_id short id, e.g. "fig05".
+     * @param title the paper's caption.
+     * @param paper_claim what the paper reports, for side-by-side
+     *        reading.
+     */
+    FigureReport(std::string figure_id, std::string title,
+                 std::string paper_claim);
+
+    /** The data table (header set by the caller). */
+    Table &table() { return dataTable; }
+
+    /** Attach a free-form note line. */
+    void note(const std::string &text);
+
+    /**
+     * Record a reproduction verdict. Failed verdicts flip the process
+     * exit code returned by exitCode() so CI catches regressions in
+     * the reproduced shape.
+     */
+    void verdict(bool reproduced, const std::string &text);
+
+    /** Print the report; write CSV when configured. */
+    void finish();
+
+    /** 0 if every verdict reproduced, 1 otherwise. */
+    int exitCode() const { return allReproduced ? 0 : 1; }
+
+  private:
+    std::string figureId;
+    std::string figureTitle;
+    std::string paperClaim;
+    Table dataTable;
+    std::vector<std::string> notes;
+    std::vector<std::string> verdicts;
+    bool allReproduced = true;
+    bool finished = false;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_SIM_REPORT_H

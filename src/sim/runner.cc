@@ -1,0 +1,68 @@
+#include "sim/runner.h"
+
+#include "cache/direct_mapped.h"
+#include "cache/optimal.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dynex
+{
+
+CacheStats
+runTrace(CacheModel &cache, const Trace &trace)
+{
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        cache.access(trace[i], i);
+    return cache.stats();
+}
+
+HierarchyStats
+runTrace(TwoLevelCache &hierarchy, const Trace &trace)
+{
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        hierarchy.access(trace[i], i);
+    return hierarchy.stats();
+}
+
+double
+TriadResult::deImprovementPct()
+const
+{
+    return percentReduction(dm.missRate(), de.missRate());
+}
+
+double
+TriadResult::optImprovementPct()
+const
+{
+    return percentReduction(dm.missRate(), opt.missRate());
+}
+
+TriadResult
+runTriad(const Trace &trace, const NextUseIndex &index,
+         std::uint64_t size_bytes, std::uint32_t line_bytes,
+         const DynamicExclusionConfig &de_config)
+{
+    DYNEX_ASSERT(index.blockSize() == line_bytes,
+                 "index granularity mismatch");
+
+    TriadResult result;
+
+    DirectMappedCache dm(CacheGeometry::directMapped(size_bytes,
+                                                     line_bytes));
+    result.dm = runTrace(dm, trace);
+
+    DynamicExclusionCache de(CacheGeometry::directMapped(size_bytes,
+                                                         line_bytes),
+                             de_config);
+    result.de = runTrace(de, trace);
+
+    OptimalDirectMappedCache opt(CacheGeometry::directMapped(size_bytes,
+                                                             line_bytes),
+                                 index, /*use_last_line=*/true);
+    result.opt = runTrace(opt, trace);
+
+    return result;
+}
+
+} // namespace dynex

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace replay: feed a trace through cache models and collect their
+ * statistics, including the paper's standard three-way comparison
+ * (conventional direct-mapped vs dynamic exclusion vs optimal).
+ */
+
+#ifndef DYNEX_SIM_RUNNER_H
+#define DYNEX_SIM_RUNNER_H
+
+#include "cache/cache.h"
+#include "cache/dynamic_exclusion.h"
+#include "cache/hierarchy.h"
+#include "trace/next_use.h"
+#include "trace/trace.h"
+
+namespace dynex
+{
+
+/** Replay @p trace through @p cache (ticks are trace positions). */
+CacheStats runTrace(CacheModel &cache, const Trace &trace);
+
+/** Replay @p trace through a two-level hierarchy. */
+HierarchyStats runTrace(TwoLevelCache &hierarchy, const Trace &trace);
+
+/** Results of the three-way comparison on one trace. */
+struct TriadResult
+{
+    CacheStats dm;   ///< conventional direct-mapped
+    CacheStats de;   ///< dynamic exclusion
+    CacheStats opt;  ///< optimal direct-mapped with bypass
+
+    double dmMissPct() const { return dm.missPercent(); }
+    double deMissPct() const { return de.missPercent(); }
+    double optMissPct() const { return opt.missPercent(); }
+
+    /** Percent miss reduction of dynamic exclusion vs direct-mapped. */
+    double deImprovementPct() const;
+
+    /** Percent miss reduction of the optimal cache vs direct-mapped. */
+    double optImprovementPct() const;
+};
+
+/**
+ * Run the paper's standard trio on one trace.
+ *
+ * @param trace the reference stream.
+ * @param index a RunStart-mode next-use oracle for @p trace at
+ *        @p line_bytes granularity (shared across calls so sweeps do
+ *        not rebuild it per size).
+ * @param size_bytes cache capacity.
+ * @param line_bytes cache line size.
+ * @param de_config dynamic-exclusion knobs.
+ */
+TriadResult runTriad(const Trace &trace, const NextUseIndex &index,
+                     std::uint64_t size_bytes, std::uint32_t line_bytes,
+                     const DynamicExclusionConfig &de_config = {});
+
+} // namespace dynex
+
+#endif // DYNEX_SIM_RUNNER_H

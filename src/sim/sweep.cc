@@ -1,0 +1,137 @@
+#include "sim/sweep.h"
+
+#include "sim/workloads.h"
+#include "trace/next_use.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dynex
+{
+
+const std::vector<std::uint64_t> &
+paperCacheSizes()
+{
+    static const std::vector<std::uint64_t> sizes = {
+        1024,      2 * 1024,  4 * 1024,  8 * 1024,
+        16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024,
+    };
+    return sizes;
+}
+
+const std::vector<std::uint32_t> &
+paperLineSizes()
+{
+    static const std::vector<std::uint32_t> lines = {4, 8, 16, 32, 64};
+    return lines;
+}
+
+double
+SizeSweepPoint::deImprovementPct()
+const
+{
+    return percentReduction(dmMissPct, deMissPct);
+}
+
+double
+SizeSweepPoint::optImprovementPct()
+const
+{
+    return percentReduction(dmMissPct, optMissPct);
+}
+
+double
+LineSweepPoint::deImprovementPct()
+const
+{
+    return percentReduction(dmMissPct, deMissPct);
+}
+
+double
+LineSweepPoint::optImprovementPct()
+const
+{
+    return percentReduction(dmMissPct, optMissPct);
+}
+
+std::vector<SizeSweepPoint>
+sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
+           std::uint32_t line_bytes, const DynamicExclusionConfig &config)
+{
+    const NextUseIndex index(trace, line_bytes, NextUseMode::RunStart);
+    std::vector<SizeSweepPoint> points;
+    points.reserve(sizes.size());
+    for (const std::uint64_t size : sizes) {
+        const TriadResult triad =
+            runTriad(trace, index, size, line_bytes, config);
+        points.push_back({size, triad.dmMissPct(), triad.deMissPct(),
+                          triad.optMissPct()});
+    }
+    return points;
+}
+
+std::vector<SizeSweepPoint>
+sweepSuiteAverage(const std::vector<std::string> &benchmark_names,
+                  Count refs, const std::vector<std::uint64_t> &sizes,
+                  std::uint32_t line_bytes,
+                  const DynamicExclusionConfig &config, bool data_refs,
+                  bool mixed_refs)
+{
+    DYNEX_ASSERT(!(data_refs && mixed_refs),
+                 "choose one stream kind");
+    std::vector<SizeSweepPoint> average(sizes.size());
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        average[s].sizeBytes = sizes[s];
+
+    for (const auto &name : benchmark_names) {
+        const auto trace = mixed_refs ? Workloads::mixed(name, refs)
+                           : data_refs
+                               ? Workloads::data(name, refs)
+                               : Workloads::instructions(name, refs);
+        const auto points = sweepSizes(*trace, sizes, line_bytes, config);
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            average[s].dmMissPct += points[s].dmMissPct;
+            average[s].deMissPct += points[s].deMissPct;
+            average[s].optMissPct += points[s].optMissPct;
+        }
+    }
+    const auto n = static_cast<double>(benchmark_names.size());
+    for (auto &point : average) {
+        point.dmMissPct /= n;
+        point.deMissPct /= n;
+        point.optMissPct /= n;
+    }
+    return average;
+}
+
+std::vector<LineSweepPoint>
+sweepSuiteLineSizes(const std::vector<std::string> &benchmark_names,
+                    Count refs, std::uint64_t size_bytes,
+                    const std::vector<std::uint32_t> &lines,
+                    const DynamicExclusionConfig &config)
+{
+    std::vector<LineSweepPoint> average(lines.size());
+    for (std::size_t l = 0; l < lines.size(); ++l)
+        average[l].lineBytes = lines[l];
+
+    for (const auto &name : benchmark_names) {
+        const auto trace = Workloads::instructions(name, refs);
+        for (std::size_t l = 0; l < lines.size(); ++l) {
+            const NextUseIndex index(*trace, lines[l],
+                                     NextUseMode::RunStart);
+            const TriadResult triad =
+                runTriad(*trace, index, size_bytes, lines[l], config);
+            average[l].dmMissPct += triad.dmMissPct();
+            average[l].deMissPct += triad.deMissPct();
+            average[l].optMissPct += triad.optMissPct();
+        }
+    }
+    const auto n = static_cast<double>(benchmark_names.size());
+    for (auto &point : average) {
+        point.dmMissPct /= n;
+        point.deMissPct /= n;
+        point.optMissPct /= n;
+    }
+    return average;
+}
+
+} // namespace dynex

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Parameter sweeps shared by the figure benches: cache-size sweeps,
+ * line-size sweeps, and suite-averaged results.
+ */
+
+#ifndef DYNEX_SIM_SWEEP_H
+#define DYNEX_SIM_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "cache/dynamic_exclusion.h"
+#include "sim/runner.h"
+#include "trace/trace.h"
+
+namespace dynex
+{
+
+/** The paper's cache-size axis (1KB to 128KB). */
+const std::vector<std::uint64_t> &paperCacheSizes();
+
+/** The paper's line-size axis (4B to 64B). */
+const std::vector<std::uint32_t> &paperLineSizes();
+
+/** One (cache size, triad) point. */
+struct SizeSweepPoint
+{
+    std::uint64_t sizeBytes = 0;
+    double dmMissPct = 0.0;
+    double deMissPct = 0.0;
+    double optMissPct = 0.0;
+
+    double deImprovementPct() const;
+    double optImprovementPct() const;
+};
+
+/**
+ * Run the three-way comparison over @p sizes on one trace.
+ * A single RunStart next-use index at @p line_bytes is built once.
+ */
+std::vector<SizeSweepPoint> sweepSizes(
+    const Trace &trace, const std::vector<std::uint64_t> &sizes,
+    std::uint32_t line_bytes, const DynamicExclusionConfig &config = {});
+
+/**
+ * Suite-averaged size sweep: arithmetic mean of the per-benchmark miss
+ * percentages at each size (the paper's "average ... across the SPEC
+ * benchmarks").
+ *
+ * @param benchmark_names suite member names.
+ * @param refs per-benchmark reference budget.
+ * @param data_refs use the data stream instead of instruction fetches.
+ * @param mixed_refs use the mixed I+D stream.
+ */
+std::vector<SizeSweepPoint> sweepSuiteAverage(
+    const std::vector<std::string> &benchmark_names, Count refs,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &config = {}, bool data_refs = false,
+    bool mixed_refs = false);
+
+/** One (line size, triad) point at fixed capacity. */
+struct LineSweepPoint
+{
+    std::uint32_t lineBytes = 0;
+    double dmMissPct = 0.0;
+    double deMissPct = 0.0;
+    double optMissPct = 0.0;
+
+    double deImprovementPct() const;
+    double optImprovementPct() const;
+};
+
+/** Suite-averaged line-size sweep at fixed @p size_bytes. */
+std::vector<LineSweepPoint> sweepSuiteLineSizes(
+    const std::vector<std::string> &benchmark_names, Count refs,
+    std::uint64_t size_bytes, const std::vector<std::uint32_t> &lines,
+    const DynamicExclusionConfig &config = {});
+
+} // namespace dynex
+
+#endif // DYNEX_SIM_SWEEP_H

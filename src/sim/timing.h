@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A simple average-memory-access-time (AMAT) model, for the paper's
+ * Section 1 argument: direct-mapped caches often win overall despite
+ * higher miss rates because their hit path is faster [Hil87, Prz88].
+ * Dynamic exclusion attacks the miss rate without touching the hit
+ * path, so its AMAT combines direct-mapped hit time with a reduced
+ * miss rate.
+ */
+
+#ifndef DYNEX_SIM_TIMING_H
+#define DYNEX_SIM_TIMING_H
+
+#include <string>
+
+#include "cache/stats.h"
+
+namespace dynex
+{
+
+/** Cycle-cost parameters of one cache configuration. */
+struct TimingModel
+{
+    /** Cycles to satisfy a hit (the cache's access path). */
+    double hitCycles = 1.0;
+
+    /** Additional cycles to satisfy a miss from the next level. */
+    double missPenaltyCycles = 20.0;
+
+    /**
+     * Average memory access time in cycles for @p stats:
+     * hit time + miss rate * miss penalty.
+     */
+    double
+    amat(const CacheStats &stats) const
+    {
+        return hitCycles + stats.missRate() * missPenaltyCycles;
+    }
+
+    /** Miss rate above which this configuration loses to @p faster:
+     * the break-even point of the classical trade-off. */
+    double
+    breakEvenMissRate(const TimingModel &faster,
+                      double faster_miss_rate) const
+    {
+        return (faster.hitCycles - hitCycles +
+                faster_miss_rate * faster.missPenaltyCycles) /
+               missPenaltyCycles;
+    }
+};
+
+/**
+ * The paper-era default costs: single-cycle direct-mapped hits, a
+ * fraction of a cycle extra for set-associative ways (the mux +
+ * compare on the critical path [Hil87]), and a 1990s-scale miss
+ * penalty.
+ */
+struct DefaultTimings
+{
+    static constexpr double kDirectMappedHit = 1.0;
+    static constexpr double kSetAssocExtra = 0.4;
+    static constexpr double kMissPenalty = 16.0;
+
+    static TimingModel
+    directMapped()
+    {
+        return {kDirectMappedHit, kMissPenalty};
+    }
+
+    static TimingModel
+    setAssociative()
+    {
+        return {kDirectMappedHit + kSetAssocExtra, kMissPenalty};
+    }
+};
+
+} // namespace dynex
+
+#endif // DYNEX_SIM_TIMING_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace transformations: I/D splitting, truncation, address quantizing,
+ * and deterministic interleaving — the plumbing between the generators
+ * and the per-figure experiment configurations.
+ */
+
+#ifndef DYNEX_TRACE_FILTER_H
+#define DYNEX_TRACE_FILTER_H
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace dynex
+{
+
+/** @return only the instruction-fetch references of @p trace. */
+Trace instructionRefs(const Trace &trace);
+
+/** @return only the load/store references of @p trace. */
+Trace dataRefs(const Trace &trace);
+
+/** @return the first @p n references (all of them if the trace is
+ * shorter). */
+Trace truncate(const Trace &trace, std::size_t n);
+
+/**
+ * Align every address down to a multiple of @p granularity (must be a
+ * power of two). Useful for studying block-level streams.
+ */
+Trace quantize(const Trace &trace, std::uint64_t granularity);
+
+/**
+ * Offset every address by @p delta; used to relocate a workload's
+ * footprint when composing multi-program traces.
+ */
+Trace relocate(const Trace &trace, std::int64_t delta);
+
+/**
+ * Count the maximal runs of consecutive references that fall in the
+ * same @p block_size block (the "line reference" stream length of
+ * Section 6 of the paper).
+ */
+Count lineReferenceCount(const Trace &trace, std::uint64_t block_size);
+
+} // namespace dynex
+
+#endif // DYNEX_TRACE_FILTER_H

@@ -1,0 +1,36 @@
+#include "trace/next_use.h"
+
+#include <unordered_map>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace dynex
+{
+
+NextUseIndex::NextUseIndex(const Trace &trace, std::uint64_t block_size,
+                           NextUseMode mode)
+    : blockBytes(block_size), useMode(mode)
+{
+    DYNEX_ASSERT(isPowerOfTwo(block_size),
+                 "block size must be a power of two, got ", block_size);
+    const unsigned shift = floorLog2(block_size);
+
+    next.resize(trace.size(), kTickInfinity);
+    std::unordered_map<Addr, Tick> upcoming;
+    upcoming.reserve(trace.size() / 8 + 16);
+
+    for (std::size_t i = trace.size(); i-- > 0;) {
+        const Addr block = trace[i].addr >> shift;
+        if (auto it = upcoming.find(block); it != upcoming.end())
+            next[i] = it->second;
+
+        const bool run_start =
+            useMode == NextUseMode::AnyReference || i == 0 ||
+            (trace[i - 1].addr >> shift) != block;
+        if (run_start)
+            upcoming[block] = i;
+    }
+}
+
+} // namespace dynex

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Next-use index: for every trace position, the position of the next
+ * reference to the same cache block. This is the "future information"
+ * that Belady-style optimal replacement consumes.
+ */
+
+#ifndef DYNEX_TRACE_NEXT_USE_H
+#define DYNEX_TRACE_NEXT_USE_H
+
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/types.h"
+
+namespace dynex
+{
+
+/** Which future references count as a "use" of a block. */
+enum class NextUseMode
+{
+    /** Any later reference to the block. */
+    AnyReference,
+    /**
+     * Only later *run starts*: positions j where block(j) differs from
+     * block(j-1). With a last-line buffer (or allocate-on-miss),
+     * within-run references always hit, so run starts are the decision
+     * points for line-grain replacement (Section 6 of the paper).
+     */
+    RunStart,
+};
+
+/**
+ * Precomputed forward-reference distances at a given block granularity.
+ *
+ * nextUse(i) is the smallest j > i such that block(trace[j]) ==
+ * block(trace[i]) (and, in RunStart mode, j starts a new run), or
+ * kTickInfinity when the block is never referenced again. Built in one
+ * backward pass (O(n) expected with hashing).
+ */
+class NextUseIndex
+{
+  public:
+    /**
+     * @param trace the trace to index.
+     * @param block_size power-of-two block granularity in bytes;
+     *        references are equivalent iff addr / block_size matches.
+     * @param mode which references qualify as future uses.
+     */
+    NextUseIndex(const Trace &trace, std::uint64_t block_size,
+                 NextUseMode mode = NextUseMode::AnyReference);
+
+    /** @return the next qualifying position referencing trace[i]'s
+     * block, or kTickInfinity. */
+    Tick
+    nextUse(Tick i) const
+    {
+        return next[i];
+    }
+
+    std::uint64_t blockSize() const { return blockBytes; }
+    NextUseMode mode() const { return useMode; }
+    std::size_t size() const { return next.size(); }
+
+  private:
+    std::vector<Tick> next;
+    std::uint64_t blockBytes;
+    NextUseMode useMode;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_TRACE_NEXT_USE_H

@@ -1,0 +1,142 @@
+#include "trace/text_io.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace dynex
+{
+
+namespace
+{
+
+int
+dinLabel(RefType type)
+{
+    switch (type) {
+      case RefType::Load:
+        return 0;
+      case RefType::Store:
+        return 1;
+      case RefType::Ifetch:
+        return 2;
+    }
+    return 2;
+}
+
+bool
+fail(std::string *error, std::size_t line_no, const char *reason)
+{
+    if (error) {
+        std::ostringstream oss;
+        oss << "line " << line_no << ": " << reason;
+        *error = oss.str();
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+writeDinTrace(const Trace &trace, std::ostream &out)
+{
+    out << "# din trace: " << trace.name() << "\n";
+    char buf[40];
+    for (const auto &ref : trace) {
+        const int written =
+            std::snprintf(buf, sizeof(buf), "%d %llx\n",
+                          dinLabel(ref.type),
+                          static_cast<unsigned long long>(ref.addr));
+        out.write(buf, written);
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+writeDinTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    return out && writeDinTrace(trace, out);
+}
+
+std::optional<Trace>
+readDinTrace(std::istream &in, const std::string &name,
+             std::string *error)
+{
+    Trace trace(name);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+
+        // Label field.
+        std::size_t pos = 0;
+        while (pos < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        const std::string label = text.substr(0, pos);
+        RefType type;
+        if (label == "0")
+            type = RefType::Load;
+        else if (label == "1")
+            type = RefType::Store;
+        else if (label == "2")
+            type = RefType::Ifetch;
+        else {
+            fail(error, line_no, "unknown din label");
+            return std::nullopt;
+        }
+
+        // Address field (hex, optional 0x prefix).
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        std::string addr_text = text.substr(pos);
+        // Drop anything after the address (din allows extra fields).
+        if (const auto cut = addr_text.find_first_of(" \t");
+            cut != std::string::npos)
+            addr_text = addr_text.substr(0, cut);
+        if (addr_text.rfind("0x", 0) == 0 || addr_text.rfind("0X", 0) == 0)
+            addr_text = addr_text.substr(2);
+        if (addr_text.empty()) {
+            fail(error, line_no, "missing address");
+            return std::nullopt;
+        }
+        Addr addr = 0;
+        const auto result = std::from_chars(
+            addr_text.data(), addr_text.data() + addr_text.size(), addr,
+            16);
+        if (result.ec != std::errc{} ||
+            result.ptr != addr_text.data() + addr_text.size()) {
+            fail(error, line_no, "malformed hex address");
+            return std::nullopt;
+        }
+        trace.append(MemRef{addr, type, 4});
+    }
+    return trace;
+}
+
+std::optional<Trace>
+readDinTraceFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    // Name the trace after the file's basename.
+    std::string name = path;
+    if (const auto slash = name.find_last_of('/');
+        slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return readDinTrace(in, name, error);
+}
+
+} // namespace dynex

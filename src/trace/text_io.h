@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text trace interchange in the classic dinero "din" format, for
+ * moving traces between this simulator and external tools:
+ *
+ *   <label> <hex-address>\n
+ *
+ * with label 0 = data read, 1 = data write, 2 = instruction fetch.
+ * Lines starting with '#' and blank lines are ignored on input.
+ * Access sizes are not representable in din; they default to 4 bytes.
+ */
+
+#ifndef DYNEX_TRACE_TEXT_IO_H
+#define DYNEX_TRACE_TEXT_IO_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace dynex
+{
+
+/** Serialize @p trace as din text. @return false on stream failure. */
+bool writeDinTrace(const Trace &trace, std::ostream &out);
+
+/** Serialize to a file. */
+bool writeDinTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a din-format trace.
+ * @param name name to give the resulting trace.
+ * @param error optional sink for a failure description (includes the
+ *        offending line number).
+ */
+std::optional<Trace> readDinTrace(std::istream &in,
+                                  const std::string &name = "din",
+                                  std::string *error = nullptr);
+
+/** Parse from a file. */
+std::optional<Trace> readDinTraceFile(const std::string &path,
+                                      std::string *error = nullptr);
+
+} // namespace dynex
+
+#endif // DYNEX_TRACE_TEXT_IO_H

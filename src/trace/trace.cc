@@ -1,0 +1,93 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+const char *
+refTypeName(RefType type)
+{
+    switch (type) {
+      case RefType::Ifetch:
+        return "ifetch";
+      case RefType::Load:
+        return "load";
+      case RefType::Store:
+        return "store";
+    }
+    return "unknown";
+}
+
+std::string
+toString(const MemRef &ref)
+{
+    std::ostringstream oss;
+    oss << refTypeName(ref.type) << " 0x" << std::hex << ref.addr << "/"
+        << std::dec << static_cast<int>(ref.size);
+    return oss.str();
+}
+
+std::string
+TraceSummary::toString() const
+{
+    std::ostringstream oss;
+    oss << total << " refs (" << ifetches << " ifetch, " << loads
+        << " load, " << stores << " store), " << uniqueWords
+        << " unique words";
+    return oss.str();
+}
+
+Trace
+Trace::fromPattern(const std::string &pattern, Addr base, Addr stride)
+{
+    Trace trace("pattern:" + pattern);
+    trace.reserve(pattern.size());
+    for (char letter : pattern) {
+        DYNEX_ASSERT(letter >= 'a' && letter <= 'z',
+                     "pattern letters must be a-z, got '", letter, "'");
+        const auto index = static_cast<Addr>(letter - 'a');
+        trace.append(ifetch(base + index * stride));
+    }
+    return trace;
+}
+
+void
+Trace::append(const Trace &other)
+{
+    refs.insert(refs.end(), other.refs.begin(), other.refs.end());
+}
+
+TraceSummary
+Trace::summarize() const
+{
+    TraceSummary summary;
+    summary.total = refs.size();
+    std::vector<Addr> words;
+    words.reserve(refs.size());
+    for (const auto &ref : refs) {
+        switch (ref.type) {
+          case RefType::Ifetch:
+            ++summary.ifetches;
+            break;
+          case RefType::Load:
+            ++summary.loads;
+            break;
+          case RefType::Store:
+            ++summary.stores;
+            break;
+        }
+        summary.minAddr = std::min(summary.minAddr, ref.addr);
+        summary.maxAddr = std::max(summary.maxAddr, ref.addr);
+        words.push_back(ref.addr & ~Addr{3});
+    }
+    std::sort(words.begin(), words.end());
+    summary.uniqueWords =
+        std::unique(words.begin(), words.end()) - words.begin();
+    return summary;
+}
+
+} // namespace dynex

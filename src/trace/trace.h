@@ -1,0 +1,98 @@
+/**
+ * @file
+ * In-memory reference traces and their summary statistics.
+ */
+
+#ifndef DYNEX_TRACE_TRACE_H
+#define DYNEX_TRACE_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/types.h"
+
+namespace dynex
+{
+
+/** Aggregate composition of a trace. */
+struct TraceSummary
+{
+    Count total = 0;
+    Count ifetches = 0;
+    Count loads = 0;
+    Count stores = 0;
+    Addr minAddr = kAddrInvalid;
+    Addr maxAddr = 0;
+    /** Distinct 4-byte-aligned words touched (exact, via sorting). */
+    Count uniqueWords = 0;
+
+    std::string toString() const;
+};
+
+/**
+ * An in-memory sequence of memory references.
+ *
+ * This is the canonical interchange type between the trace generators
+ * and the cache simulators. It is a thin wrapper over std::vector that
+ * adds identity (a name), summary statistics, and convenience
+ * construction from address lists for tests.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string trace_name) : traceName(std::move(trace_name))
+    {}
+    Trace(std::string trace_name, std::vector<MemRef> records)
+        : traceName(std::move(trace_name)), refs(std::move(records))
+    {}
+
+    /**
+     * Build an instruction-fetch trace from a symbolic letter pattern,
+     * e.g. "aabab": each distinct letter becomes an address
+     * base + index(letter) * stride. Useful for expressing the paper's
+     * Section 3 patterns directly in tests.
+     *
+     * @param pattern sequence of letters 'a'..'z'.
+     * @param stride byte distance between letter addresses; by default
+     *        letters are exactly one 32KB cache apart so that all of
+     *        them conflict in any cache up to 32KB with <=32KB stride.
+     */
+    static Trace fromPattern(const std::string &pattern,
+                             Addr base = 0x10000,
+                             Addr stride = 32 * 1024);
+
+    /** Append one reference. */
+    void append(const MemRef &ref) { refs.push_back(ref); }
+
+    /** Append all references of @p other. */
+    void append(const Trace &other);
+
+    /** Pre-allocate capacity for @p n references. */
+    void reserve(std::size_t n) { refs.reserve(n); }
+
+    const std::string &name() const { return traceName; }
+    void setName(std::string trace_name) { traceName = std::move(trace_name); }
+
+    bool empty() const { return refs.empty(); }
+    std::size_t size() const { return refs.size(); }
+    const MemRef &operator[](std::size_t i) const { return refs[i]; }
+
+    std::vector<MemRef>::const_iterator begin() const { return refs.begin(); }
+    std::vector<MemRef>::const_iterator end() const { return refs.end(); }
+
+    const std::vector<MemRef> &records() const { return refs; }
+    std::vector<MemRef> &mutableRecords() { return refs; }
+
+    /** Compute composition statistics (O(n log n) for unique words). */
+    TraceSummary summarize() const;
+
+  private:
+    std::string traceName;
+    std::vector<MemRef> refs;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_TRACE_TRACE_H

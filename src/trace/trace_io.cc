@@ -1,0 +1,160 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+namespace dynex
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'D', 'X', 'T', '1'};
+constexpr std::size_t kRecordBytes = 10;
+
+void
+putU32(std::string &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+putU64(std::string &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t
+getUint(const unsigned char *p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+bool
+fail(std::string *error, const char *reason)
+{
+    if (error)
+        *error = reason;
+    return false;
+}
+
+} // namespace
+
+bool
+writeTrace(const Trace &trace, std::ostream &out)
+{
+    std::string header;
+    header.append(kMagic, sizeof(kMagic));
+    putU32(header, static_cast<std::uint32_t>(trace.name().size()));
+    header += trace.name();
+    putU64(header, trace.size());
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+    // Records are packed into a reusable buffer in chunks to avoid one
+    // write syscall per record.
+    std::string buf;
+    buf.reserve(kRecordBytes * 4096);
+    for (const auto &ref : trace) {
+        putU64(buf, ref.addr);
+        buf += static_cast<char>(ref.type);
+        buf += static_cast<char>(ref.size);
+        if (buf.size() >= kRecordBytes * 4096) {
+            out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+            buf.clear();
+        }
+    }
+    if (!buf.empty())
+        out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    return out && writeTrace(trace, out);
+}
+
+std::optional<Trace>
+readTrace(std::istream &in, std::string *error)
+{
+    char magic[4];
+    if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+        fail(error, "bad magic");
+        return std::nullopt;
+    }
+
+    unsigned char word[8];
+    if (!in.read(reinterpret_cast<char *>(word), 4)) {
+        fail(error, "truncated name length");
+        return std::nullopt;
+    }
+    const auto name_len = static_cast<std::size_t>(getUint(word, 4));
+    if (name_len > 1 << 20) {
+        fail(error, "implausible name length");
+        return std::nullopt;
+    }
+
+    std::string name(name_len, '\0');
+    if (name_len && !in.read(name.data(),
+                             static_cast<std::streamsize>(name_len))) {
+        fail(error, "truncated name");
+        return std::nullopt;
+    }
+
+    if (!in.read(reinterpret_cast<char *>(word), 8)) {
+        fail(error, "truncated record count");
+        return std::nullopt;
+    }
+    const std::uint64_t count = getUint(word, 8);
+
+    Trace trace(name);
+    trace.reserve(count);
+    std::vector<unsigned char> buf(kRecordBytes * 4096);
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t chunk =
+            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, 4096));
+        if (!in.read(reinterpret_cast<char *>(buf.data()),
+                     static_cast<std::streamsize>(chunk * kRecordBytes))) {
+            fail(error, "truncated records");
+            return std::nullopt;
+        }
+        for (std::size_t i = 0; i < chunk; ++i) {
+            const unsigned char *p = buf.data() + i * kRecordBytes;
+            MemRef ref;
+            ref.addr = getUint(p, 8);
+            const unsigned char type = p[8];
+            if (type > static_cast<unsigned char>(RefType::Store)) {
+                fail(error, "invalid reference type");
+                return std::nullopt;
+            }
+            ref.type = static_cast<RefType>(type);
+            ref.size = p[9];
+            trace.append(ref);
+        }
+        remaining -= chunk;
+    }
+    return trace;
+}
+
+std::optional<Trace>
+readTraceFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    return readTrace(in, error);
+}
+
+} // namespace dynex

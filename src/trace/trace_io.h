@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary trace file format ("DXT1"): a compact on-disk representation
+ * so generated workloads can be cached between runs and exchanged with
+ * external tools.
+ *
+ * Layout (little-endian):
+ *   magic       "DXT1"                       4 bytes
+ *   name_len    u32                          4 bytes
+ *   name        name_len bytes
+ *   count       u64                          8 bytes
+ *   records     count * { addr u64, type u8, size u8 }  (10 bytes each)
+ */
+
+#ifndef DYNEX_TRACE_TRACE_IO_H
+#define DYNEX_TRACE_TRACE_IO_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace dynex
+{
+
+/** Serialize @p trace to @p out. @return false on stream failure. */
+bool writeTrace(const Trace &trace, std::ostream &out);
+
+/** Serialize @p trace to @p path. @return false on I/O failure. */
+bool writeTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Deserialize a trace from @p in.
+ * @param error optional sink for a human-readable failure reason.
+ * @return the trace, or std::nullopt on malformed input.
+ */
+std::optional<Trace> readTrace(std::istream &in,
+                               std::string *error = nullptr);
+
+/** Deserialize a trace from @p path. */
+std::optional<Trace> readTraceFile(const std::string &path,
+                                   std::string *error = nullptr);
+
+} // namespace dynex
+
+#endif // DYNEX_TRACE_TRACE_IO_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Convenience constructors for program trees, plus a parameterized
+ * random call-tree generator used to synthesize benchmark-like
+ * programs with controllable loop structure and code footprint.
+ */
+
+#ifndef DYNEX_TRACEGEN_BUILDER_H
+#define DYNEX_TRACEGEN_BUILDER_H
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "tracegen/program.h"
+
+namespace dynex
+{
+
+/** Allocate a straight-line block of @p instrs instructions in
+ * @p program's code space. */
+NodePtr codeBlock(Program &program, std::uint32_t instrs);
+
+/** As above, with interleaved data references. */
+NodePtr codeBlock(Program &program, std::uint32_t instrs,
+                  DataPattern *data, double load_frac, double store_frac);
+
+/** Build a Sequence from any number of nodes. */
+template <typename... Nodes>
+NodePtr
+seq(Nodes &&...nodes)
+{
+    auto sequence = std::make_unique<Sequence>();
+    (sequence->add(std::forward<Nodes>(nodes)), ...);
+    return sequence;
+}
+
+/** Build a Loop with a fixed or ranged iteration count. */
+NodePtr loop(NodePtr body, std::uint32_t min_iter, std::uint32_t max_iter);
+NodePtr loop(NodePtr body, std::uint32_t iterations);
+
+/** Build a Call node. */
+NodePtr call(const Function *callee);
+
+/** Build an Alternative from (node, weight) pairs. */
+NodePtr alt(std::vector<std::pair<NodePtr, double>> branches);
+
+/**
+ * Shape parameters for makeCallTreeProgram. The generator builds a
+ * layered call DAG: each function's body is a sequence of code blocks,
+ * loops around them, and calls to functions in later layers; the entry
+ * function loops forever over the layer-0 "phase" functions. The
+ * resulting instruction streams exhibit the paper's three conflict
+ * patterns in proportions controlled by these knobs.
+ */
+struct CallTreeSpec
+{
+    std::uint32_t numFunctions = 100;
+    std::uint32_t layers = 4;          ///< call-DAG depth
+    std::uint32_t phaseRoots = 3;      ///< layer-0 functions per pass
+
+    std::uint32_t minBlockInstrs = 8;
+    std::uint32_t maxBlockInstrs = 40;
+    std::uint32_t minBlocksPerFunction = 2;
+    std::uint32_t maxBlocksPerFunction = 6;
+
+    double loopProbability = 0.6;      ///< chance a segment is looped
+    std::uint32_t minLoopIterations = 2;
+    std::uint32_t maxLoopIterations = 20;
+    /**
+     * Right-shift applied to the iteration range per layer of height
+     * above the leaves: the deepest layer loops with the full
+     * [minLoopIterations, maxLoopIterations] range, and each layer
+     * above it shifts the range down. This keeps whole-program pass
+     * lengths short (so phases recur within a trace) while leaf loops
+     * supply the hit mass, mirroring real loop-nest profiles.
+     */
+    std::uint32_t loopDepthShift = 1;
+
+    double callProbability = 0.5;      ///< chance a block issues a call
+    std::uint32_t callFanout = 3;      ///< (reserved) children per site
+    /**
+     * Fraction of call sites that are two-way excursion sites: they
+     * usually call their hot child but occasionally (with relative
+     * weight callSkew) take a random cold one. Excursions are the
+     * once-in-a-while conflicting code of the paper's loop-level
+     * pattern.
+     */
+    double excursionProbability = 0.3;
+    /** Relative weight of the cold branch at an excursion site. */
+    double callSkew = 0.25;
+
+    /**
+     * Fraction of leaf-parent loop complexes that receive a trailing
+     * block deliberately placed to alias the complex's first block in
+     * caches of size <= conflictModulo — the "unlucky placement" that
+     * creates the paper's conflict-within-a-loop pattern. 0 disables.
+     */
+    double selfConflictProbability = 0.3;
+    /** Cache-size horizon for engineered conflicts (see above). */
+    std::uint64_t conflictModulo = 32 * 1024;
+
+    /** Data attached to every block when a pattern is supplied. */
+    DataPattern *data = nullptr;
+    double loadFrac = 0.0;
+    double storeFrac = 0.0;
+};
+
+/**
+ * Generate a random layered call-tree program.
+ *
+ * @param program destination (functions/blocks are added to it).
+ * @param spec shape parameters.
+ * @param seed structure seed (independent of the execution seed).
+ * @return the entry function, already set as the program entry.
+ */
+Function *makeCallTreeProgram(Program &program, const CallTreeSpec &spec,
+                              std::uint64_t seed);
+
+} // namespace dynex
+
+#endif // DYNEX_TRACEGEN_BUILDER_H

@@ -1,0 +1,164 @@
+#include "tracegen/data_pattern.h"
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+SequentialPattern::SequentialPattern(Addr base, std::uint64_t length_bytes,
+                                     std::uint32_t stride)
+    : baseAddr(base), length(length_bytes), strideBytes(stride)
+{
+    DYNEX_ASSERT(length_bytes >= stride, "region shorter than stride");
+    DYNEX_ASSERT(stride > 0, "stride must be positive");
+}
+
+Addr
+SequentialPattern::next()
+{
+    const Addr addr = baseAddr + offset;
+    offset += strideBytes;
+    if (offset >= length)
+        offset = 0;
+    return addr;
+}
+
+RandomPattern::RandomPattern(Addr base, std::uint64_t length_bytes,
+                             std::uint64_t seed, std::uint32_t grain)
+    : baseAddr(base), words(length_bytes / grain), grainBytes(grain),
+      seedValue(seed), rng(seed)
+{
+    DYNEX_ASSERT(words > 0, "region must hold at least one word");
+}
+
+Addr
+RandomPattern::next()
+{
+    return baseAddr + rng.nextBelow(words) * grainBytes;
+}
+
+ZipfPattern::ZipfPattern(Addr base, std::uint64_t record_count,
+                         std::uint32_t record_bytes, double exponent,
+                         std::uint64_t seed)
+    : baseAddr(base), recordBytes(record_bytes), seedValue(seed),
+      expo(exponent), records(record_count),
+      sampler(seed, record_count, exponent), rng(seed ^ 0x5a5a)
+{
+    DYNEX_ASSERT(record_bytes >= 4, "records must hold at least a word");
+}
+
+Addr
+ZipfPattern::next()
+{
+    const std::uint64_t record = sampler.next();
+    const std::uint64_t word = rng.nextBelow(recordBytes / 4);
+    return baseAddr + record * recordBytes + word * 4;
+}
+
+void
+ZipfPattern::reset()
+{
+    sampler = ZipfSampler(seedValue, records, expo);
+    rng = Rng(seedValue ^ 0x5a5a);
+}
+
+PointerChasePattern::PointerChasePattern(Addr base, std::uint64_t nodes,
+                                         std::uint32_t node_bytes,
+                                         std::uint64_t seed)
+    : baseAddr(base), nodeBytes(node_bytes)
+{
+    DYNEX_ASSERT(nodes >= 2, "need at least two nodes to chase");
+    // Build a single-cycle permutation with a Sattolo shuffle so the
+    // walk visits every node before repeating.
+    std::vector<std::uint32_t> order(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    Rng rng(seed);
+    for (std::uint64_t i = nodes - 1; i >= 1; --i) {
+        const std::uint64_t j = rng.nextBelow(i);
+        std::swap(order[i], order[j]);
+    }
+    successor.resize(nodes);
+    for (std::uint64_t i = 0; i + 1 < nodes; ++i)
+        successor[order[i]] = order[i + 1];
+    successor[order[nodes - 1]] = order[0];
+}
+
+Addr
+PointerChasePattern::next()
+{
+    const Addr addr = baseAddr + current * nodeBytes;
+    current = successor[current];
+    return addr;
+}
+
+StackPattern::StackPattern(Addr base, std::uint64_t depth_bytes,
+                           std::uint32_t frame_bytes, std::uint64_t seed)
+    : baseAddr(base), depth(depth_bytes), frameBytes(frame_bytes),
+      seedValue(seed), rng(seed)
+{
+    DYNEX_ASSERT(frame_bytes >= 4 && frame_bytes <= depth_bytes,
+                 "frame size must fit the stack region");
+}
+
+void
+StackPattern::reset()
+{
+    rng = Rng(seedValue);
+    top = 0;
+    burstLeft = 0;
+    pushing = true;
+}
+
+Addr
+StackPattern::next()
+{
+    if (burstLeft == 0) {
+        // Start a new push or pop burst of roughly one frame.
+        pushing = !pushing || top == 0;
+        if (top + frameBytes >= depth)
+            pushing = false;
+        burstLeft =
+            static_cast<std::int32_t>(rng.nextRange(1, frameBytes / 4));
+    }
+    --burstLeft;
+    if (pushing) {
+        top += 4;
+    } else if (top > 0) {
+        top -= 4;
+    }
+    return baseAddr + top;
+}
+
+MixPattern::MixPattern(std::uint64_t seed) : seedValue(seed), rng(seed) {}
+
+void
+MixPattern::add(std::unique_ptr<DataPattern> pattern, double weight)
+{
+    DYNEX_ASSERT(weight > 0.0, "pattern weight must be positive");
+    const double prev = cumWeight.empty() ? 0.0 : cumWeight.back();
+    parts.push_back(std::move(pattern));
+    cumWeight.push_back(prev + weight);
+}
+
+Addr
+MixPattern::next()
+{
+    DYNEX_ASSERT(!parts.empty(), "mix pattern has no components");
+    const double pick = rng.nextDouble() * cumWeight.back();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (pick < cumWeight[i])
+            return parts[i]->next();
+    }
+    return parts.back()->next();
+}
+
+void
+MixPattern::reset()
+{
+    rng = Rng(seedValue);
+    for (auto &part : parts)
+        part->reset();
+}
+
+} // namespace dynex

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Data-access pattern generators: the per-benchmark building blocks
+ * for synthetic load/store streams (arrays, stacks, pointer chasing,
+ * skewed table lookups).
+ */
+
+#ifndef DYNEX_TRACEGEN_DATA_PATTERN_H
+#define DYNEX_TRACEGEN_DATA_PATTERN_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dynex
+{
+
+/**
+ * A stateful generator of data addresses. Patterns are deterministic
+ * given their construction parameters (any randomness uses an internal
+ * seeded Rng).
+ */
+class DataPattern
+{
+  public:
+    virtual ~DataPattern() = default;
+
+    /** @return the next data address of the stream. */
+    virtual Addr next() = 0;
+
+    /** Restart the stream from its initial state. */
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Repeated sequential (or strided) sweeps over a region — the FP-array
+ * streaming of tomcatv/mat300/nasa7.
+ */
+class SequentialPattern : public DataPattern
+{
+  public:
+    /**
+     * @param base region start address.
+     * @param length_bytes region length.
+     * @param stride bytes between consecutive accesses (wraps at the
+     *        region end).
+     */
+    SequentialPattern(Addr base, std::uint64_t length_bytes,
+                      std::uint32_t stride = 8);
+
+    Addr next() override;
+    void reset() override { offset = 0; }
+    std::string name() const override { return "sequential"; }
+
+  private:
+    Addr baseAddr;
+    std::uint64_t length;
+    std::uint32_t strideBytes;
+    std::uint64_t offset = 0;
+};
+
+/** Uniformly random word accesses within a region. */
+class RandomPattern : public DataPattern
+{
+  public:
+    RandomPattern(Addr base, std::uint64_t length_bytes,
+                  std::uint64_t seed, std::uint32_t grain = 8);
+
+    Addr next() override;
+    void reset() override { rng = Rng(seedValue); }
+    std::string name() const override { return "random"; }
+
+  private:
+    Addr baseAddr;
+    std::uint64_t words;
+    std::uint32_t grainBytes;
+    std::uint64_t seedValue;
+    Rng rng;
+};
+
+/**
+ * Zipf-skewed record accesses — symbol tables and device-model
+ * parameter blocks where a few records dominate.
+ */
+class ZipfPattern : public DataPattern
+{
+  public:
+    /**
+     * @param base region start.
+     * @param records number of records.
+     * @param record_bytes bytes per record (accesses hit a random word
+     *        inside the chosen record).
+     * @param exponent Zipf skew (~0.8-1.2 typical).
+     */
+    ZipfPattern(Addr base, std::uint64_t records,
+                std::uint32_t record_bytes, double exponent,
+                std::uint64_t seed);
+
+    Addr next() override;
+    void reset() override;
+    std::string name() const override { return "zipf"; }
+
+  private:
+    Addr baseAddr;
+    std::uint32_t recordBytes;
+    std::uint64_t seedValue;
+    double expo;
+    std::uint64_t records;
+    ZipfSampler sampler;
+    Rng rng;
+};
+
+/**
+ * Pointer chasing through a fixed pseudo-random permutation of nodes —
+ * the list/tree walking of li and gcc.
+ */
+class PointerChasePattern : public DataPattern
+{
+  public:
+    /**
+     * @param base region start.
+     * @param nodes node count.
+     * @param node_bytes bytes per node (the access touches the "next"
+     *        field at the node start).
+     */
+    PointerChasePattern(Addr base, std::uint64_t nodes,
+                        std::uint32_t node_bytes, std::uint64_t seed);
+
+    Addr next() override;
+    void reset() override { current = 0; }
+    std::string name() const override { return "pointer-chase"; }
+
+  private:
+    Addr baseAddr;
+    std::uint32_t nodeBytes;
+    std::vector<std::uint32_t> successor; ///< single-cycle permutation
+    std::uint64_t current = 0;
+};
+
+/**
+ * Stack traffic: bursts of pushes followed by matching pops around a
+ * slowly wandering frame pointer — call-stack locality.
+ */
+class StackPattern : public DataPattern
+{
+  public:
+    /**
+     * @param base stack region start.
+     * @param depth_bytes maximum stack excursion.
+     * @param frame_bytes typical frame size.
+     */
+    StackPattern(Addr base, std::uint64_t depth_bytes,
+                 std::uint32_t frame_bytes, std::uint64_t seed);
+
+    Addr next() override;
+    void reset() override;
+    std::string name() const override { return "stack"; }
+
+  private:
+    Addr baseAddr;
+    std::uint64_t depth;
+    std::uint32_t frameBytes;
+    std::uint64_t seedValue;
+    Rng rng;
+    std::uint64_t top = 0;     ///< current stack byte offset
+    std::int32_t burstLeft = 0;
+    bool pushing = true;
+};
+
+/** Weighted mixture of child patterns. */
+class MixPattern : public DataPattern
+{
+  public:
+    explicit MixPattern(std::uint64_t seed);
+
+    /** Add a component; ownership is taken. */
+    void add(std::unique_ptr<DataPattern> pattern, double weight);
+
+    Addr next() override;
+    void reset() override;
+    std::string name() const override { return "mix"; }
+
+  private:
+    std::vector<std::unique_ptr<DataPattern>> parts;
+    std::vector<double> cumWeight;
+    std::uint64_t seedValue;
+    Rng rng;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_TRACEGEN_DATA_PATTERN_H

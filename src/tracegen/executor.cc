@@ -1,0 +1,92 @@
+#include "tracegen/executor.h"
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+ExecContext::ExecContext(Trace &output, Count budget, std::uint64_t seed,
+                         std::uint32_t max_call_depth)
+    : out(&output), budgetRefs(budget), randomStream(seed),
+      maxCallDepth(max_call_depth)
+{
+}
+
+void
+ExecContext::emitInstr(Addr addr)
+{
+    if (done())
+        return;
+    out->append(ifetch(addr));
+    ++emitted;
+}
+
+void
+ExecContext::emitLoad(Addr addr)
+{
+    if (done())
+        return;
+    out->append(load(addr));
+    ++emitted;
+}
+
+void
+ExecContext::emitStore(Addr addr)
+{
+    if (done())
+        return;
+    out->append(store(addr));
+    ++emitted;
+}
+
+bool
+ExecContext::enterCall()
+{
+    if (callDepth >= maxCallDepth)
+        return false;
+    ++callDepth;
+    return true;
+}
+
+void
+ExecContext::leaveCall()
+{
+    DYNEX_ASSERT(callDepth > 0, "leaveCall without enterCall");
+    --callDepth;
+}
+
+Count
+measurePassLength(Program &program, std::uint64_t seed, Count cap)
+{
+    DYNEX_ASSERT(program.entryFunction() != nullptr,
+                 "program '", program.name(), "' has no entry function");
+    program.resetPatterns();
+    Trace scratch("pass");
+    ExecContext ctx(scratch, cap, seed);
+    program.entryFunction()->bodyNode()->execute(ctx);
+    return ctx.emittedCount();
+}
+
+Trace
+generateTrace(Program &program, Count num_refs, std::uint64_t seed)
+{
+    DYNEX_ASSERT(program.entryFunction() != nullptr,
+                 "program '", program.name(), "' has no entry function");
+    DYNEX_ASSERT(program.entryFunction()->bodyNode() != nullptr,
+                 "entry function has no body");
+
+    program.resetPatterns();
+    Trace trace(program.name());
+    trace.reserve(num_refs);
+    ExecContext ctx(trace, num_refs, seed);
+    while (!ctx.done()) {
+        const Count before = ctx.emittedCount();
+        program.entryFunction()->bodyNode()->execute(ctx);
+        DYNEX_ASSERT(ctx.emittedCount() > before,
+                     "program '", program.name(),
+                     "' emitted nothing in a whole pass");
+    }
+    return trace;
+}
+
+} // namespace dynex

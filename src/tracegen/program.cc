@@ -1,0 +1,194 @@
+#include "tracegen/program.h"
+
+#include "tracegen/executor.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace dynex
+{
+
+CodeBlock::CodeBlock(Addr start_addr, std::uint32_t num_instrs)
+    : start(start_addr), numInstrs(num_instrs)
+{
+    DYNEX_ASSERT(num_instrs > 0, "empty code block");
+    DYNEX_ASSERT((start_addr & 3) == 0, "code must be 4-byte aligned");
+}
+
+void
+CodeBlock::attachData(DataPattern *pattern, double load_frac,
+                      double store_frac)
+{
+    DYNEX_ASSERT(pattern != nullptr, "null data pattern");
+    DYNEX_ASSERT(load_frac >= 0.0 && store_frac >= 0.0 &&
+                 load_frac + store_frac <= 2.0,
+                 "implausible data fractions");
+    data = pattern;
+    loadFrac = load_frac;
+    storeFrac = store_frac;
+}
+
+void
+CodeBlock::execute(ExecContext &ctx) const
+{
+    for (std::uint32_t i = 0; i < numInstrs; ++i) {
+        if (ctx.done())
+            return;
+        ctx.emitInstr(start + Addr{4} * i);
+        if (data == nullptr)
+            continue;
+        if (loadFrac > 0.0 && ctx.rng().nextBool(loadFrac))
+            ctx.emitLoad(data->next());
+        if (storeFrac > 0.0 && ctx.rng().nextBool(storeFrac))
+            ctx.emitStore(data->next());
+    }
+}
+
+ProgNode *
+Sequence::add(NodePtr child)
+{
+    DYNEX_ASSERT(child != nullptr, "null child");
+    children.push_back(std::move(child));
+    return children.back().get();
+}
+
+void
+Sequence::execute(ExecContext &ctx) const
+{
+    for (const auto &child : children) {
+        if (ctx.done())
+            return;
+        child->execute(ctx);
+    }
+}
+
+Loop::Loop(NodePtr loop_body, std::uint32_t min_iterations,
+           std::uint32_t max_iterations)
+    : body(std::move(loop_body)), minIterations(min_iterations),
+      maxIterations(max_iterations)
+{
+    DYNEX_ASSERT(body != nullptr, "loop without body");
+    DYNEX_ASSERT(min_iterations >= 1 && min_iterations <= max_iterations,
+                 "bad iteration range [", min_iterations, ", ",
+                 max_iterations, "]");
+}
+
+void
+Loop::execute(ExecContext &ctx) const
+{
+    const auto iterations = static_cast<std::uint32_t>(
+        ctx.rng().nextRange(minIterations, maxIterations));
+    for (std::uint32_t i = 0; i < iterations; ++i) {
+        if (ctx.done())
+            return;
+        body->execute(ctx);
+    }
+}
+
+ProgNode *
+Alternative::add(NodePtr child, double weight)
+{
+    DYNEX_ASSERT(child != nullptr, "null branch");
+    DYNEX_ASSERT(weight > 0.0, "branch weight must be positive");
+    const double prev = cumWeight.empty() ? 0.0 : cumWeight.back();
+    children.push_back(std::move(child));
+    cumWeight.push_back(prev + weight);
+    return children.back().get();
+}
+
+void
+Alternative::execute(ExecContext &ctx) const
+{
+    DYNEX_ASSERT(!children.empty(), "alternative with no branches");
+    if (ctx.done())
+        return;
+    const double pick = ctx.rng().nextDouble() * cumWeight.back();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (pick < cumWeight[i]) {
+            children[i]->execute(ctx);
+            return;
+        }
+    }
+    children.back()->execute(ctx);
+}
+
+Call::Call(const Function *callee_function) : callee(callee_function)
+{
+    DYNEX_ASSERT(callee != nullptr, "call to null function");
+}
+
+void
+Call::execute(ExecContext &ctx) const
+{
+    if (ctx.done() || !ctx.enterCall())
+        return;
+    DYNEX_ASSERT(callee->bodyNode() != nullptr, "call to bodiless "
+                 "function '", callee->name(), "'");
+    callee->bodyNode()->execute(ctx);
+    ctx.leaveCall();
+}
+
+Program::Program(std::string program_name, Addr code_base)
+    : progName(std::move(program_name)), codeBase(code_base),
+      nextCode(code_base)
+{
+}
+
+Function *
+Program::addFunction(const std::string &function_name)
+{
+    functions.push_back(std::make_unique<Function>(function_name));
+    return functions.back().get();
+}
+
+DataPattern *
+Program::addPattern(std::unique_ptr<DataPattern> pattern)
+{
+    DYNEX_ASSERT(pattern != nullptr, "null pattern");
+    patterns.push_back(std::move(pattern));
+    return patterns.back().get();
+}
+
+Addr
+Program::allocateCode(std::uint32_t instr_count)
+{
+    const std::uint64_t bytes = std::uint64_t{4} * instr_count;
+    // First-fit into holes left by aliasing allocations, so
+    // engineered placements do not inflate the code footprint or
+    // perturb the density of ordinary code.
+    for (auto &gap : gaps) {
+        if (gap.size >= bytes) {
+            const Addr start = gap.start;
+            gap.start += bytes;
+            gap.size -= bytes;
+            return start;
+        }
+    }
+    const Addr start = nextCode;
+    nextCode += bytes;
+    return start;
+}
+
+Addr
+Program::allocateCodeAliasing(Addr target, std::uint32_t instr_count,
+                              std::uint64_t modulo)
+{
+    DYNEX_ASSERT(isPowerOfTwo(modulo), "alias modulo must be a power "
+                 "of two, got ", modulo);
+    const Addr want = target & (modulo - 1);
+    Addr start = (nextCode & ~(modulo - 1)) | want;
+    if (start < nextCode)
+        start += modulo;
+    if (start > nextCode)
+        gaps.push_back({nextCode, start - nextCode});
+    nextCode = start + Addr{4} * instr_count;
+    return start;
+}
+
+void
+Program::resetPatterns()
+{
+    for (auto &pattern : patterns)
+        pattern->reset();
+}
+
+} // namespace dynex

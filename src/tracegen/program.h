@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The synthetic program model: a structured tree of code blocks,
+ * loops, weighted alternatives, and calls, laid out in a simulated
+ * code address space. Executing the tree yields instruction (and
+ * optionally data) reference streams with the loop-induced conflict
+ * patterns the paper's Section 3 analyzes.
+ */
+
+#ifndef DYNEX_TRACEGEN_PROGRAM_H
+#define DYNEX_TRACEGEN_PROGRAM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tracegen/data_pattern.h"
+#include "util/types.h"
+
+namespace dynex
+{
+
+class ExecContext;
+class Function;
+
+/** Base of all program-tree nodes. */
+class ProgNode
+{
+  public:
+    virtual ~ProgNode() = default;
+    /** Emit this node's references into @p ctx (returns early when the
+     * context's budget is exhausted). */
+    virtual void execute(ExecContext &ctx) const = 0;
+};
+
+using NodePtr = std::unique_ptr<ProgNode>;
+
+/**
+ * Straight-line code: @p numInstrs 4-byte instructions starting at a
+ * fixed address, optionally interleaving data references drawn from an
+ * attached pattern.
+ */
+class CodeBlock : public ProgNode
+{
+  public:
+    CodeBlock(Addr start_addr, std::uint32_t num_instrs);
+
+    /**
+     * Interleave data references.
+     * @param pattern address source (owned by the Program).
+     * @param load_frac probability an instruction issues a load.
+     * @param store_frac probability an instruction issues a store.
+     */
+    void attachData(DataPattern *pattern, double load_frac,
+                    double store_frac);
+
+    void execute(ExecContext &ctx) const override;
+
+    Addr startAddr() const { return start; }
+    std::uint32_t instrCount() const { return numInstrs; }
+
+  private:
+    Addr start;
+    std::uint32_t numInstrs;
+    DataPattern *data = nullptr;
+    double loadFrac = 0.0;
+    double storeFrac = 0.0;
+};
+
+/** Executes its children in order. */
+class Sequence : public ProgNode
+{
+  public:
+    /** Append a child; ownership is taken. @return the child. */
+    ProgNode *add(NodePtr child);
+
+    void execute(ExecContext &ctx) const override;
+
+    std::size_t childCount() const { return children.size(); }
+
+  private:
+    std::vector<NodePtr> children;
+};
+
+/**
+ * Repeats its body a number of times chosen uniformly in
+ * [minIterations, maxIterations] on each loop entry.
+ */
+class Loop : public ProgNode
+{
+  public:
+    Loop(NodePtr loop_body, std::uint32_t min_iterations,
+         std::uint32_t max_iterations);
+
+    void execute(ExecContext &ctx) const override;
+
+  private:
+    NodePtr body;
+    std::uint32_t minIterations;
+    std::uint32_t maxIterations;
+};
+
+/** Executes exactly one child per visit, chosen by weight — models
+ * data-dependent branching and interpreter-style dispatch. */
+class Alternative : public ProgNode
+{
+  public:
+    /** Add a branch with selection @p weight; ownership is taken. */
+    ProgNode *add(NodePtr child, double weight);
+
+    void execute(ExecContext &ctx) const override;
+
+  private:
+    std::vector<NodePtr> children;
+    std::vector<double> cumWeight;
+};
+
+/** Transfers control to another function's body (bounded recursion). */
+class Call : public ProgNode
+{
+  public:
+    explicit Call(const Function *callee_function);
+
+    void execute(ExecContext &ctx) const override;
+
+  private:
+    const Function *callee;
+};
+
+/**
+ * A named function: a body subtree placed in the program's code space.
+ * The body is typically a Sequence beginning with the entry CodeBlock.
+ */
+class Function
+{
+  public:
+    explicit Function(std::string function_name)
+        : funcName(std::move(function_name))
+    {}
+
+    void setBody(NodePtr function_body) { body = std::move(function_body); }
+    const ProgNode *bodyNode() const { return body.get(); }
+
+    const std::string &name() const { return funcName; }
+
+  private:
+    std::string funcName;
+    NodePtr body;
+};
+
+/**
+ * A whole synthetic program: owns its functions and data patterns and
+ * allocates the code address space with a bump allocator.
+ */
+class Program
+{
+  public:
+    /** @param code_base start of the code segment. */
+    explicit Program(std::string program_name, Addr code_base = 0x0040'0000);
+
+    /** Create a function; the program retains ownership. */
+    Function *addFunction(const std::string &function_name);
+
+    /** Register a data pattern; the program retains ownership. */
+    DataPattern *addPattern(std::unique_ptr<DataPattern> pattern);
+
+    /**
+     * Reserve @p instr_count instructions of code space (plus an
+     * optional alignment gap) and return its start address.
+     */
+    Addr allocateCode(std::uint32_t instr_count);
+
+    /**
+     * Reserve code placed so that it conflicts with @p target in any
+     * direct-mapped cache of size up to @p modulo: the returned start
+     * address is the first address >= the allocation cursor congruent
+     * to @p target (mod @p modulo). Models the unlucky placements
+     * (linker accidents) that make two routines share cache lines —
+     * the conflicts the paper's mechanism exists to absorb.
+     */
+    Addr allocateCodeAliasing(Addr target, std::uint32_t instr_count,
+                              std::uint64_t modulo);
+
+    /** Designate the top-level function executed by the generator. */
+    void setEntry(Function *entry_function) { entry = entry_function; }
+    const Function *entryFunction() const { return entry; }
+
+    const std::string &name() const { return progName; }
+
+    /** Total code bytes allocated so far (the code footprint). */
+    std::uint64_t codeFootprint() const { return nextCode - codeBase; }
+
+    /** Reset every owned data pattern to its initial state. */
+    void resetPatterns();
+
+  private:
+    /** A hole left behind by an aliasing allocation, reusable by
+     * later plain allocations. */
+    struct Gap
+    {
+        Addr start;
+        std::uint64_t size;
+    };
+
+    std::string progName;
+    Addr codeBase;
+    Addr nextCode;
+    Function *entry = nullptr;
+    std::vector<std::unique_ptr<Function>> functions;
+    std::vector<std::unique_ptr<DataPattern>> patterns;
+    std::vector<Gap> gaps;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_TRACEGEN_PROGRAM_H

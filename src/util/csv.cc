@@ -1,0 +1,34 @@
+#include "util/csv.h"
+
+namespace dynex
+{
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quote =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            *sink << ',';
+        *sink << escape(cells[i]);
+    }
+    *sink << '\n';
+}
+
+} // namespace dynex

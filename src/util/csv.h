@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV emission (RFC 4180 quoting) for machine-readable bench
+ * output alongside the human-readable tables.
+ */
+
+#ifndef DYNEX_UTIL_CSV_H
+#define DYNEX_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dynex
+{
+
+/**
+ * Streams rows of cells to an std::ostream as CSV, quoting cells that
+ * contain commas, quotes, or newlines.
+ */
+class CsvWriter
+{
+  public:
+    /** @param out sink; must outlive the writer. */
+    explicit CsvWriter(std::ostream &out) : sink(&out) {}
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Quote a single cell per RFC 4180 if needed. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream *sink;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_CSV_H

@@ -1,0 +1,58 @@
+#include "util/histogram.h"
+
+#include <sstream>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace dynex
+{
+
+void
+Log2Histogram::add(std::uint64_t value, Count weight)
+{
+    const std::size_t index = value == 0 ? 0 : floorLog2(value);
+    if (index >= buckets.size())
+        buckets.resize(index + 1, 0);
+    buckets[index] += weight;
+    totalWeight += weight;
+}
+
+Count
+Log2Histogram::bucket(std::size_t index) const
+{
+    return index < buckets.size() ? buckets[index] : 0;
+}
+
+std::uint64_t
+Log2Histogram::quantileUpperBound(double q) const
+{
+    DYNEX_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    if (totalWeight == 0)
+        return 0;
+    const auto target =
+        static_cast<Count>(q * static_cast<double>(totalWeight));
+    Count seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= target)
+            return (std::uint64_t{1} << (i + 1)) - 1;
+    }
+    return (std::uint64_t{1} << buckets.size()) - 1;
+}
+
+std::string
+Log2Histogram::toString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        const std::uint64_t lo = i == 0 ? 0 : (std::uint64_t{1} << i);
+        const std::uint64_t hi = (std::uint64_t{1} << (i + 1)) - 1;
+        oss << "[" << lo << ", " << hi << "]: " << buckets[i] << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace dynex

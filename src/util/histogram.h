@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fixed-bucket and log2-bucket histograms for reference-distance and
+ * conflict-depth analyses.
+ */
+
+#ifndef DYNEX_UTIL_HISTOGRAM_H
+#define DYNEX_UTIL_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dynex
+{
+
+/**
+ * Histogram over power-of-two buckets: bucket i counts samples in
+ * [2^i, 2^(i+1)), with bucket 0 also holding the value 0.
+ */
+class Log2Histogram
+{
+  public:
+    /** Add one sample. */
+    void add(std::uint64_t value, Count weight = 1);
+
+    /** Number of non-empty buckets (index of highest + 1). */
+    std::size_t bucketCount() const { return buckets.size(); }
+
+    /** Count in bucket @p index (0 if beyond the populated range). */
+    Count bucket(std::size_t index) const;
+
+    /** Total weight of all samples. */
+    Count total() const { return totalWeight; }
+
+    /** Smallest value v such that at least fraction @p q of weight <= v
+     * bucket upper bound; a coarse quantile on bucket boundaries. */
+    std::uint64_t quantileUpperBound(double q) const;
+
+    /** Render as "bucket-range: count" lines. */
+    std::string toString() const;
+
+  private:
+    std::vector<Count> buckets;
+    Count totalWeight = 0;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_HISTOGRAM_H

@@ -1,0 +1,156 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : state)
+        word = sm.next();
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    DYNEX_ASSERT(bound > 0, "nextBelow bound must be positive");
+    // Lemire's nearly-divisionless unbiased bounded sampling.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    DYNEX_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    DYNEX_ASSERT(p > 0.0 && p <= 1.0, "geometric p must be in (0,1]");
+    if (p >= 1.0)
+        return 1;
+    const double u = nextDouble();
+    const double trials = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+    return trials < 1.0 ? 1 : static_cast<std::uint64_t>(trials);
+}
+
+Rng
+Rng::fork(std::uint64_t salt)
+{
+    return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ull));
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t rng_seed, std::uint64_t n, double s)
+    : rng(rng_seed), numItems(n), expo(s)
+{
+    DYNEX_ASSERT(n > 0, "zipf needs at least one item");
+    DYNEX_ASSERT(s >= 0.0, "zipf exponent must be non-negative");
+    sValue = s;
+    hIntegralX1 = hIntegral(1.5) - 1.0;
+    hIntegralNumItems = hIntegral(static_cast<double>(numItems) + 0.5);
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double log_x = std::log(x);
+    // Integral of x^(-s): uses expm1/log1p-stable helper around s == 1.
+    const double t = log_x * (1.0 - sValue);
+    const double helper =
+        std::abs(t) > 1e-8 ? std::expm1(t) / t : 1.0 + t / 2.0 + t * t / 6.0;
+    return helper * log_x;
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - sValue);
+    if (t < -1.0)
+        t = -1.0;
+    const double helper =
+        std::abs(t) > 1e-8 ? std::log1p(t) / t : 1.0 - t / 2.0 + t * t / 3.0;
+    return std::exp(helper * x);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-sValue * std::log(x));
+}
+
+std::uint64_t
+ZipfSampler::next()
+{
+    while (true) {
+        const double u = hIntegralNumItems +
+            rng.nextDouble() * (hIntegralX1 - hIntegralNumItems);
+        const double x = hIntegralInverse(u);
+        double k = std::floor(x + 0.5);
+        if (k < 1.0)
+            k = 1.0;
+        else if (k > static_cast<double>(numItems))
+            k = static_cast<double>(numItems);
+        if (k - x <= 0.5 || u >= hIntegral(k + 0.5) - h(k)) {
+            return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+}
+
+} // namespace dynex

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All trace generators in this library derive their randomness from
+ * these generators so that every benchmark, test and example is exactly
+ * reproducible across runs and platforms. std::mt19937 is deliberately
+ * avoided: its distributions are not specified bit-exactly across
+ * standard library implementations.
+ */
+
+#ifndef DYNEX_UTIL_RNG_H
+#define DYNEX_UTIL_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace dynex
+{
+
+/**
+ * SplitMix64: a tiny, fast 64-bit generator, used mainly to seed
+ * Xoshiro256StarStar and to derive independent child seeds.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** @return the next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** by Blackman & Vigna: the library's workhorse generator.
+ * Fast, high quality, and with a tiny state that is cheap to fork.
+ */
+class Rng
+{
+  public:
+    /** Construct from a single seed, expanded with SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x1992'0519'0032'0001ull);
+
+    /** @return the next 64 pseudo-random bits. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound) with bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * @return a geometrically distributed trial count >= 1 with success
+     * probability @p p in (0, 1]; i.e. the number of Bernoulli(p) trials
+     * up to and including the first success.
+     */
+    std::uint64_t nextGeometric(double p);
+
+    /**
+     * Fork an independent child generator. The child's stream is a
+     * deterministic function of this generator's current state and the
+     * @p salt, so distinct salts give uncorrelated streams.
+     */
+    Rng fork(std::uint64_t salt);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n), with exponent @p s.
+ * Uses the rejection-inversion method of Hormann & Derflinger, which
+ * needs O(1) time and no O(n) table.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param rng_seed seed for the private generator.
+     * @param n number of items (ranks 0..n-1, rank 0 most popular).
+     * @param s exponent; s = 0 is uniform, larger s is more skewed.
+     */
+    ZipfSampler(std::uint64_t rng_seed, std::uint64_t n, double s);
+
+    /** @return a sampled rank in [0, n). */
+    std::uint64_t next();
+
+    std::uint64_t itemCount() const { return numItems; }
+    double exponent() const { return expo; }
+
+  private:
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+    double h(double x) const;
+
+    Rng rng;
+    std::uint64_t numItems;
+    double expo;
+    double hIntegralX1;
+    double hIntegralNumItems;
+    double sValue;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_RNG_H

@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace dynex
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    if (x < lo)
+        lo = x;
+    if (x > hi)
+        hi = x;
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mu - mu;
+    const auto total_n = static_cast<double>(n + other.n);
+    m2 += other.m2 +
+        delta * delta * static_cast<double>(n) *
+            static_cast<double>(other.n) / total_n;
+    mu += delta * static_cast<double>(other.n) / total_n;
+    total += other.total;
+    n += other.n;
+    if (other.lo < lo)
+        lo = other.lo;
+    if (other.hi > hi)
+        hi = other.hi;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    return n ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentReduction(double baseline, double candidate)
+{
+    if (baseline == 0.0)
+        return 0.0;
+    return 100.0 * (baseline - candidate) / baseline;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace dynex

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Small statistics accumulators used by cache models and benches.
+ */
+
+#ifndef DYNEX_UTIL_STATS_H
+#define DYNEX_UTIL_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dynex
+{
+
+/**
+ * Streaming mean / variance / min / max accumulator (Welford's
+ * algorithm, numerically stable in one pass).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Remove all observations. */
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    std::uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double total = 0.0;
+};
+
+/** A hits-out-of-total ratio with convenience percentage accessors. */
+class Ratio
+{
+  public:
+    Ratio() = default;
+    Ratio(Count numerator, Count denominator)
+        : num(numerator), den(denominator)
+    {}
+
+    void addNumerator(Count k = 1) { num += k; }
+    void addDenominator(Count k = 1) { den += k; }
+
+    Count numerator() const { return num; }
+    Count denominator() const { return den; }
+
+    /** @return num/den, or 0 if the denominator is zero. */
+    double value() const { return den ? static_cast<double>(num) / den : 0.0; }
+    /** @return the ratio expressed in percent. */
+    double percent() const { return 100.0 * value(); }
+
+  private:
+    Count num = 0;
+    Count den = 0;
+};
+
+/**
+ * Relative improvement of @p candidate over @p baseline, in percent.
+ * Positive means the candidate is lower (better, for miss rates).
+ * @return 0 when the baseline is zero.
+ */
+double percentReduction(double baseline, double candidate);
+
+/** Arithmetic mean of a vector; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of a vector of positive values; 0 for an empty vector. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_STATS_H

@@ -1,0 +1,115 @@
+#include "util/string_utils.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace dynex
+{
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    static constexpr const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    std::uint64_t value = bytes;
+    std::size_t unit = 0;
+    while (unit + 1 < std::size(units) && value >= 1024 &&
+           value % 1024 == 0) {
+        value /= 1024;
+        ++unit;
+    }
+    std::ostringstream oss;
+    oss << value << units[unit];
+    return oss.str();
+}
+
+std::optional<std::uint64_t>
+parseSize(const std::string &text)
+{
+    const std::string s = trim(text);
+    if (s.empty())
+        return std::nullopt;
+
+    std::size_t pos = 0;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos])))
+        ++pos;
+    if (pos == 0)
+        return std::nullopt;
+
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < pos; ++i) {
+        const auto digit = static_cast<std::uint64_t>(s[i] - '0');
+        if (value > (~std::uint64_t{0} - digit) / 10)
+            return std::nullopt; // overflow
+        value = value * 10 + digit;
+    }
+
+    std::string suffix;
+    for (std::size_t i = pos; i < s.size(); ++i)
+        suffix += static_cast<char>(
+            std::toupper(static_cast<unsigned char>(s[i])));
+
+    std::uint64_t scale = 1;
+    if (suffix.empty() || suffix == "B")
+        scale = 1;
+    else if (suffix == "K" || suffix == "KB")
+        scale = 1024;
+    else if (suffix == "M" || suffix == "MB")
+        scale = 1024ull * 1024;
+    else if (suffix == "G" || suffix == "GB")
+        scale = 1024ull * 1024 * 1024;
+    else
+        return std::nullopt;
+
+    if (scale != 1 && value > ~std::uint64_t{0} / scale)
+        return std::nullopt;
+    return value * scale;
+}
+
+std::vector<std::string>
+split(const std::string &text, char delimiter)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char ch : text) {
+        if (ch == delimiter) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    if (!current.empty() || !parts.empty())
+        parts.push_back(current);
+    if (!parts.empty() && parts.back().empty())
+        parts.pop_back();
+    return parts;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+} // namespace dynex

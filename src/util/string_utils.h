@@ -1,0 +1,41 @@
+/**
+ * @file
+ * String helpers: byte-size formatting ("32KB") and parsing, used by
+ * experiment configs and reports.
+ */
+
+#ifndef DYNEX_UTIL_STRING_UTILS_H
+#define DYNEX_UTIL_STRING_UTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynex
+{
+
+/**
+ * Format a byte count compactly: exact powers scale to "512B", "32KB",
+ * "2MB"; non-multiples fall back to plain bytes.
+ */
+std::string formatSize(std::uint64_t bytes);
+
+/**
+ * Parse sizes like "512", "512B", "32KB", "32kb", "2MB".
+ * @return std::nullopt on malformed input.
+ */
+std::optional<std::uint64_t> parseSize(const std::string &text);
+
+/** Split @p text on @p delimiter (no empty trailing element). */
+std::vector<std::string> split(const std::string &text, char delimiter);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Case-insensitive ASCII string equality. */
+bool iequals(const std::string &a, const std::string &b);
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_STRING_UTILS_H

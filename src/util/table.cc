@@ -1,0 +1,137 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dynex
+{
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    DYNEX_ASSERT(rows.empty(), "header must be set before rows");
+    header = std::move(names);
+}
+
+void
+Table::setAlignment(std::vector<Align> alignment)
+{
+    aligns = std::move(alignment);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    DYNEX_ASSERT(cells.size() == header.size(),
+                 "row width ", cells.size(), " != header width ",
+                 header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::vector<std::size_t>
+Table::columnWidths() const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    return widths;
+}
+
+Table::Align
+Table::alignOf(std::size_t column) const
+{
+    if (column < aligns.size())
+        return aligns[column];
+    return column == 0 ? Align::Left : Align::Right;
+}
+
+namespace
+{
+
+void
+appendCell(std::ostringstream &oss, const std::string &cell,
+           std::size_t width, Table::Align align)
+{
+    const std::size_t pad = width > cell.size() ? width - cell.size() : 0;
+    if (align == Table::Align::Right)
+        oss << std::string(pad, ' ') << cell;
+    else
+        oss << cell << std::string(pad, ' ');
+}
+
+} // namespace
+
+std::string
+Table::toText() const
+{
+    const auto widths = columnWidths();
+    std::ostringstream oss;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        if (c)
+            oss << "  ";
+        appendCell(oss, header[c], widths[c], alignOf(c));
+    }
+    oss << "\n";
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        if (c)
+            oss << "  ";
+        oss << std::string(widths[c], '-');
+    }
+    oss << "\n";
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                oss << "  ";
+            appendCell(oss, row[c], widths[c], alignOf(c));
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+Table::toMarkdown() const
+{
+    const auto widths = columnWidths();
+    std::ostringstream oss;
+    oss << "|";
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        oss << " ";
+        appendCell(oss, header[c], widths[c], alignOf(c));
+        oss << " |";
+    }
+    oss << "\n|";
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        const bool right = alignOf(c) == Align::Right;
+        oss << (right ? " " : " :") << std::string(widths[c], '-')
+            << (right ? ": |" : " |");
+    }
+    oss << "\n";
+    for (const auto &row : rows) {
+        oss << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << " ";
+            appendCell(oss, row[c], widths[c], alignOf(c));
+            oss << " |";
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace dynex

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A small column-aligned table renderer used by the experiment harness
+ * to print figure/table rows in a readable fixed-width layout.
+ */
+
+#ifndef DYNEX_UTIL_TABLE_H
+#define DYNEX_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dynex
+{
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns, either as plain text or GitHub-flavored markdown.
+ */
+class Table
+{
+  public:
+    enum class Align { Left, Right };
+
+    /** Define the header row. Must be called before adding rows. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Set per-column alignment; default is Left for column 0, Right
+     * for the rest (the usual label-then-numbers layout). */
+    void setAlignment(std::vector<Align> alignment);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with @p precision decimals. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Render as plain text with two-space gutters. */
+    std::string toText() const;
+
+    /** Render as a markdown table. */
+    std::string toMarkdown() const;
+
+    std::size_t rowCount() const { return rows.size(); }
+    std::size_t columnCount() const { return header.size(); }
+
+    const std::vector<std::string> &headerRow() const { return header; }
+    const std::vector<std::vector<std::string>> &dataRows() const
+    {
+        return rows;
+    }
+
+  private:
+    std::vector<std::size_t> columnWidths() const;
+    Align alignOf(std::size_t column) const;
+
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<Align> aligns;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_TABLE_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout the library.
+ */
+
+#ifndef DYNEX_UTIL_TYPES_H
+#define DYNEX_UTIL_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dynex
+{
+
+/** A byte address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** A count of references, misses, cycles, etc. */
+using Count = std::uint64_t;
+
+/** A trace position (index of a reference within a trace). */
+using Tick = std::uint64_t;
+
+/** Sentinel meaning "no future reference" in next-use computations. */
+inline constexpr Tick kTickInfinity = ~Tick{0};
+
+/** Sentinel for an invalid / absent address. */
+inline constexpr Addr kAddrInvalid = ~Addr{0};
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_TYPES_H

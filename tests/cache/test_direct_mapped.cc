@@ -1,0 +1,105 @@
+/** @file Unit tests of the conventional direct-mapped cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/direct_mapped.h"
+#include "util/rng.h"
+#include "../test_helpers.h"
+
+namespace dynex
+{
+namespace
+{
+
+using test::missCount;
+using test::replayPattern;
+
+TEST(DirectMapped, ColdMissThenHit)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(64, 4));
+    EXPECT_FALSE(cache.access(ifetch(0x100), 0).hit);
+    EXPECT_TRUE(cache.access(ifetch(0x100), 1).hit);
+    EXPECT_EQ(cache.stats().coldMisses, 1u);
+}
+
+TEST(DirectMapped, SameLineDifferentWordHits)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(256, 16));
+    EXPECT_FALSE(cache.access(ifetch(0x100), 0).hit);
+    EXPECT_TRUE(cache.access(ifetch(0x104), 1).hit);
+    EXPECT_TRUE(cache.access(ifetch(0x10c), 2).hit);
+}
+
+TEST(DirectMapped, ConflictingBlocksThrash)
+{
+    // Two blocks one cache-size apart always evict each other.
+    DirectMappedCache cache(CacheGeometry::directMapped(64, 4));
+    const auto outcome = replayPattern(cache, "ababab", 64);
+    EXPECT_EQ(outcome, "mmmmmm");
+    EXPECT_EQ(cache.stats().evictions, 5u)
+        << "every miss after the cold fill displaces the other block";
+}
+
+TEST(DirectMapped, AlwaysAllocatesOnMiss)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(64, 4));
+    const auto outcome = cache.access(ifetch(0x0), 0);
+    EXPECT_TRUE(outcome.filled);
+    EXPECT_FALSE(outcome.bypassed);
+    EXPECT_EQ(cache.stats().fills, 1u);
+    EXPECT_EQ(cache.stats().bypasses, 0u);
+}
+
+TEST(DirectMapped, VictimBlockReported)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(64, 4));
+    cache.access(ifetch(0x100), 0);
+    const auto outcome = cache.access(ifetch(0x100 + 64), 1);
+    EXPECT_TRUE(outcome.evicted);
+    EXPECT_EQ(outcome.victimBlock, 0x100u / 4);
+}
+
+TEST(DirectMapped, ContainsTracksResidency)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(64, 4));
+    cache.access(ifetch(0x100), 0);
+    EXPECT_TRUE(cache.contains(0x100));
+    EXPECT_FALSE(cache.contains(0x100 + 64));
+    cache.access(ifetch(0x100 + 64), 1);
+    EXPECT_FALSE(cache.contains(0x100));
+    EXPECT_TRUE(cache.contains(0x100 + 64));
+}
+
+TEST(DirectMapped, ResetRestoresColdState)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(64, 4));
+    cache.access(ifetch(0x100), 0);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_FALSE(cache.contains(0x100));
+    EXPECT_FALSE(cache.access(ifetch(0x100), 0).hit);
+}
+
+TEST(DirectMapped, StatsInvariantHoldsOnRandomTraffic)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(256, 16));
+    Rng rng(7);
+    for (Tick i = 0; i < 5000; ++i)
+        cache.access(load(rng.nextBelow(8192)), i);
+    const auto &s = cache.stats();
+    EXPECT_EQ(s.accesses, 5000u);
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_EQ(s.fills, s.misses) << "direct-mapped always allocates";
+    EXPECT_EQ(s.bypasses, 0u);
+    EXPECT_EQ(s.evictions + s.coldMisses, s.misses);
+}
+
+TEST(DirectMappedDeathTest, RejectsMultiWayGeometry)
+{
+    EXPECT_DEATH(DirectMappedCache cache(
+                     CacheGeometry::setAssociative(256, 16, 2)),
+                 "ways == 1");
+}
+
+} // namespace
+} // namespace dynex

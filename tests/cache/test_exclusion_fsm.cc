@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests of the dynamic-exclusion FSM transition function against
+ * the transition table reconstructed from Figure 1 of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/exclusion_fsm.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(ExclusionFsm, ColdFillAllocatesAndSetsHitLast)
+{
+    ExclusionLine line;
+    const FsmStep step = exclusionStep(line, 0x42, /*hit_last_x=*/false);
+
+    EXPECT_EQ(step.event, FsmEvent::ColdFill);
+    EXPECT_FALSE(step.hit);
+    EXPECT_TRUE(step.allocated);
+    ASSERT_TRUE(step.newHitLast.has_value());
+    EXPECT_TRUE(*step.newHitLast);
+    EXPECT_FALSE(step.evicted);
+
+    EXPECT_TRUE(line.valid);
+    EXPECT_EQ(line.tag, 0x42u);
+    EXPECT_EQ(line.sticky, 1);
+    EXPECT_TRUE(line.hitLastCopy);
+}
+
+TEST(ExclusionFsm, HitRearmsStickyAndSetsHitLast)
+{
+    ExclusionLine line{0x42, true, 0, false};
+    const FsmStep step = exclusionStep(line, 0x42, false);
+
+    EXPECT_EQ(step.event, FsmEvent::Hit);
+    EXPECT_TRUE(step.hit);
+    EXPECT_FALSE(step.allocated);
+    ASSERT_TRUE(step.newHitLast.has_value());
+    EXPECT_TRUE(*step.newHitLast);
+    EXPECT_EQ(line.sticky, 1);
+    EXPECT_TRUE(line.hitLastCopy);
+}
+
+TEST(ExclusionFsm, UnstickyConflictReplacesAndSetsHitLast)
+{
+    // The A,!s -> B,s transition: the incoming block "should have hit
+    // the last time it was executed", so h[x] is set despite missing.
+    ExclusionLine line{0x1, true, 0, true};
+    const FsmStep step = exclusionStep(line, 0x2, /*hit_last_x=*/false);
+
+    EXPECT_EQ(step.event, FsmEvent::ReplaceUnsticky);
+    EXPECT_FALSE(step.hit);
+    EXPECT_TRUE(step.allocated);
+    ASSERT_TRUE(step.newHitLast.has_value());
+    EXPECT_TRUE(*step.newHitLast);
+    EXPECT_TRUE(step.evicted);
+    EXPECT_EQ(step.victimTag, 0x1u);
+    EXPECT_TRUE(step.victimHitLast);
+
+    EXPECT_EQ(line.tag, 0x2u);
+    EXPECT_EQ(line.sticky, 1);
+}
+
+TEST(ExclusionFsm, HitLastOverridesStickyAndIsConsumed)
+{
+    ExclusionLine line{0x1, true, 1, false};
+    const FsmStep step = exclusionStep(line, 0x2, /*hit_last_x=*/true);
+
+    EXPECT_EQ(step.event, FsmEvent::ReplaceHitLast);
+    EXPECT_TRUE(step.allocated);
+    ASSERT_TRUE(step.newHitLast.has_value());
+    EXPECT_FALSE(*step.newHitLast) << "h[x] must be reset on the "
+                                      "sticky-override load";
+    EXPECT_TRUE(step.evicted);
+    EXPECT_EQ(step.victimTag, 0x1u);
+    EXPECT_EQ(line.tag, 0x2u);
+    EXPECT_EQ(line.sticky, 1);
+    EXPECT_FALSE(line.hitLastCopy);
+}
+
+TEST(ExclusionFsm, StickyConflictWithoutHitLastBypasses)
+{
+    ExclusionLine line{0x1, true, 1, true};
+    const FsmStep step = exclusionStep(line, 0x2, /*hit_last_x=*/false);
+
+    EXPECT_EQ(step.event, FsmEvent::Bypass);
+    EXPECT_FALSE(step.hit);
+    EXPECT_FALSE(step.allocated);
+    EXPECT_FALSE(step.newHitLast.has_value());
+    EXPECT_FALSE(step.evicted);
+
+    EXPECT_EQ(line.tag, 0x1u) << "resident survives the conflict";
+    EXPECT_EQ(line.sticky, 0) << "but loses its stickiness";
+}
+
+TEST(ExclusionFsm, SecondConflictAfterBypassReplaces)
+{
+    ExclusionLine line{0x1, true, 1, true};
+    exclusionStep(line, 0x2, false); // bypass, sticky drops to 0
+    const FsmStep step = exclusionStep(line, 0x2, false);
+
+    EXPECT_EQ(step.event, FsmEvent::ReplaceUnsticky);
+    EXPECT_EQ(line.tag, 0x2u);
+}
+
+TEST(ExclusionFsm, ResidentReExecutionRearmsBetweenConflicts)
+{
+    // "it will be replaced the next time a conflicting instruction is
+    // executed unless the original instruction is executed first"
+    ExclusionLine line{0x1, true, 1, true};
+    exclusionStep(line, 0x2, false);          // conflict: bypass, s=0
+    exclusionStep(line, 0x1, false);          // resident re-executed
+    const FsmStep step = exclusionStep(line, 0x2, false);
+
+    EXPECT_EQ(step.event, FsmEvent::Bypass) << "stickiness was re-armed";
+    EXPECT_EQ(line.tag, 0x1u);
+}
+
+TEST(ExclusionFsm, MultiLevelStickyCounterSurvivesMultipleConflicts)
+{
+    // The TN-22 extension: with sticky_max = 2, a line survives two
+    // conflicts between re-executions.
+    ExclusionLine line;
+    exclusionStep(line, 0xa, false, 2); // cold fill, sticky = 2
+
+    FsmStep step = exclusionStep(line, 0xb, false, 2);
+    EXPECT_EQ(step.event, FsmEvent::Bypass);
+    EXPECT_EQ(line.sticky, 1);
+
+    step = exclusionStep(line, 0xc, false, 2);
+    EXPECT_EQ(step.event, FsmEvent::Bypass);
+    EXPECT_EQ(line.sticky, 0);
+
+    step = exclusionStep(line, 0xb, false, 2);
+    EXPECT_EQ(step.event, FsmEvent::ReplaceUnsticky);
+    EXPECT_EQ(line.tag, 0xbu);
+    EXPECT_EQ(line.sticky, 2);
+}
+
+TEST(ExclusionFsm, EventNamesAreStable)
+{
+    EXPECT_STREQ(fsmEventName(FsmEvent::ColdFill), "cold-fill");
+    EXPECT_STREQ(fsmEventName(FsmEvent::Hit), "hit");
+    EXPECT_STREQ(fsmEventName(FsmEvent::ReplaceUnsticky),
+                 "replace-unsticky");
+    EXPECT_STREQ(fsmEventName(FsmEvent::ReplaceHitLast),
+                 "replace-hit-last");
+    EXPECT_STREQ(fsmEventName(FsmEvent::Bypass), "bypass");
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,62 @@
+/** @file Unit tests of the cache factory. */
+
+#include <gtest/gtest.h>
+
+#include "cache/factory.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(CacheFactory, BuildsEachKind)
+{
+    const auto geo = CacheGeometry::directMapped(4096, 16);
+    EXPECT_EQ(makeCache("dm", geo)->name(), "direct-mapped");
+    EXPECT_EQ(makeCache("dynex", geo)->name(), "dynamic-exclusion");
+    EXPECT_EQ(makeCache("2way", geo)->name(), "2-way-lru");
+    EXPECT_EQ(makeCache("4way", geo)->name(), "4-way-lru");
+    EXPECT_EQ(makeCache("8way", geo)->name(), "8-way-lru");
+    EXPECT_EQ(makeCache("fa", geo)->name(), "fully-associative-lru");
+}
+
+TEST(CacheFactory, OverridesWaysPerKind)
+{
+    // The caller's ways field is corrected to match the kind.
+    auto geo = CacheGeometry::directMapped(4096, 16);
+    geo.ways = 1;
+    const auto cache = makeCache("4way", geo);
+    EXPECT_EQ(cache->geometry().ways, 4u);
+}
+
+TEST(CacheFactory, AppliesDynexConfig)
+{
+    DynamicExclusionConfig config;
+    config.stickyMax = 3;
+    const auto geo = CacheGeometry::directMapped(4096, 16);
+    auto cache = makeCache("dynex", geo, config);
+    auto *dynex_cache = dynamic_cast<DynamicExclusionCache *>(cache.get());
+    ASSERT_NE(dynex_cache, nullptr);
+    EXPECT_EQ(dynex_cache->config().stickyMax, 3);
+}
+
+TEST(CacheFactory, FactoryCachesBehaveLikeDirectConstruction)
+{
+    const auto geo = CacheGeometry::directMapped(256, 4);
+    auto made = makeCache("dm", geo);
+    Count misses = 0;
+    for (Tick i = 0; i < 100; ++i)
+        misses += !made->access(ifetch(4 * (i % 80)), i).hit;
+    // 64 cold + 16 wrap-around conflicts + 16 re-conflicts on the
+    // second lap; words 16-19 survive and hit.
+    EXPECT_EQ(misses, 96u);
+}
+
+TEST(CacheFactoryDeathTest, RejectsUnknownKind)
+{
+    EXPECT_EXIT(makeCache("plru", CacheGeometry::directMapped(256, 4)),
+                ::testing::ExitedWithCode(1), "unknown cache kind");
+}
+
+} // namespace
+} // namespace dynex

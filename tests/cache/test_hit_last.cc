@@ -1,0 +1,73 @@
+/** @file Unit tests of the hit-last storage backends. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hit_last.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(IdealHitLast, DefaultsToInitialValue)
+{
+    IdealHitLastStore cold(false);
+    EXPECT_FALSE(cold.lookup(0x123));
+    IdealHitLastStore warm(true);
+    EXPECT_TRUE(warm.lookup(0x123));
+}
+
+TEST(IdealHitLast, StoresPerBlockExactly)
+{
+    IdealHitLastStore store(false);
+    store.update(1, true);
+    store.update(2, false);
+    EXPECT_TRUE(store.lookup(1));
+    EXPECT_FALSE(store.lookup(2));
+    EXPECT_FALSE(store.lookup(3));
+    store.update(1, false);
+    EXPECT_FALSE(store.lookup(1));
+}
+
+TEST(IdealHitLast, ResetRestoresInitialValue)
+{
+    IdealHitLastStore store(true);
+    store.update(7, false);
+    EXPECT_FALSE(store.lookup(7));
+    store.reset();
+    EXPECT_TRUE(store.lookup(7));
+}
+
+TEST(HashedHitLast, AliasesBlocksSharingLowBits)
+{
+    HashedHitLastStore store(8, false);
+    store.update(0x3, true);
+    EXPECT_TRUE(store.lookup(0x3));
+    EXPECT_TRUE(store.lookup(0x3 + 8)) << "8 entries: blocks 8 apart alias";
+    EXPECT_FALSE(store.lookup(0x4));
+    store.update(0x3 + 8, false);
+    EXPECT_FALSE(store.lookup(0x3)) << "alias write clobbers";
+}
+
+TEST(HashedHitLast, TableSizeIsVisible)
+{
+    HashedHitLastStore store(1024, false);
+    EXPECT_EQ(store.tableEntries(), 1024u);
+}
+
+TEST(HashedHitLast, ResetClearsToInitialValue)
+{
+    HashedHitLastStore store(16, true);
+    store.update(5, false);
+    EXPECT_FALSE(store.lookup(5));
+    store.reset();
+    EXPECT_TRUE(store.lookup(5));
+}
+
+TEST(HashedHitLastDeathTest, RejectsNonPowerOfTwoTables)
+{
+    EXPECT_DEATH(HashedHitLastStore store(12, false), "power of two");
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,108 @@
+/** @file Unit tests of the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "cache/direct_mapped.h"
+#include "cache/set_assoc.h"
+#include "util/rng.h"
+#include "../test_helpers.h"
+
+namespace dynex
+{
+namespace
+{
+
+using test::missCount;
+using test::replayPattern;
+
+TEST(SetAssoc, TwoWayHoldsTwoConflictingBlocks)
+{
+    // The paper's motivating observation: "any two items can be
+    // simultaneously stored in a set-associative cache".
+    SetAssocCache cache(CacheGeometry::setAssociative(128, 4, 2));
+    const auto outcome = replayPattern(cache, "abababab", 128);
+    EXPECT_EQ(outcome, "mmhhhhhh");
+}
+
+TEST(SetAssoc, LruEvictsLeastRecentlyUsed)
+{
+    // One set of 2 ways; c evicts the LRU (a after b touched).
+    SetAssocCache cache(CacheGeometry::setAssociative(8, 4, 2));
+    const auto outcome = replayPattern(cache, "abcb", 8);
+    EXPECT_EQ(outcome, "mmmh") << "b stays resident across c's fill";
+    EXPECT_FALSE(cache.contains(0x10000)); // 'a' was evicted
+}
+
+TEST(SetAssoc, FullyAssociativeUsesWholeCapacity)
+{
+    SetAssocCache cache(CacheGeometry::fullyAssociative(16, 4));
+    const auto outcome = replayPattern(cache, "abcdabcd", 16);
+    EXPECT_EQ(outcome, "mmmmhhhh");
+}
+
+TEST(SetAssoc, FifoIgnoresTouches)
+{
+    auto fifo = std::make_unique<FifoPolicy>();
+    SetAssocCache cache(CacheGeometry::setAssociative(8, 4, 2),
+                        std::move(fifo));
+    // a b a c : FIFO evicts a (oldest fill) despite a's recent touch.
+    const auto outcome = replayPattern(cache, "abac", 8);
+    EXPECT_EQ(outcome, "mmhm");
+    EXPECT_FALSE(cache.contains(0x10000));         // a evicted
+    EXPECT_TRUE(cache.contains(0x10000 + 8));      // b retained
+}
+
+TEST(SetAssoc, NamesReflectGeometryAndPolicy)
+{
+    SetAssocCache lru(CacheGeometry::setAssociative(128, 4, 2));
+    EXPECT_EQ(lru.name(), "2-way-lru");
+    SetAssocCache fa(CacheGeometry::fullyAssociative(128, 4),
+                     std::make_unique<FifoPolicy>());
+    EXPECT_EQ(fa.name(), "fully-associative-fifo");
+}
+
+TEST(SetAssoc, HigherAssociativityNeverIncreasesMissesOnLoopPatterns)
+{
+    // Classic result for LRU on loop-conflict traffic.
+    const std::string pattern =
+        test::repeat(test::repeat("a", 4) + "b" + test::repeat("c", 2),
+                     50);
+    DirectMappedCache dm(CacheGeometry::directMapped(64, 4));
+    SetAssocCache w2(CacheGeometry::setAssociative(64, 4, 2));
+    SetAssocCache w4(CacheGeometry::setAssociative(64, 4, 4));
+    const int m1 = missCount(replayPattern(dm, pattern, 64));
+    const int m2 = missCount(replayPattern(w2, pattern, 64));
+    const int m4 = missCount(replayPattern(w4, pattern, 64));
+    EXPECT_GE(m1, m2);
+    EXPECT_GE(m2, m4);
+}
+
+TEST(SetAssoc, RandomPolicyIsDeterministicAcrossRuns)
+{
+    const std::string pattern = test::repeat("abcde", 40);
+    int first = -1;
+    for (int run = 0; run < 2; ++run) {
+        SetAssocCache cache(CacheGeometry::setAssociative(16, 4, 2),
+                            std::make_unique<RandomPolicy>(42));
+        const int misses = missCount(replayPattern(cache, pattern, 16));
+        if (first < 0)
+            first = misses;
+        else
+            EXPECT_EQ(misses, first);
+    }
+}
+
+TEST(SetAssoc, StatsInvariantOnRandomTraffic)
+{
+    SetAssocCache cache(CacheGeometry::setAssociative(512, 16, 4));
+    Rng rng(99);
+    for (Tick i = 0; i < 4000; ++i)
+        cache.access(load(rng.nextBelow(16384)), i);
+    const auto &s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_EQ(s.fills, s.misses);
+    EXPECT_EQ(s.evictions + s.coldMisses, s.misses);
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,115 @@
+/** @file Unit tests of profile-guided static exclusion. */
+
+#include <gtest/gtest.h>
+
+#include "cache/direct_mapped.h"
+#include "cache/dynamic_exclusion.h"
+#include "cache/static_exclusion.h"
+#include "../test_helpers.h"
+
+namespace dynex
+{
+namespace
+{
+
+using test::missCount;
+using test::repeat;
+using test::replayPattern;
+
+const CacheGeometry kGeo = CacheGeometry::directMapped(64, 4);
+
+TEST(ExclusionProfile, MarksTheBypassedLoopLevelInterloper)
+{
+    // (a^10 b)^10: the optimal cache bypasses b on every conflict, so
+    // the profile must exclude b and keep a.
+    const Trace trace = Trace::fromPattern(
+        repeat(repeat("a", 10) + "b", 10), 0x1000, 64);
+    const auto profile =
+        ExclusionProfile::fromOptimalBypasses(trace, kGeo);
+    EXPECT_EQ(profile.size(), 1u);
+    EXPECT_TRUE(profile.isExcluded(kGeo.blockOf(0x1000 + 64)));
+    EXPECT_FALSE(profile.isExcluded(kGeo.blockOf(0x1000)));
+}
+
+TEST(ExclusionProfile, KeepsBothLoopsOfAlternatingPhases)
+{
+    // (a^10 b^10)^10: both instructions deserve the cache; nothing is
+    // excluded.
+    const Trace trace = Trace::fromPattern(
+        repeat(repeat("a", 10) + repeat("b", 10), 10), 0x1000, 64);
+    const auto profile =
+        ExclusionProfile::fromOptimalBypasses(trace, kGeo);
+    EXPECT_EQ(profile.size(), 0u);
+}
+
+TEST(StaticExclusion, ExcludedBlocksAlwaysBypass)
+{
+    ExclusionProfile profile;
+    profile.exclude(kGeo.blockOf(0x1040));
+    StaticExclusionCache cache(kGeo, profile);
+
+    EXPECT_FALSE(cache.access(ifetch(0x1000), 0).hit);
+    const auto outcome = cache.access(ifetch(0x1040), 1);
+    EXPECT_FALSE(outcome.hit);
+    EXPECT_TRUE(outcome.bypassed);
+    EXPECT_TRUE(cache.access(ifetch(0x1000), 2).hit)
+        << "resident untouched by the excluded block";
+    EXPECT_FALSE(cache.access(ifetch(0x1040), 3).hit)
+        << "excluded blocks never become resident";
+}
+
+TEST(StaticExclusion, MatchesOptimalOnItsTrainingPattern)
+{
+    // On the exact pattern the profile was derived from, static
+    // exclusion reproduces optimal behavior for this simple case.
+    const std::string pattern = repeat(repeat("a", 10) + "b", 10);
+    const Trace trace = Trace::fromPattern(pattern, 0x1000, 64);
+    const auto profile =
+        ExclusionProfile::fromOptimalBypasses(trace, kGeo);
+    StaticExclusionCache cache(kGeo, profile);
+    Count misses = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        misses += !cache.access(trace[i], i).hit;
+    EXPECT_EQ(misses, 11u);
+}
+
+TEST(StaticExclusion, FixedProfileCannotAdaptAcrossPhases)
+{
+    // A block that is hot in one phase and an interloper in another:
+    // any fixed decision is wrong in one of the phases, while the FSM
+    // adapts. Phase 1: (b^10 a)^10 (b hot); phase 2: (a^10 b)^10.
+    const std::string phase1 = repeat(repeat("b", 10) + "a", 10);
+    const std::string phase2 = repeat(repeat("a", 10) + "b", 10);
+    const Trace trace =
+        Trace::fromPattern(phase1 + phase2, 0x1000, 64);
+
+    const auto profile =
+        ExclusionProfile::fromOptimalBypasses(trace, kGeo);
+    StaticExclusionCache fixed(kGeo, profile);
+    Count fixed_misses = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        fixed_misses += !fixed.access(trace[i], i).hit;
+
+    DynamicExclusionCache adaptive(kGeo);
+    Count adaptive_misses = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        adaptive_misses += !adaptive.access(trace[i], i).hit;
+
+    EXPECT_LE(adaptive_misses, fixed_misses)
+        << "the FSM re-learns per phase; a fixed set cannot";
+}
+
+TEST(StaticExclusion, ResetKeepsTheProfile)
+{
+    ExclusionProfile profile;
+    profile.exclude(kGeo.blockOf(0x1040));
+    StaticExclusionCache cache(kGeo, profile);
+    cache.access(ifetch(0x1000), 0);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_TRUE(cache.access(ifetch(0x1040), 0).bypassed)
+        << "the exclusion set survives reset (it is static)";
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,72 @@
+/** @file Unit tests of the figure report printer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/report.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(FigureReport, PrintsTableAndVerdicts)
+{
+    FigureReport report("figXX", "Test figure", "paper claims 42");
+    report.table().setHeader({"x", "y"});
+    report.table().addRow({"1", "2"});
+    report.note("a note");
+    report.verdict(true, "shape reproduced");
+
+    ::testing::internal::CaptureStdout();
+    report.finish();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+
+    EXPECT_NE(out.find("figXX"), std::string::npos);
+    EXPECT_NE(out.find("paper claims 42"), std::string::npos);
+    EXPECT_NE(out.find("note: a note"), std::string::npos);
+    EXPECT_NE(out.find("[ok]   shape reproduced"), std::string::npos);
+    EXPECT_EQ(report.exitCode(), 0);
+}
+
+TEST(FigureReport, FailedVerdictFlipsExitCode)
+{
+    FigureReport report("figYY", "Test", "");
+    report.table().setHeader({"x"});
+    report.verdict(false, "did not reproduce");
+    ::testing::internal::CaptureStdout();
+    report.finish();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("[MISS]"), std::string::npos);
+    EXPECT_EQ(report.exitCode(), 1);
+}
+
+TEST(FigureReport, WritesCsvWhenConfigured)
+{
+    const std::string dir = ::testing::TempDir();
+    ::setenv("DYNEX_OUT", dir.c_str(), 1);
+
+    FigureReport report("figZZ", "CSV test", "");
+    report.table().setHeader({"bench", "value"});
+    report.table().addRow({"li", "3.5"});
+    ::testing::internal::CaptureStdout();
+    report.finish();
+    ::testing::internal::GetCapturedStdout();
+    ::unsetenv("DYNEX_OUT");
+
+    std::ifstream in(dir + "/figZZ.csv");
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "bench,value");
+    std::getline(in, line);
+    EXPECT_EQ(line, "li,3.5");
+    std::remove((dir + "/figZZ.csv").c_str());
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,75 @@
+/** @file Unit tests of the trace runner and triad comparison. */
+
+#include <gtest/gtest.h>
+
+#include "cache/direct_mapped.h"
+#include "sim/runner.h"
+#include "../test_helpers.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(Runner, ReplaysWholeTrace)
+{
+    DirectMappedCache cache(CacheGeometry::directMapped(64, 4));
+    const Trace trace = Trace::fromPattern(test::repeat("ab", 10));
+    const CacheStats stats = runTrace(cache, trace);
+    EXPECT_EQ(stats.accesses, trace.size());
+}
+
+TEST(Runner, TriadOrderingOnThrashPattern)
+{
+    // On (ab)^n: optimal < dynex-trained < direct-mapped.
+    const Trace trace =
+        Trace::fromPattern(test::repeat("ab", 50), 0x1000, 64);
+    const NextUseIndex index(trace, 4, NextUseMode::RunStart);
+    const TriadResult triad = runTriad(trace, index, 64, 4);
+
+    EXPECT_GT(triad.dmMissPct(), triad.deMissPct());
+    EXPECT_GE(triad.deMissPct(), triad.optMissPct());
+    EXPECT_NEAR(triad.dmMissPct(), 100.0, 0.01);
+}
+
+TEST(Runner, ImprovementPercentages)
+{
+    const Trace trace =
+        Trace::fromPattern(test::repeat("ab", 50), 0x1000, 64);
+    const NextUseIndex index(trace, 4, NextUseMode::RunStart);
+    const TriadResult triad = runTriad(trace, index, 64, 4);
+    EXPECT_GT(triad.deImprovementPct(), 40.0);
+    EXPECT_GE(triad.optImprovementPct(), triad.deImprovementPct());
+}
+
+TEST(Runner, HierarchyRunnerAccumulatesBothLevels)
+{
+    HierarchyConfig config;
+    config.l1 = CacheGeometry::directMapped(64, 4);
+    config.l2 = CacheGeometry::directMapped(256, 4);
+    TwoLevelCache hierarchy(config);
+    const Trace trace =
+        Trace::fromPattern(test::repeat("ab", 30), 0x1000, 64);
+    const HierarchyStats stats = runTrace(hierarchy, trace);
+    EXPECT_EQ(stats.l1.accesses, trace.size());
+    EXPECT_EQ(stats.l2.accesses, stats.l1.misses);
+    EXPECT_LE(stats.l2GlobalMissRate(), stats.l1.missRate());
+}
+
+TEST(Runner, TriadOnConflictFreeTraceIsAllEqual)
+{
+    // Sequential touch of blocks that all fit: everything gets the
+    // same (cold-only) misses.
+    Trace trace("fits");
+    for (int rep = 0; rep < 10; ++rep)
+        for (Addr a = 0; a < 16; ++a)
+            trace.append(ifetch(0x1000 + 4 * a));
+    const NextUseIndex index(trace, 4, NextUseMode::RunStart);
+    const TriadResult triad = runTriad(trace, index, 64, 4);
+    EXPECT_DOUBLE_EQ(triad.dmMissPct(), triad.optMissPct());
+    EXPECT_DOUBLE_EQ(triad.dmMissPct(), triad.deMissPct());
+    EXPECT_EQ(triad.dm.misses, 16u);
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,62 @@
+/** @file Unit tests of the AMAT timing model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/timing.h"
+
+namespace dynex
+{
+namespace
+{
+
+CacheStats
+statsWithMissRate(double rate, Count accesses = 10000)
+{
+    CacheStats stats;
+    stats.accesses = accesses;
+    stats.misses = static_cast<Count>(rate * accesses);
+    stats.hits = stats.accesses - stats.misses;
+    return stats;
+}
+
+TEST(Timing, AmatIsHitTimePlusMissContribution)
+{
+    const TimingModel model{1.0, 20.0};
+    EXPECT_DOUBLE_EQ(model.amat(statsWithMissRate(0.0)), 1.0);
+    EXPECT_DOUBLE_EQ(model.amat(statsWithMissRate(0.05)), 2.0);
+    EXPECT_DOUBLE_EQ(model.amat(statsWithMissRate(1.0)), 21.0);
+}
+
+TEST(Timing, DefaultModelsEncodeTheAccessTimeGap)
+{
+    const TimingModel dm = DefaultTimings::directMapped();
+    const TimingModel sa = DefaultTimings::setAssociative();
+    EXPECT_LT(dm.hitCycles, sa.hitCycles);
+    EXPECT_DOUBLE_EQ(dm.missPenaltyCycles, sa.missPenaltyCycles);
+}
+
+TEST(Timing, BreakEvenMatchesTheClassicTradeoff)
+{
+    // A direct-mapped cache with hit 1.0 vs 2-way with hit 1.4, both
+    // with penalty 16, and the 2-way missing 2%: the direct-mapped
+    // design is allowed 2.5pp more misses before it loses.
+    const TimingModel dm{1.0, 16.0};
+    const TimingModel sa{1.4, 16.0};
+    const double break_even = dm.breakEvenMissRate(sa, 0.02);
+    EXPECT_NEAR(break_even, 0.045, 1e-12);
+
+    // Sanity: at exactly the break-even rate the two AMATs agree.
+    EXPECT_NEAR(dm.amat(statsWithMissRate(break_even, 1000000)),
+                sa.amat(statsWithMissRate(0.02, 1000000)), 1e-4);
+}
+
+TEST(Timing, FasterHitPathWinsAtEqualMissRates)
+{
+    const TimingModel dm = DefaultTimings::directMapped();
+    const TimingModel sa = DefaultTimings::setAssociative();
+    const auto stats = statsWithMissRate(0.03);
+    EXPECT_LT(dm.amat(stats), sa.amat(stats));
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,69 @@
+/** @file Unit tests of the workload provider and its memoization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/workloads.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(Workloads, InstructionStreamIsPureIfetch)
+{
+    const auto trace = Workloads::instructions("li", 30000);
+    ASSERT_EQ(trace->size(), 30000u);
+    for (const auto &ref : *trace)
+        ASSERT_EQ(ref.type, RefType::Ifetch);
+}
+
+TEST(Workloads, DataStreamIsPureData)
+{
+    const auto trace = Workloads::data("gcc", 10000);
+    ASSERT_EQ(trace->size(), 10000u);
+    for (const auto &ref : *trace)
+        ASSERT_TRUE(isData(ref.type));
+}
+
+TEST(Workloads, MemoReturnsTheSameObject)
+{
+    Workloads::dropCache();
+    const auto first = Workloads::mixed("mat300", 20000);
+    const auto second = Workloads::mixed("mat300", 20000);
+    EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(Workloads, DifferentKeysAreDifferentTraces)
+{
+    const auto a = Workloads::mixed("mat300", 20000);
+    const auto b = Workloads::mixed("mat300", 25000);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(b->size(), 25000u);
+}
+
+TEST(Workloads, DropCacheReleasesEntries)
+{
+    const auto first = Workloads::mixed("tomcatv", 20000);
+    Workloads::dropCache();
+    const auto second = Workloads::mixed("tomcatv", 20000);
+    EXPECT_NE(first.get(), second.get());
+    ASSERT_EQ(first->size(), second->size());
+    for (std::size_t i = 0; i < first->size(); ++i)
+        ASSERT_EQ((*first)[i], (*second)[i]);
+}
+
+TEST(Workloads, DefaultRefsRespectsEnvironment)
+{
+    ::setenv("DYNEX_REFS", "123456", 1);
+    EXPECT_EQ(Workloads::defaultRefs(), 123456u);
+    ::setenv("DYNEX_REFS", "garbage", 1);
+    EXPECT_EQ(Workloads::defaultRefs(), 2000000u)
+        << "invalid values fall back to the built-in default";
+    ::unsetenv("DYNEX_REFS");
+    EXPECT_EQ(Workloads::defaultRefs(), 2000000u);
+}
+
+} // namespace
+} // namespace dynex

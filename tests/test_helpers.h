@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the test suite: symbolic-pattern replay and
+ * hit/miss string rendering.
+ */
+
+#ifndef DYNEX_TESTS_TEST_HELPERS_H
+#define DYNEX_TESTS_TEST_HELPERS_H
+
+#include <string>
+
+#include "cache/cache.h"
+#include "trace/trace.h"
+
+namespace dynex::test
+{
+
+/**
+ * Expand "(ab)10" style shorthand into a flat letter string, e.g.
+ * repeat("ab", 10). Nested groups are composed by the caller.
+ */
+inline std::string
+repeat(const std::string &group, int times)
+{
+    std::string out;
+    out.reserve(group.size() * static_cast<std::size_t>(times));
+    for (int i = 0; i < times; ++i)
+        out += group;
+    return out;
+}
+
+/**
+ * Replay @p pattern (one letter per reference; letters one cache
+ * stride apart so all conflict) through @p cache and return the
+ * hit/miss string: 'h' for hit, 'm' for miss, per reference.
+ */
+inline std::string
+replayPattern(CacheModel &cache, const std::string &pattern,
+              Addr stride = 32 * 1024)
+{
+    const Trace trace = Trace::fromPattern(pattern, 0x10000, stride);
+    std::string outcome;
+    outcome.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        outcome += cache.access(trace[i], i).hit ? 'h' : 'm';
+    return outcome;
+}
+
+/** Count 'm' characters in a hit/miss string. */
+inline int
+missCount(const std::string &outcome)
+{
+    int misses = 0;
+    for (char ch : outcome)
+        misses += ch == 'm';
+    return misses;
+}
+
+} // namespace dynex::test
+
+#endif // DYNEX_TESTS_TEST_HELPERS_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Integration tests of the dynex command-line tool, run as a
+ * subprocess (the binary path is injected by CMake).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef DYNEX_CLI_PATH
+#error "DYNEX_CLI_PATH must be defined by the build system"
+#endif
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode;
+    std::string output;
+};
+
+CommandResult
+runCli(const std::string &args)
+{
+    const std::string command =
+        std::string(DYNEX_CLI_PATH) + " " + args + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    std::array<char, 4096> buffer;
+    while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        output += buffer.data();
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), output};
+}
+
+TEST(CliTool, ListShowsTheSuite)
+{
+    const auto result = runCli("list");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("doduc"), std::string::npos);
+    EXPECT_NE(result.output.find("tomcatv"), std::string::npos);
+}
+
+TEST(CliTool, NoArgumentsPrintsUsage)
+{
+    const auto result = runCli("");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTool, UnknownCommandFails)
+{
+    const auto result = runCli("frobnicate");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTool, GenInfoConvertRoundTrip)
+{
+    const std::string dxt = ::testing::TempDir() + "/cli_test.dxt";
+    const std::string din = ::testing::TempDir() + "/cli_test.din";
+
+    auto gen = runCli("gen mat300 " + dxt + " --refs 5000");
+    EXPECT_EQ(gen.exitCode, 0) << gen.output;
+    EXPECT_NE(gen.output.find("wrote 5000 references"),
+              std::string::npos);
+
+    auto info = runCli("info " + dxt);
+    EXPECT_EQ(info.exitCode, 0) << info.output;
+    EXPECT_NE(info.output.find("5000 refs"), std::string::npos);
+
+    auto convert = runCli("convert " + dxt + " " + din);
+    EXPECT_EQ(convert.exitCode, 0) << convert.output;
+
+    auto info2 = runCli("info " + din);
+    EXPECT_EQ(info2.exitCode, 0) << info2.output;
+    EXPECT_NE(info2.output.find("5000 refs"), std::string::npos);
+
+    std::remove(dxt.c_str());
+    std::remove(din.c_str());
+}
+
+TEST(CliTool, SimRunsOnABenchmark)
+{
+    const auto result =
+        runCli("sim li --cache dynex --size 8KB --line 16 --lastline "
+               "--refs 50000");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("dynamic-exclusion"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("misses"), std::string::npos);
+}
+
+TEST(CliTool, SimSupportsTheOptimalModel)
+{
+    const auto result =
+        runCli("sim li --cache opt --size 8KB --line 16 --refs 50000");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("optimal-direct-mapped"),
+              std::string::npos);
+}
+
+TEST(CliTool, TriadComparesThreeModels)
+{
+    const auto result =
+        runCli("triad mat300 --size 4KB --line 4 --refs 50000");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("direct-mapped"), std::string::npos);
+    EXPECT_NE(result.output.find("dynamic-exclusion"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("optimal"), std::string::npos);
+    EXPECT_NE(result.output.find("reduction"), std::string::npos);
+}
+
+TEST(CliTool, AnalyzeReportsConflictStructure)
+{
+    const auto result =
+        runCli("analyze li --size 32KB --line 4 --refs 50000");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("two-way"), std::string::npos);
+    EXPECT_NE(result.output.find("reuse-distance"), std::string::npos);
+}
+
+TEST(CliTool, RejectsBadSize)
+{
+    const auto result = runCli("sim li --size banana");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("bad size"), std::string::npos);
+}
+
+TEST(CliTool, RejectsUnknownBenchmark)
+{
+    const auto result = runCli("sim nosuchthing --refs 1000");
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("neither a file nor a benchmark"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+/** @file Unit tests of the trace transformations. */
+
+#include <gtest/gtest.h>
+
+#include "trace/filter.h"
+
+namespace dynex
+{
+namespace
+{
+
+Trace
+mixedTrace()
+{
+    Trace trace("mix");
+    trace.append(ifetch(0x100));
+    trace.append(load(0x2000));
+    trace.append(ifetch(0x104));
+    trace.append(store(0x3000));
+    trace.append(ifetch(0x108));
+    return trace;
+}
+
+TEST(Filter, InstructionRefsKeepsOnlyIfetches)
+{
+    const Trace out = instructionRefs(mixedTrace());
+    ASSERT_EQ(out.size(), 3u);
+    for (const auto &ref : out)
+        EXPECT_EQ(ref.type, RefType::Ifetch);
+    EXPECT_EQ(out.name(), "mix.ifetch");
+}
+
+TEST(Filter, DataRefsKeepsLoadsAndStores)
+{
+    const Trace out = dataRefs(mixedTrace());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, RefType::Load);
+    EXPECT_EQ(out[1].type, RefType::Store);
+}
+
+TEST(Filter, TruncateShortensAndPreservesOrder)
+{
+    const Trace out = truncate(mixedTrace(), 2);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].type, RefType::Load);
+    EXPECT_EQ(truncate(mixedTrace(), 100).size(), 5u)
+        << "truncating beyond the end is a no-op";
+}
+
+TEST(Filter, QuantizeAlignsAddresses)
+{
+    const Trace out = quantize(mixedTrace(), 16);
+    EXPECT_EQ(out[0].addr, 0x100u);
+    EXPECT_EQ(out[2].addr, 0x100u);
+    EXPECT_EQ(out[3].addr, 0x3000u);
+}
+
+TEST(Filter, RelocateShiftsAddresses)
+{
+    const Trace up = relocate(mixedTrace(), 0x1000);
+    EXPECT_EQ(up[0].addr, 0x1100u);
+    const Trace down = relocate(mixedTrace(), -0x80);
+    EXPECT_EQ(down[0].addr, 0x80u);
+}
+
+TEST(Filter, LineReferenceCountCollapsesRuns)
+{
+    Trace trace("runs");
+    trace.append(ifetch(0x100));
+    trace.append(ifetch(0x104)); // same 16B line
+    trace.append(ifetch(0x108));
+    trace.append(ifetch(0x200)); // new line
+    trace.append(ifetch(0x100)); // back again: new run
+    EXPECT_EQ(lineReferenceCount(trace, 16), 3u);
+    EXPECT_EQ(lineReferenceCount(trace, 4), 5u);
+    EXPECT_EQ(lineReferenceCount(Trace(), 16), 0u);
+}
+
+} // namespace
+} // namespace dynex

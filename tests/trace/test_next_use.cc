@@ -1,0 +1,83 @@
+/** @file Unit tests of the next-use (Belady oracle) index. */
+
+#include <gtest/gtest.h>
+
+#include "trace/next_use.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(NextUse, PerReferenceChains)
+{
+    // a b a b a : each a points to the next a, etc.
+    const Trace trace = Trace::fromPattern("ababa", 0x1000, 64);
+    const NextUseIndex index(trace, 4);
+    EXPECT_EQ(index.nextUse(0), 2u);
+    EXPECT_EQ(index.nextUse(1), 3u);
+    EXPECT_EQ(index.nextUse(2), 4u);
+    EXPECT_EQ(index.nextUse(3), kTickInfinity);
+    EXPECT_EQ(index.nextUse(4), kTickInfinity);
+}
+
+TEST(NextUse, BlockGranularityGroupsWords)
+{
+    Trace trace("words");
+    trace.append(ifetch(0x100)); // line 0x10
+    trace.append(ifetch(0x104)); // same 16B line
+    trace.append(ifetch(0x200));
+    trace.append(ifetch(0x108)); // line 0x10 again
+    const NextUseIndex index(trace, 16);
+    EXPECT_EQ(index.nextUse(0), 1u);
+    EXPECT_EQ(index.nextUse(1), 3u);
+    EXPECT_EQ(index.nextUse(2), kTickInfinity);
+}
+
+TEST(NextUse, RunStartModeSkipsWithinRunReferences)
+{
+    // a a a b a a : with runs collapsed, position 0's next use is the
+    // run start at position 4, not position 1.
+    const Trace trace = Trace::fromPattern("aaabaa", 0x1000, 64);
+    const NextUseIndex index(trace, 4, NextUseMode::RunStart);
+    EXPECT_EQ(index.nextUse(0), 4u);
+    EXPECT_EQ(index.nextUse(1), 4u);
+    EXPECT_EQ(index.nextUse(2), 4u);
+    EXPECT_EQ(index.nextUse(3), kTickInfinity);
+    EXPECT_EQ(index.nextUse(4), kTickInfinity);
+    EXPECT_EQ(index.mode(), NextUseMode::RunStart);
+}
+
+TEST(NextUse, SingleReferenceIsInfinity)
+{
+    const Trace trace = Trace::fromPattern("a");
+    const NextUseIndex index(trace, 4);
+    EXPECT_EQ(index.nextUse(0), kTickInfinity);
+}
+
+TEST(NextUse, EmptyTraceIsEmptyIndex)
+{
+    Trace trace;
+    const NextUseIndex index(trace, 4);
+    EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(NextUse, MixedTypesShareTheAddressSpace)
+{
+    // Next-use is address-based: a load and an ifetch of the same
+    // block chain together (combined-cache semantics).
+    Trace trace("mixed");
+    trace.append(ifetch(0x100));
+    trace.append(load(0x100));
+    const NextUseIndex index(trace, 4);
+    EXPECT_EQ(index.nextUse(0), 1u);
+}
+
+TEST(NextUseDeathTest, RejectsNonPowerOfTwoBlock)
+{
+    Trace trace;
+    EXPECT_DEATH(NextUseIndex(trace, 12), "power of two");
+}
+
+} // namespace
+} // namespace dynex

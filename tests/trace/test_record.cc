@@ -1,0 +1,51 @@
+/** @file Unit tests of the memory-reference record type. */
+
+#include <gtest/gtest.h>
+
+#include "trace/record.h"
+#include "trace/trace.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(MemRef, ConstructorsSetTypes)
+{
+    EXPECT_EQ(ifetch(0x100).type, RefType::Ifetch);
+    EXPECT_EQ(load(0x100).type, RefType::Load);
+    EXPECT_EQ(store(0x100).type, RefType::Store);
+    EXPECT_EQ(ifetch(0x100).size, 4);
+    EXPECT_EQ(load(0x100, 8).size, 8);
+}
+
+TEST(MemRef, IsDataClassification)
+{
+    EXPECT_FALSE(isData(RefType::Ifetch));
+    EXPECT_TRUE(isData(RefType::Load));
+    EXPECT_TRUE(isData(RefType::Store));
+}
+
+TEST(MemRef, TypeNames)
+{
+    EXPECT_STREQ(refTypeName(RefType::Ifetch), "ifetch");
+    EXPECT_STREQ(refTypeName(RefType::Load), "load");
+    EXPECT_STREQ(refTypeName(RefType::Store), "store");
+}
+
+TEST(MemRef, EqualityComparesAllFields)
+{
+    EXPECT_EQ(ifetch(0x100), ifetch(0x100));
+    EXPECT_FALSE(ifetch(0x100) == load(0x100));
+    EXPECT_FALSE(ifetch(0x100) == ifetch(0x104));
+    EXPECT_FALSE(load(0x100, 4) == load(0x100, 8));
+}
+
+TEST(MemRef, ToStringRendersHex)
+{
+    EXPECT_EQ(toString(ifetch(0x1a0)), "ifetch 0x1a0/4");
+    EXPECT_EQ(toString(store(0x20, 8)), "store 0x20/8");
+}
+
+} // namespace
+} // namespace dynex

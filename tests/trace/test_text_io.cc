@@ -1,0 +1,110 @@
+/** @file Unit tests of the din text trace format. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/text_io.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(DinFormat, WritesLabelsAndHexAddresses)
+{
+    Trace trace("t");
+    trace.append(load(0x1000));
+    trace.append(store(0x2004));
+    trace.append(ifetch(0xdeadbeef));
+    std::ostringstream out;
+    ASSERT_TRUE(writeDinTrace(trace, out));
+    EXPECT_EQ(out.str(),
+              "# din trace: t\n0 1000\n1 2004\n2 deadbeef\n");
+}
+
+TEST(DinFormat, RoundTrips)
+{
+    Trace trace("t");
+    trace.append(load(0x1000));
+    trace.append(store(0x2004));
+    trace.append(ifetch(0x40'0000));
+    std::stringstream buffer;
+    ASSERT_TRUE(writeDinTrace(trace, buffer));
+
+    std::string error;
+    const auto restored = readDinTrace(buffer, "t", &error);
+    ASSERT_TRUE(restored.has_value()) << error;
+    ASSERT_EQ(restored->size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ((*restored)[i], trace[i]) << "record " << i;
+}
+
+TEST(DinFormat, AcceptsCommentsBlanksAndPrefixes)
+{
+    std::stringstream in("# comment\n\n2 0x1000\n0 FF\n");
+    const auto trace = readDinTrace(in);
+    ASSERT_TRUE(trace.has_value());
+    ASSERT_EQ(trace->size(), 2u);
+    EXPECT_EQ((*trace)[0].addr, 0x1000u);
+    EXPECT_EQ((*trace)[0].type, RefType::Ifetch);
+    EXPECT_EQ((*trace)[1].addr, 0xffu);
+    EXPECT_EQ((*trace)[1].type, RefType::Load);
+}
+
+TEST(DinFormat, IgnoresTrailingFields)
+{
+    std::stringstream in("2 1000 12345\n");
+    const auto trace = readDinTrace(in);
+    ASSERT_TRUE(trace.has_value());
+    ASSERT_EQ(trace->size(), 1u);
+    EXPECT_EQ((*trace)[0].addr, 0x1000u);
+}
+
+TEST(DinFormat, RejectsBadLabel)
+{
+    std::stringstream in("7 1000\n");
+    std::string error;
+    EXPECT_FALSE(readDinTrace(in, "x", &error).has_value());
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+    EXPECT_NE(error.find("unknown din label"), std::string::npos);
+}
+
+TEST(DinFormat, RejectsBadAddress)
+{
+    std::stringstream in("2 zzzz\n");
+    std::string error;
+    EXPECT_FALSE(readDinTrace(in, "x", &error).has_value());
+    EXPECT_NE(error.find("malformed hex"), std::string::npos);
+}
+
+TEST(DinFormat, RejectsMissingAddress)
+{
+    std::stringstream in("2\n");
+    std::string error;
+    EXPECT_FALSE(readDinTrace(in, "x", &error).has_value());
+}
+
+TEST(DinFormat, FileRoundTripNamesTraceAfterBasename)
+{
+    Trace trace("orig");
+    trace.append(ifetch(0x42));
+    const std::string path = ::testing::TempDir() + "/dynex_din_test.din";
+    ASSERT_TRUE(writeDinTraceFile(trace, path));
+    const auto restored = readDinTraceFile(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->name(), "dynex_din_test.din");
+    EXPECT_EQ((*restored)[0].addr, 0x42u);
+}
+
+TEST(DinFormat, MissingFileReportsError)
+{
+    std::string error;
+    EXPECT_FALSE(readDinTraceFile("/no/such/file.din", &error)
+                     .has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,81 @@
+/** @file Unit tests of the in-memory trace container. */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(Trace, FromPatternMapsLettersToStridedAddresses)
+{
+    const Trace trace = Trace::fromPattern("aba", 0x1000, 64);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0].addr, 0x1000u);
+    EXPECT_EQ(trace[1].addr, 0x1040u);
+    EXPECT_EQ(trace[2].addr, 0x1000u);
+    EXPECT_EQ(trace[0].type, RefType::Ifetch);
+    EXPECT_EQ(trace.name(), "pattern:aba");
+}
+
+TEST(TraceDeathTest, FromPatternRejectsNonLetters)
+{
+    EXPECT_DEATH(Trace::fromPattern("aB"), "a-z");
+}
+
+TEST(Trace, AppendAndIteration)
+{
+    Trace trace("t");
+    trace.append(ifetch(0x10));
+    trace.append(load(0x20));
+    Trace other("o");
+    other.append(store(0x30));
+    trace.append(other);
+    ASSERT_EQ(trace.size(), 3u);
+    std::size_t count = 0;
+    for (const auto &ref : trace) {
+        (void)ref;
+        ++count;
+    }
+    EXPECT_EQ(count, 3u);
+    EXPECT_EQ(trace[2].type, RefType::Store);
+}
+
+TEST(Trace, SummaryCountsKindsAndUniqueWords)
+{
+    Trace trace("t");
+    trace.append(ifetch(0x10));
+    trace.append(ifetch(0x10));
+    trace.append(ifetch(0x12)); // same 4B word as 0x10
+    trace.append(load(0x20));
+    trace.append(store(0x30));
+    const TraceSummary summary = trace.summarize();
+    EXPECT_EQ(summary.total, 5u);
+    EXPECT_EQ(summary.ifetches, 3u);
+    EXPECT_EQ(summary.loads, 1u);
+    EXPECT_EQ(summary.stores, 1u);
+    EXPECT_EQ(summary.uniqueWords, 3u);
+    EXPECT_EQ(summary.minAddr, 0x10u);
+    EXPECT_EQ(summary.maxAddr, 0x30u);
+}
+
+TEST(Trace, SummaryToStringMentionsCounts)
+{
+    Trace trace("t");
+    trace.append(ifetch(0x10));
+    const std::string text = trace.summarize().toString();
+    EXPECT_NE(text.find("1 refs"), std::string::npos);
+    EXPECT_NE(text.find("1 ifetch"), std::string::npos);
+}
+
+TEST(Trace, EmptyTraceBehaves)
+{
+    Trace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.summarize().total, 0u);
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,112 @@
+/** @file Unit tests of the binary trace file format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace_io.h"
+
+namespace dynex
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace trace("sample");
+    trace.append(ifetch(0x1000));
+    trace.append(load(0xdeadbeef, 8));
+    trace.append(store(0xffff'ffff'0000'0004ull, 2));
+    return trace;
+}
+
+TEST(TraceIo, RoundTripThroughStream)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+
+    std::string error;
+    const auto restored = readTrace(buffer, &error);
+    ASSERT_TRUE(restored.has_value()) << error;
+    EXPECT_EQ(restored->name(), "sample");
+    ASSERT_EQ(restored->size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ((*restored)[i], original[i]) << "record " << i;
+}
+
+TEST(TraceIo, RoundTripLargeTraceThroughFile)
+{
+    Trace big("big");
+    for (int i = 0; i < 20000; ++i)
+        big.append(ifetch(0x1000 + 4 * static_cast<Addr>(i)));
+
+    const std::string path = ::testing::TempDir() + "/dynex_io_test.dxt";
+    ASSERT_TRUE(writeTraceFile(big, path));
+    std::string error;
+    const auto restored = readTraceFile(path, &error);
+    std::remove(path.c_str());
+    ASSERT_TRUE(restored.has_value()) << error;
+    EXPECT_EQ(restored->size(), big.size());
+    EXPECT_EQ((*restored)[19999], big[19999]);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    Trace empty("nothing");
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(empty, buffer));
+    const auto restored = readTrace(buffer);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_TRUE(restored->empty());
+    EXPECT_EQ(restored->name(), "nothing");
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buffer("NOPE-not-a-trace");
+    std::string error;
+    EXPECT_FALSE(readTrace(buffer, &error).has_value());
+    EXPECT_EQ(error, "bad magic");
+}
+
+TEST(TraceIo, RejectsTruncatedRecords)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() - 5); // chop into the last record
+    std::stringstream chopped(bytes);
+    std::string error;
+    EXPECT_FALSE(readTrace(chopped, &error).has_value());
+    EXPECT_EQ(error, "truncated records");
+}
+
+TEST(TraceIo, RejectsInvalidRefType)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTrace(original, buffer));
+    std::string bytes = buffer.str();
+    // The type byte of record 0 sits 8 bytes into the record area.
+    const std::size_t header = 4 + 4 + original.name().size() + 8;
+    bytes[header + 8] = 9;
+    std::stringstream corrupt(bytes);
+    std::string error;
+    EXPECT_FALSE(readTrace(corrupt, &error).has_value());
+    EXPECT_EQ(error, "invalid reference type");
+}
+
+TEST(TraceIo, MissingFileReportsError)
+{
+    std::string error;
+    EXPECT_FALSE(
+        readTraceFile("/nonexistent/dir/trace.dxt", &error).has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace dynex

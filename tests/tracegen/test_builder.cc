@@ -1,0 +1,145 @@
+/** @file Unit tests of the call-tree program generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/direct_mapped.h"
+#include "tracegen/builder.h"
+#include "tracegen/executor.h"
+
+namespace dynex
+{
+namespace
+{
+
+CallTreeSpec
+smallSpec()
+{
+    CallTreeSpec spec;
+    spec.numFunctions = 20;
+    spec.layers = 3;
+    spec.phaseRoots = 2;
+    spec.minBlockInstrs = 4;
+    spec.maxBlockInstrs = 12;
+    spec.minBlocksPerFunction = 2;
+    spec.maxBlocksPerFunction = 4;
+    spec.minLoopIterations = 2;
+    spec.maxLoopIterations = 6;
+    return spec;
+}
+
+TEST(CallTree, GeneratesExecutableProgram)
+{
+    Program program("test");
+    makeCallTreeProgram(program, smallSpec(), 1);
+    const Trace trace = generateTrace(program, 50000, 2);
+    EXPECT_EQ(trace.size(), 50000u);
+    for (const auto &ref : trace)
+        EXPECT_EQ(ref.type, RefType::Ifetch);
+}
+
+TEST(CallTree, FootprintScalesWithFunctionCount)
+{
+    Program small("small"), large("large");
+    auto spec = smallSpec();
+    makeCallTreeProgram(small, spec, 1);
+    spec.numFunctions = 200;
+    makeCallTreeProgram(large, spec, 1);
+    EXPECT_GT(large.codeFootprint(), 4 * small.codeFootprint());
+}
+
+TEST(CallTree, StructureSeedChangesTheProgram)
+{
+    Program a("a"), b("b");
+    makeCallTreeProgram(a, smallSpec(), 1);
+    makeCallTreeProgram(b, smallSpec(), 2);
+    const Trace ta = generateTrace(a, 2000, 5);
+    const Trace tb = generateTrace(b, 2000, 5);
+    int differing = 0;
+    for (std::size_t i = 0; i < 2000; ++i)
+        differing += !(ta[i] == tb[i]);
+    EXPECT_GT(differing, 100);
+}
+
+TEST(CallTree, SameSeedsReproduceExactly)
+{
+    Program a("a"), b("b");
+    makeCallTreeProgram(a, smallSpec(), 7);
+    makeCallTreeProgram(b, smallSpec(), 7);
+    const Trace ta = generateTrace(a, 5000, 9);
+    const Trace tb = generateTrace(b, 5000, 9);
+    for (std::size_t i = 0; i < 5000; ++i)
+        ASSERT_EQ(ta[i], tb[i]) << "position " << i;
+}
+
+TEST(CallTree, ExhibitsTemporalReuse)
+{
+    // Loops must make the stream revisit addresses heavily: far fewer
+    // unique words than references.
+    Program program("test");
+    makeCallTreeProgram(program, smallSpec(), 3);
+    const Trace trace = generateTrace(program, 30000, 4);
+    const TraceSummary summary = trace.summarize();
+    EXPECT_LT(summary.uniqueWords, summary.total / 10);
+}
+
+TEST(CallTree, SelfConflictsRaiseConflictMissRates)
+{
+    // With engineered self-conflicts every leaf-parent loop complex
+    // thrashes a 32KB direct-mapped cache; without them the small
+    // program is nearly conflict-free.
+    auto run = [](double self_conflict) {
+        Program program("p");
+        auto spec = smallSpec();
+        spec.selfConflictProbability = self_conflict;
+        spec.loopProbability = 1.0;
+        makeCallTreeProgram(program, spec, 5);
+        const Trace trace = generateTrace(program, 200000, 6);
+        DirectMappedCache cache(
+            CacheGeometry::directMapped(32 * 1024, 4));
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            cache.access(trace[i], i);
+        return cache.stats().missRate();
+    };
+    EXPECT_GT(run(1.0), 3.0 * run(0.0) + 0.001);
+}
+
+TEST(CallTree, SelfConflictsVanishAboveTheConflictModulo)
+{
+    // The engineered pairs are exactly 32KB apart: they conflict in a
+    // 32KB cache but coexist in a 64KB one.
+    Program program("p");
+    auto spec = smallSpec();
+    spec.selfConflictProbability = 1.0;
+    spec.loopProbability = 1.0;
+    makeCallTreeProgram(program, spec, 5);
+    const Trace trace = generateTrace(program, 200000, 6);
+
+    DirectMappedCache small(CacheGeometry::directMapped(32 * 1024, 4));
+    DirectMappedCache big(CacheGeometry::directMapped(64 * 1024, 4));
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        small.access(trace[i], i);
+        big.access(trace[i], i);
+    }
+    EXPECT_LT(big.stats().missRate(), 0.3 * small.stats().missRate());
+}
+
+TEST(CallTree, AttachesDataWhenConfigured)
+{
+    Program program("test");
+    DataPattern *data = program.addPattern(
+        std::make_unique<SequentialPattern>(0x10000000, 4096, 8));
+    auto spec = smallSpec();
+    spec.data = data;
+    spec.loadFrac = 0.3;
+    spec.storeFrac = 0.1;
+    makeCallTreeProgram(program, spec, 1);
+    const Trace trace = generateTrace(program, 20000, 2);
+    const TraceSummary summary = trace.summarize();
+    EXPECT_GT(summary.loads, 2000u);
+    EXPECT_GT(summary.stores, 500u);
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,128 @@
+/** @file Unit tests of the data-access pattern generators. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tracegen/data_pattern.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(SequentialPattern, SweepsAndWraps)
+{
+    SequentialPattern pattern(0x1000, 32, 8);
+    EXPECT_EQ(pattern.next(), 0x1000u);
+    EXPECT_EQ(pattern.next(), 0x1008u);
+    EXPECT_EQ(pattern.next(), 0x1010u);
+    EXPECT_EQ(pattern.next(), 0x1018u);
+    EXPECT_EQ(pattern.next(), 0x1000u) << "wraps at the region end";
+}
+
+TEST(SequentialPattern, ResetRestartsTheSweep)
+{
+    SequentialPattern pattern(0x1000, 64, 8);
+    pattern.next();
+    pattern.next();
+    pattern.reset();
+    EXPECT_EQ(pattern.next(), 0x1000u);
+}
+
+TEST(RandomPattern, StaysInRegionAndIsDeterministic)
+{
+    RandomPattern a(0x4000, 1024, 42);
+    RandomPattern b(0x4000, 1024, 42);
+    for (int i = 0; i < 500; ++i) {
+        const Addr addr = a.next();
+        EXPECT_GE(addr, 0x4000u);
+        EXPECT_LT(addr, 0x4400u);
+        EXPECT_EQ(addr, b.next());
+    }
+}
+
+TEST(ZipfPattern, SkewConcentratesOnEarlyRecords)
+{
+    ZipfPattern pattern(0x8000, 1000, 64, 1.1, 7);
+    int head = 0;
+    const int samples = 5000;
+    for (int i = 0; i < samples; ++i) {
+        const Addr addr = pattern.next();
+        ASSERT_GE(addr, 0x8000u);
+        ASSERT_LT(addr, 0x8000u + 1000 * 64);
+        head += addr < 0x8000 + 10 * 64;
+    }
+    EXPECT_GT(head, samples / 5);
+}
+
+TEST(PointerChase, VisitsEveryNodeBeforeRepeating)
+{
+    const std::uint64_t nodes = 64;
+    PointerChasePattern pattern(0x10000, nodes, 16, 3);
+    std::set<Addr> seen;
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        seen.insert(pattern.next());
+    EXPECT_EQ(seen.size(), nodes) << "single-cycle permutation";
+    // The next access restarts the same cycle.
+    EXPECT_TRUE(seen.count(pattern.next()));
+}
+
+TEST(PointerChase, AddressesAreNodeAligned)
+{
+    PointerChasePattern pattern(0x10000, 32, 32, 9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ((pattern.next() - 0x10000) % 32, 0u);
+}
+
+TEST(StackPattern, StaysInsideRegion)
+{
+    StackPattern pattern(0x20000, 4096, 64, 5);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = pattern.next();
+        EXPECT_GE(addr, 0x20000u);
+        EXPECT_LE(addr, 0x20000u + 4096);
+    }
+}
+
+TEST(StackPattern, ShowsStrongReuse)
+{
+    // A stack's working set is tiny relative to its excursion bound.
+    StackPattern pattern(0x20000, 64 * 1024, 128, 6);
+    std::set<Addr> unique;
+    const int samples = 10000;
+    for (int i = 0; i < samples; ++i)
+        unique.insert(pattern.next());
+    EXPECT_LT(unique.size(), static_cast<std::size_t>(samples / 4));
+}
+
+TEST(MixPattern, DrawsFromAllComponents)
+{
+    MixPattern mix(11);
+    mix.add(std::make_unique<SequentialPattern>(0x1000, 64, 8), 1.0);
+    mix.add(std::make_unique<SequentialPattern>(0x9000, 64, 8), 1.0);
+    bool saw_low = false, saw_high = false;
+    for (int i = 0; i < 200; ++i) {
+        const Addr addr = mix.next();
+        saw_low |= addr < 0x2000;
+        saw_high |= addr >= 0x9000;
+    }
+    EXPECT_TRUE(saw_low);
+    EXPECT_TRUE(saw_high);
+}
+
+TEST(MixPattern, ResetIsReproducible)
+{
+    MixPattern mix(13);
+    mix.add(std::make_unique<RandomPattern>(0x1000, 512, 1), 1.0);
+    mix.add(std::make_unique<SequentialPattern>(0x9000, 64, 8), 0.5);
+    std::vector<Addr> first;
+    for (int i = 0; i < 50; ++i)
+        first.push_back(mix.next());
+    mix.reset();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(mix.next(), first[i]);
+}
+
+} // namespace
+} // namespace dynex

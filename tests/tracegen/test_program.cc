@@ -1,0 +1,204 @@
+/** @file Unit tests of the synthetic program model and executor. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tracegen/builder.h"
+#include "tracegen/executor.h"
+#include "tracegen/program.h"
+#include "tracegen/spec.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(ProgramModel, CodeBlockEmitsSequentialInstructions)
+{
+    Program program("p");
+    Function *entry = program.addFunction("main");
+    entry->setBody(codeBlock(program, 5));
+    program.setEntry(entry);
+
+    const Trace trace = generateTrace(program, 5, 1);
+    ASSERT_EQ(trace.size(), 5u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].addr, trace[i - 1].addr + 4);
+    EXPECT_EQ(trace[0].type, RefType::Ifetch);
+}
+
+TEST(ProgramModel, LoopRepeatsItsBody)
+{
+    Program program("p");
+    Function *entry = program.addFunction("main");
+    entry->setBody(loop(codeBlock(program, 3), 4));
+    program.setEntry(entry);
+
+    const Trace trace = generateTrace(program, 12, 1);
+    ASSERT_EQ(trace.size(), 12u);
+    EXPECT_EQ(trace[0].addr, trace[3].addr);
+    EXPECT_EQ(trace[2].addr, trace[11].addr);
+}
+
+TEST(ProgramModel, BudgetTruncatesMidNode)
+{
+    Program program("p");
+    Function *entry = program.addFunction("main");
+    entry->setBody(loop(codeBlock(program, 100), 1000));
+    program.setEntry(entry);
+    EXPECT_EQ(generateTrace(program, 37, 1).size(), 37u);
+}
+
+TEST(ProgramModel, CallsExecuteCalleeBody)
+{
+    Program program("p");
+    Function *callee = program.addFunction("leaf");
+    callee->setBody(codeBlock(program, 2));
+    Function *entry = program.addFunction("main");
+    entry->setBody(seq(codeBlock(program, 2), call(callee)));
+    program.setEntry(entry);
+
+    const Trace trace = generateTrace(program, 4, 1);
+    ASSERT_EQ(trace.size(), 4u);
+    // The callee's block was allocated before main's, so its
+    // addresses differ from the caller's.
+    EXPECT_NE(trace[0].addr, trace[2].addr);
+}
+
+TEST(ProgramModel, RecursionIsBoundedByCallDepth)
+{
+    Program program("p");
+    Function *rec = program.addFunction("rec");
+    // rec = block; rec(self) — unbounded without the depth guard.
+    rec->setBody(seq(codeBlock(program, 1), call(rec)));
+    Function *entry = program.addFunction("main");
+    entry->setBody(seq(call(rec), codeBlock(program, 1)));
+    program.setEntry(entry);
+
+    const Trace trace = generateTrace(program, 1000, 1);
+    EXPECT_EQ(trace.size(), 1000u) << "generation terminates";
+}
+
+TEST(ProgramModel, AlternativeChoosesWeightedBranches)
+{
+    Program program("p");
+    Function *entry = program.addFunction("main");
+    NodePtr heavy = codeBlock(program, 1);
+    const Addr heavy_addr =
+        static_cast<const CodeBlock *>(heavy.get())->startAddr();
+    std::vector<std::pair<NodePtr, double>> branches;
+    branches.emplace_back(std::move(heavy), 9.0);
+    branches.emplace_back(codeBlock(program, 1), 1.0);
+    entry->setBody(alt(std::move(branches)));
+    program.setEntry(entry);
+
+    const Trace trace = generateTrace(program, 2000, 7);
+    int heavy_count = 0;
+    for (const auto &ref : trace)
+        heavy_count += ref.addr == heavy_addr;
+    EXPECT_GT(heavy_count, 1500);
+    EXPECT_LT(heavy_count, 2000);
+}
+
+TEST(ProgramModel, DataAttachmentEmitsLoadsAndStores)
+{
+    Program program("p");
+    DataPattern *data = program.addPattern(
+        std::make_unique<SequentialPattern>(0x100000, 1024, 8));
+    auto block = std::make_unique<CodeBlock>(program.allocateCode(10), 10);
+    block->attachData(data, 0.5, 0.25);
+    Function *entry = program.addFunction("main");
+    entry->setBody(std::move(block));
+    program.setEntry(entry);
+
+    const Trace trace = generateTrace(program, 5000, 3);
+    const TraceSummary summary = trace.summarize();
+    EXPECT_GT(summary.loads, 0u);
+    EXPECT_GT(summary.stores, 0u);
+    EXPECT_GT(summary.loads, summary.stores);
+    EXPECT_GT(summary.ifetches, summary.loads);
+}
+
+TEST(ProgramModel, GenerationIsDeterministic)
+{
+    auto build = [] {
+        auto program = std::make_unique<Program>("p");
+        Function *entry = program->addFunction("main");
+        entry->setBody(
+            loop(seq(codeBlock(*program, 7), codeBlock(*program, 3)), 2,
+                 9));
+        program->setEntry(entry);
+        return program;
+    };
+    auto p1 = build();
+    auto p2 = build();
+    const Trace t1 = generateTrace(*p1, 4000, 99);
+    const Trace t2 = generateTrace(*p2, 4000, 99);
+    ASSERT_EQ(t1.size(), t2.size());
+    for (std::size_t i = 0; i < t1.size(); ++i)
+        ASSERT_EQ(t1[i], t2[i]) << "position " << i;
+}
+
+TEST(ProgramModel, CodeFootprintTracksAllocation)
+{
+    Program program("p");
+    EXPECT_EQ(program.codeFootprint(), 0u);
+    program.allocateCode(100);
+    EXPECT_EQ(program.codeFootprint(), 400u);
+}
+
+TEST(ProgramModel, AliasingAllocationIsCongruentWithTarget)
+{
+    Program program("p", 0x40'0000);
+    const Addr target = program.allocateCode(64);
+    program.allocateCode(500);
+    const Addr aliased =
+        program.allocateCodeAliasing(target, 64, 32 * 1024);
+    EXPECT_EQ(aliased & (32 * 1024 - 1), target & (32 * 1024 - 1))
+        << "the aliased block must conflict in any cache <= 32KB";
+    EXPECT_GT(aliased, target);
+}
+
+TEST(ProgramModel, AliasingGapsAreBackfilled)
+{
+    Program program("p", 0x40'0000);
+    const Addr target = program.allocateCode(64);
+    const Addr aliased =
+        program.allocateCodeAliasing(target, 64, 32 * 1024);
+    // The hole between the cursor and the aliased block is reused.
+    const Addr filler = program.allocateCode(32);
+    EXPECT_LT(filler, aliased) << "plain allocations back-fill the gap";
+    EXPECT_GE(filler, target + 64 * 4);
+}
+
+TEST(ProgramModel, MeasurePassLengthCountsOneEntryExecution)
+{
+    Program program("p");
+    Function *entry = program.addFunction("main");
+    entry->setBody(loop(codeBlock(program, 5), 7));
+    program.setEntry(entry);
+    EXPECT_EQ(measurePassLength(program, 1), 35u);
+}
+
+TEST(ProgramModel, SuitePassesAreShortEnoughForPhaseRecurrence)
+{
+    // The calibration invariant behind the whole evaluation: every
+    // call-tree benchmark's phase cycle must recur several times
+    // within even a modest trace budget. (fpppp's long steady loops
+    // are exempt: its pattern lives within each loop window.)
+    for (const char *name : {"doduc", "espresso", "gcc", "li", "spice",
+                             "eqntott"}) {
+        auto program = makeSpecProgram(name);
+        EXPECT_LT(measurePassLength(*program, 1), 700'000u) << name;
+    }
+}
+
+TEST(ProgramModelDeathTest, EntryRequired)
+{
+    Program program("p");
+    EXPECT_DEATH(generateTrace(program, 10, 1), "no entry function");
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,84 @@
+/** @file Unit tests of the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(BitOps, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(BitOps, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(BitOps, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1ull << 40), 40u);
+}
+
+TEST(BitOps, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignDown(0x1230, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+}
+
+TEST(BitOps, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(BitOps, BitField)
+{
+    EXPECT_EQ(bitField(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bitField(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bitField(~0ull, 60, 4), 0xfu);
+}
+
+class Log2RoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Log2RoundTrip, PowersRoundTripExactly)
+{
+    const unsigned n = GetParam();
+    const std::uint64_t value = 1ull << n;
+    EXPECT_EQ(floorLog2(value), n);
+    EXPECT_EQ(ceilLog2(value), n);
+    EXPECT_TRUE(isPowerOfTwo(value));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, Log2RoundTrip,
+                         ::testing::Range(0u, 64u));
+
+} // namespace
+} // namespace dynex

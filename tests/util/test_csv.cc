@@ -1,0 +1,49 @@
+/** @file Unit tests of CSV emission. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(Csv, PlainCellsPassThrough)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, CellsWithCommasAreQuoted)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow({"a,b", "c"});
+    EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, QuotesAreDoubled)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, NewlinesAreQuoted)
+{
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, EmptyRowIsJustNewline)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow({});
+    EXPECT_EQ(out.str(), "\n");
+}
+
+} // namespace
+} // namespace dynex

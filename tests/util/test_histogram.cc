@@ -1,0 +1,66 @@
+/** @file Unit tests of the log2 histogram. */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(Log2Histogram, BucketsByPowerOfTwo)
+{
+    Log2Histogram h;
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    h.add(1023);
+    h.add(1024);
+    EXPECT_EQ(h.bucket(0), 2u) << "0 and 1 share bucket 0";
+    EXPECT_EQ(h.bucket(1), 2u) << "2 and 3";
+    EXPECT_EQ(h.bucket(2), 1u) << "4..7";
+    EXPECT_EQ(h.bucket(9), 1u) << "512..1023";
+    EXPECT_EQ(h.bucket(10), 1u) << "1024..2047";
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Log2Histogram, WeightsAccumulate)
+{
+    Log2Histogram h;
+    h.add(16, 5);
+    h.add(17, 3);
+    EXPECT_EQ(h.bucket(4), 8u);
+    EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(Log2Histogram, OutOfRangeBucketIsZero)
+{
+    Log2Histogram h;
+    h.add(1);
+    EXPECT_EQ(h.bucket(50), 0u);
+}
+
+TEST(Log2Histogram, QuantileUpperBound)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.add(1);
+    for (int i = 0; i < 10; ++i)
+        h.add(1000);
+    EXPECT_EQ(h.quantileUpperBound(0.5), 1u);
+    EXPECT_EQ(h.quantileUpperBound(0.99), 1023u);
+}
+
+TEST(Log2Histogram, ToStringListsNonEmptyBuckets)
+{
+    Log2Histogram h;
+    h.add(5);
+    const std::string text = h.toString();
+    EXPECT_NE(text.find("[4, 7]: 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,141 @@
+/** @file Unit tests of the deterministic random number generators. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowIsInRange)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(99);
+    std::vector<int> counts(8, 0);
+    const int samples = 80000;
+    for (int i = 0; i < samples; ++i)
+        ++counts[rng.nextBelow(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, samples / 8 - 700);
+        EXPECT_LT(c, samples / 8 + 700);
+    }
+}
+
+TEST(Rng, NextRangeIsInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatchesExpectation)
+{
+    Rng rng(11);
+    const double p = 0.25;
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    EXPECT_NEAR(sum / n, 1.0 / p, 0.15);
+}
+
+TEST(Rng, GeometricWithCertaintyIsOne)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 1u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(42);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Zipf, RanksAreInRange)
+{
+    ZipfSampler zipf(123, 100, 1.0);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(zipf.next(), 100u);
+}
+
+TEST(Zipf, LowRanksDominateWithSkew)
+{
+    ZipfSampler zipf(7, 1000, 1.1);
+    int head = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i)
+        head += zipf.next() < 10;
+    // With s=1.1 over 1000 items the top 10 carry a large share.
+    EXPECT_GT(head, samples / 4);
+}
+
+TEST(Zipf, ZeroExponentIsNearUniform)
+{
+    ZipfSampler zipf(9, 10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i)
+        ++counts[zipf.next()];
+    for (int c : counts) {
+        EXPECT_GT(c, samples / 10 - 900);
+        EXPECT_LT(c, samples / 10 + 900);
+    }
+}
+
+} // namespace
+} // namespace dynex

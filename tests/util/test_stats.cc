@@ -1,0 +1,99 @@
+/** @file Unit tests of the statistics accumulators. */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSinglePass)
+{
+    RunningStat whole, left, right;
+    for (int i = 0; i < 100; ++i) {
+        const double v = i * 0.37 - 10;
+        whole.add(v);
+        (i < 40 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat a, b;
+    a.add(3.0);
+    a.merge(b); // empty rhs
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a); // empty lhs
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Ratio, PercentAndZeroDenominator)
+{
+    Ratio r(3, 12);
+    EXPECT_DOUBLE_EQ(r.value(), 0.25);
+    EXPECT_DOUBLE_EQ(r.percent(), 25.0);
+    Ratio zero;
+    EXPECT_DOUBLE_EQ(zero.value(), 0.0);
+}
+
+TEST(Ratio, IncrementalAccumulation)
+{
+    Ratio r;
+    for (int i = 0; i < 10; ++i) {
+        r.addDenominator();
+        if (i % 2 == 0)
+            r.addNumerator();
+    }
+    EXPECT_DOUBLE_EQ(r.value(), 0.5);
+}
+
+TEST(PercentReduction, StandardCases)
+{
+    EXPECT_DOUBLE_EQ(percentReduction(10.0, 5.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentReduction(10.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentReduction(10.0, 12.0), -20.0);
+    EXPECT_DOUBLE_EQ(percentReduction(0.0, 5.0), 0.0)
+        << "zero baseline defines reduction as zero";
+}
+
+TEST(Means, ArithmeticAndGeometric)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+} // namespace
+} // namespace dynex

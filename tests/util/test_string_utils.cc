@@ -1,0 +1,78 @@
+/** @file Unit tests of string/size helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/string_utils.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(FormatSize, ScalesExactPowers)
+{
+    EXPECT_EQ(formatSize(0), "0B");
+    EXPECT_EQ(formatSize(512), "512B");
+    EXPECT_EQ(formatSize(1024), "1KB");
+    EXPECT_EQ(formatSize(32 * 1024), "32KB");
+    EXPECT_EQ(formatSize(3 * 1024 * 1024), "3MB");
+}
+
+TEST(FormatSize, NonMultiplesStayInBytes)
+{
+    EXPECT_EQ(formatSize(1000), "1000B");
+    EXPECT_EQ(formatSize(1536), "1536B");
+}
+
+TEST(ParseSize, AcceptsSuffixes)
+{
+    EXPECT_EQ(parseSize("512"), 512u);
+    EXPECT_EQ(parseSize("512B"), 512u);
+    EXPECT_EQ(parseSize("32KB"), 32u * 1024);
+    EXPECT_EQ(parseSize("32kb"), 32u * 1024);
+    EXPECT_EQ(parseSize("2M"), 2u * 1024 * 1024);
+    EXPECT_EQ(parseSize(" 1GB "), 1ull << 30);
+}
+
+TEST(ParseSize, RejectsGarbage)
+{
+    EXPECT_FALSE(parseSize("").has_value());
+    EXPECT_FALSE(parseSize("KB").has_value());
+    EXPECT_FALSE(parseSize("12XB").has_value());
+    EXPECT_FALSE(parseSize("999999999999999999999999").has_value());
+}
+
+TEST(ParseSize, RoundTripsFormatSize)
+{
+    for (const std::uint64_t v :
+         {1ull, 512ull, 1024ull, 32ull * 1024, 1ull << 30}) {
+        EXPECT_EQ(parseSize(formatSize(v)), v);
+    }
+}
+
+TEST(Split, BasicSplitting)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(Trim, RemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(IEquals, CaseInsensitiveComparison)
+{
+    EXPECT_TRUE(iequals("LRU", "lru"));
+    EXPECT_TRUE(iequals("", ""));
+    EXPECT_FALSE(iequals("lru", "lr"));
+    EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+} // namespace
+} // namespace dynex

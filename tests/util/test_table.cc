@@ -1,0 +1,75 @@
+/** @file Unit tests of the table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace dynex
+{
+namespace
+{
+
+Table
+sample()
+{
+    Table t;
+    t.setHeader({"bench", "miss%"});
+    t.addRow({"gcc", "7.25"});
+    t.addRow({"li", "2.10"});
+    return t;
+}
+
+TEST(Table, TextLayoutAlignsColumns)
+{
+    const std::string text = sample().toText();
+    EXPECT_NE(text.find("bench  miss%"), std::string::npos);
+    EXPECT_NE(text.find("-----  -----"), std::string::npos);
+    EXPECT_NE(text.find("gcc     7.25"), std::string::npos)
+        << "numbers right-aligned by default";
+}
+
+TEST(Table, MarkdownLayout)
+{
+    const std::string md = sample().toMarkdown();
+    EXPECT_NE(md.find("| bench | miss% |"), std::string::npos);
+    EXPECT_NE(md.find("| :----- |"), std::string::npos)
+        << "left-aligned label column (width of 'bench')";
+    EXPECT_NE(md.find("-----: |"), std::string::npos)
+        << "right-aligned number column";
+}
+
+TEST(Table, ExplicitAlignmentOverridesDefaults)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    t.setAlignment({Table::Align::Right, Table::Align::Left});
+    t.addRow({"x", "y"});
+    const std::string md = t.toMarkdown();
+    EXPECT_NE(md.find("| -: | :- |"), std::string::npos);
+}
+
+TEST(Table, FmtFormatsDoubles)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(3.0, 0), "3");
+    EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Table, AccessorsExposeRows)
+{
+    const Table t = sample();
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.columnCount(), 2u);
+    EXPECT_EQ(t.headerRow()[0], "bench");
+    EXPECT_EQ(t.dataRows()[1][0], "li");
+}
+
+TEST(TableDeathTest, RowWidthMustMatchHeader)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace dynex

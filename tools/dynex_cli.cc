@@ -1,0 +1,403 @@
+/**
+ * @file
+ * The dynex command-line tool: generate, inspect, convert, and
+ * simulate traces from the shell.
+ *
+ *   dynex list
+ *   dynex gen <benchmark> <out.{dxt,din}> [--refs N] [--stream KIND]
+ *   dynex info <trace-file>
+ *   dynex convert <in.{dxt,din}> <out.{dxt,din}>
+ *   dynex sim <trace-file|benchmark> [--cache KIND] [--size S]
+ *             [--line L] [--sticky N] [--lastline] [--victim N]
+ *             [--refs N] [--stream KIND]
+ *   dynex triad <trace-file|benchmark> [--size S] [--line L] [--refs N]
+ *   dynex analyze <trace-file|benchmark> [--size S] [--line L]
+ *             [--refs N] [--stream KIND]
+ *
+ * KIND (cache): dm | dynex | 2way | 4way | 8way | fa | opt
+ * KIND (stream): mixed | ifetch | data        (benchmarks only)
+ * S, L accept size suffixes: 32KB, 16, 8K, ...
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/factory.h"
+#include "cache/optimal.h"
+#include "cache/victim.h"
+#include "sim/analysis.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "trace/text_io.h"
+#include "trace/trace_io.h"
+#include "tracegen/spec.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace
+{
+
+using namespace dynex;
+
+/** Parsed command-line options after the positional arguments. */
+struct Options
+{
+    std::string cache = "dm";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 16;
+    std::uint8_t stickyMax = 1;
+    bool lastLine = false;
+    std::uint32_t victimEntries = 0;
+    Count refs = 0; // 0 = default
+    std::string stream = "ifetch";
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dynex <command> [args]\n"
+        "  list                                  suite benchmarks\n"
+        "  gen <benchmark> <out.{dxt,din}>       generate a trace file\n"
+        "  info <trace-file>                     summarize a trace\n"
+        "  convert <in> <out>                    convert dxt <-> din\n"
+        "  sim <trace|benchmark> [options]       run one cache model\n"
+        "  triad <trace|benchmark> [options]     dm vs dynex vs optimal\n"
+        "  analyze <trace|benchmark> [options]   conflict structure\n"
+        "options: --cache K --size S --line L --sticky N --lastline\n"
+        "         --victim N --refs N --stream mixed|ifetch|data\n");
+    return 2;
+}
+
+bool
+looksLikeFile(const std::string &name)
+{
+    return name.find('.') != std::string::npos ||
+           name.find('/') != std::string::npos;
+}
+
+bool
+isDinPath(const std::string &path)
+{
+    return path.size() >= 4 &&
+           iequals(path.substr(path.size() - 4), ".din");
+}
+
+std::optional<Trace>
+loadTraceFile(const std::string &path)
+{
+    std::string error;
+    auto trace = isDinPath(path) ? readDinTraceFile(path, &error)
+                                 : readTraceFile(path, &error);
+    if (!trace)
+        std::fprintf(stderr, "dynex: cannot read %s: %s\n", path.c_str(),
+                     error.c_str());
+    return trace;
+}
+
+bool
+storeTraceFile(const Trace &trace, const std::string &path)
+{
+    const bool ok = isDinPath(path) ? writeDinTraceFile(trace, path)
+                                    : writeTraceFile(trace, path);
+    if (!ok)
+        std::fprintf(stderr, "dynex: cannot write %s\n", path.c_str());
+    return ok;
+}
+
+/** Resolve a positional trace argument: a file path or a benchmark. */
+std::optional<Trace>
+resolveTrace(const std::string &arg, const Options &options)
+{
+    if (looksLikeFile(arg))
+        return loadTraceFile(arg);
+    if (!isSpecBenchmark(arg)) {
+        std::fprintf(stderr,
+                     "dynex: '%s' is neither a file nor a benchmark\n",
+                     arg.c_str());
+        return std::nullopt;
+    }
+    const Count refs =
+        options.refs ? options.refs : Workloads::defaultRefs();
+    if (options.stream == "mixed")
+        return *Workloads::mixed(arg, refs);
+    if (options.stream == "data")
+        return *Workloads::data(arg, refs);
+    return *Workloads::instructions(arg, refs);
+}
+
+bool
+parseOptions(int argc, char **argv, int first, Options &options)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "dynex: %s needs a value\n",
+                             flag.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (flag == "--lastline") {
+            options.lastLine = true;
+        } else if (flag == "--cache") {
+            const char *v = value();
+            if (!v)
+                return false;
+            options.cache = v;
+        } else if (flag == "--stream") {
+            const char *v = value();
+            if (!v)
+                return false;
+            options.stream = v;
+            if (options.stream != "mixed" && options.stream != "ifetch" &&
+                options.stream != "data") {
+                std::fprintf(stderr, "dynex: bad --stream '%s'\n", v);
+                return false;
+            }
+        } else if (flag == "--size" || flag == "--line") {
+            const char *v = value();
+            if (!v)
+                return false;
+            const auto parsed = parseSize(v);
+            if (!parsed) {
+                std::fprintf(stderr, "dynex: bad size '%s'\n", v);
+                return false;
+            }
+            if (flag == "--size")
+                options.sizeBytes = *parsed;
+            else
+                options.lineBytes =
+                    static_cast<std::uint32_t>(*parsed);
+        } else if (flag == "--sticky" || flag == "--victim" ||
+                   flag == "--refs") {
+            const char *v = value();
+            if (!v)
+                return false;
+            const auto parsed = std::strtoull(v, nullptr, 10);
+            if (flag == "--sticky")
+                options.stickyMax = static_cast<std::uint8_t>(parsed);
+            else if (flag == "--victim")
+                options.victimEntries =
+                    static_cast<std::uint32_t>(parsed);
+            else
+                options.refs = parsed;
+        } else {
+            std::fprintf(stderr, "dynex: unknown option '%s'\n",
+                         flag.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdList()
+{
+    Table table;
+    table.setHeader({"benchmark", "description"});
+    for (const auto &info : specSuite())
+        table.addRow({info.name, info.description});
+    std::printf("%s", table.toText().c_str());
+    return 0;
+}
+
+int
+cmdGen(const std::string &benchmark, const std::string &out_path,
+       const Options &options)
+{
+    if (!isSpecBenchmark(benchmark)) {
+        std::fprintf(stderr, "dynex: unknown benchmark '%s'\n",
+                     benchmark.c_str());
+        return 1;
+    }
+    const auto trace = resolveTrace(benchmark, options);
+    if (!trace || !storeTraceFile(*trace, out_path))
+        return 1;
+    std::printf("wrote %zu references to %s\n", trace->size(),
+                out_path.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    const auto trace = loadTraceFile(path);
+    if (!trace)
+        return 1;
+    const TraceSummary summary = trace->summarize();
+    std::printf("name:    %s\n", trace->name().c_str());
+    std::printf("refs:    %s\n", summary.toString().c_str());
+    std::printf("range:   [0x%llx, 0x%llx]\n",
+                static_cast<unsigned long long>(summary.minAddr),
+                static_cast<unsigned long long>(summary.maxAddr));
+    return 0;
+}
+
+int
+cmdConvert(const std::string &in_path, const std::string &out_path)
+{
+    const auto trace = loadTraceFile(in_path);
+    if (!trace || !storeTraceFile(*trace, out_path))
+        return 1;
+    std::printf("converted %zu references: %s -> %s\n", trace->size(),
+                in_path.c_str(), out_path.c_str());
+    return 0;
+}
+
+int
+cmdSim(const std::string &target, const Options &options)
+{
+    const auto trace = resolveTrace(target, options);
+    if (!trace)
+        return 1;
+
+    const auto geometry =
+        CacheGeometry::directMapped(options.sizeBytes, options.lineBytes);
+
+    std::unique_ptr<CacheModel> cache;
+    std::unique_ptr<NextUseIndex> index;
+    if (iequals(options.cache, "opt")) {
+        index = std::make_unique<NextUseIndex>(*trace, options.lineBytes,
+                                               NextUseMode::RunStart);
+        cache = std::make_unique<OptimalDirectMappedCache>(geometry,
+                                                           *index, true);
+    } else if (options.victimEntries > 0 &&
+               iequals(options.cache, "dm")) {
+        cache = std::make_unique<VictimCache>(geometry,
+                                              options.victimEntries);
+    } else {
+        DynamicExclusionConfig config;
+        config.stickyMax = options.stickyMax;
+        config.useLastLine = options.lastLine;
+        cache = makeCache(options.cache, geometry, config);
+    }
+
+    const CacheStats stats = runTrace(*cache, *trace);
+    std::printf("trace:   %s (%zu refs)\n", trace->name().c_str(),
+                trace->size());
+    std::printf("cache:   %s %s\n", cache->name().c_str(),
+                cache->geometry().toString().c_str());
+    std::printf("result:  %s\n", stats.toString().c_str());
+    return 0;
+}
+
+int
+cmdTriad(const std::string &target, const Options &options)
+{
+    const auto trace = resolveTrace(target, options);
+    if (!trace)
+        return 1;
+
+    const NextUseIndex index(*trace, options.lineBytes,
+                             NextUseMode::RunStart);
+    DynamicExclusionConfig config;
+    config.stickyMax = options.stickyMax;
+    config.useLastLine = options.lineBytes > 4;
+    const TriadResult triad = runTriad(
+        *trace, index, options.sizeBytes, options.lineBytes, config);
+
+    Table table;
+    table.setHeader({"model", "miss %", "misses", "bypasses"});
+    table.addRow({"direct-mapped", Table::fmt(triad.dmMissPct(), 3),
+                  std::to_string(triad.dm.misses),
+                  std::to_string(triad.dm.bypasses)});
+    table.addRow({"dynamic-exclusion", Table::fmt(triad.deMissPct(), 3),
+                  std::to_string(triad.de.misses),
+                  std::to_string(triad.de.bypasses)});
+    table.addRow({"optimal", Table::fmt(triad.optMissPct(), 3),
+                  std::to_string(triad.opt.misses),
+                  std::to_string(triad.opt.bypasses)});
+    std::printf("trace: %s (%zu refs), cache %s/%s direct-mapped\n\n",
+                trace->name().c_str(), trace->size(),
+                formatSize(options.sizeBytes).c_str(),
+                formatSize(options.lineBytes).c_str());
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("dynamic exclusion reduction: %.1f%% (optimal: %.1f%%)\n",
+                triad.deImprovementPct(), triad.optImprovementPct());
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string &target, const Options &options)
+{
+    const auto trace = resolveTrace(target, options);
+    if (!trace)
+        return 1;
+
+    const auto geometry =
+        CacheGeometry::directMapped(options.sizeBytes, options.lineBytes);
+    const ConflictCensus census = conflictCensus(*trace, geometry);
+    const Log2Histogram reuse =
+        reuseDistanceHistogram(*trace, options.lineBytes);
+
+    std::printf("trace:   %s (%zu refs)\n", trace->name().c_str(),
+                trace->size());
+    std::printf("cache:   %s\n", geometry.toString().c_str());
+    std::printf("census:  %s\n", census.toString().c_str());
+    std::printf("         two-way sets are dynamic exclusion's "
+                "headroom; multi-way rotations defeat one sticky "
+                "bit\n");
+    std::printf("reuse-distance histogram (intervening line refs):\n%s",
+                reuse.toString().c_str());
+    std::printf("median reuse distance <= %llu lines (cache holds "
+                "%llu)\n",
+                static_cast<unsigned long long>(
+                    reuse.quantileUpperBound(0.5)),
+                static_cast<unsigned long long>(geometry.numLines()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    if (command == "list")
+        return cmdList();
+
+    if (command == "gen") {
+        if (argc < 4)
+            return usage();
+        Options options;
+        options.stream = "mixed";
+        if (!parseOptions(argc, argv, 4, options))
+            return 2;
+        return cmdGen(argv[2], argv[3], options);
+    }
+    if (command == "info") {
+        if (argc < 3)
+            return usage();
+        return cmdInfo(argv[2]);
+    }
+    if (command == "convert") {
+        if (argc < 4)
+            return usage();
+        return cmdConvert(argv[2], argv[3]);
+    }
+    if (command == "sim" || command == "triad" || command == "analyze") {
+        if (argc < 3)
+            return usage();
+        Options options;
+        if (!parseOptions(argc, argv, 3, options))
+            return 2;
+        if (command == "sim")
+            return cmdSim(argv[2], options);
+        if (command == "triad")
+            return cmdTriad(argv[2], options);
+        return cmdAnalyze(argv[2], options);
+    }
+    std::fprintf(stderr, "dynex: unknown command '%s'\n",
+                 command.c_str());
+    return usage();
+}
