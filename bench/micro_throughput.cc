@@ -12,9 +12,12 @@
 #include "cache/optimal.h"
 #include "cache/set_assoc.h"
 #include "cache/victim.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
 #include "trace/next_use.h"
 #include "tracegen/spec.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace
 {
@@ -24,7 +27,10 @@ using namespace dynex;
 Trace
 benchTrace(std::size_t refs)
 {
-    // A loopy synthetic stream resembling instruction traffic.
+    // A loopy synthetic stream resembling instruction traffic. The
+    // inner loops emit whole loop bodies, so stop as soon as the
+    // budget is met and truncate the overshoot: items-processed
+    // accounting relies on the trace being exactly `refs` long.
     Rng rng(0xbe7c4);
     Trace trace("bench");
     trace.reserve(refs);
@@ -32,10 +38,11 @@ benchTrace(std::size_t refs)
         const Addr base = 0x10000 + 4 * rng.nextBelow(32768);
         const int body = 4 + static_cast<int>(rng.nextBelow(24));
         const int iters = 1 + static_cast<int>(rng.nextBelow(6));
-        for (int i = 0; i < iters; ++i)
-            for (int j = 0; j < body; ++j)
+        for (int i = 0; i < iters && trace.size() < refs; ++i)
+            for (int j = 0; j < body && trace.size() < refs; ++j)
                 trace.append(ifetch(base + 4 * static_cast<Addr>(j)));
     }
+    trace.mutableRecords().resize(refs);
     return trace;
 }
 
@@ -128,6 +135,60 @@ BM_NextUseIndexBuild(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * trace.size()));
 }
 BENCHMARK(BM_NextUseIndexBuild);
+
+void
+BM_ReplayVirtual(benchmark::State &state)
+{
+    // Replay through the CacheModel& interface: one virtual dispatch
+    // per reference. Baseline for BM_ReplayTemplated.
+    const Trace &trace = sharedTrace();
+    DynamicExclusionCache cache(
+        CacheGeometry::directMapped(32 * 1024, 4));
+    CacheModel &model = cache;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTrace(model, trace));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_ReplayVirtual);
+
+void
+BM_ReplayTemplated(benchmark::State &state)
+{
+    // The statically-dispatched fast path used by runTriad: the model
+    // type is known, so doAccess devirtualizes and inlines.
+    const Trace &trace = sharedTrace();
+    DynamicExclusionCache cache(
+        CacheGeometry::directMapped(32 * 1024, 4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(replayTrace(cache, trace));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_ReplayTemplated);
+
+void
+BM_SuiteSweepParallel(benchmark::State &state)
+{
+    // The suite-average sweep fanned out over state.range(0) workers;
+    // results are bit-identical across the axis, only wall-clock
+    // changes. Uses a small fixed budget so the smoke run stays fast.
+    ThreadPool::setConfiguredWorkers(
+        static_cast<unsigned>(state.range(0)));
+    const std::vector<std::string> names = {"mat300", "tomcatv"};
+    constexpr Count kRefs = 100000;
+    for (auto _ : state) {
+        const auto points =
+            sweepSuiteAverage(names, kRefs, paperCacheSizes(), 4);
+        benchmark::DoNotOptimize(points.back().deMissPct);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * names.size() * paperCacheSizes().size() *
+        3 * kRefs));
+    ThreadPool::setConfiguredWorkers(0);
+}
+BENCHMARK(BM_SuiteSweepParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_TraceGeneration(benchmark::State &state)

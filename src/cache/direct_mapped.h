@@ -18,7 +18,7 @@ namespace dynex
  * A direct-mapped cache with allocate-on-miss. This is the reference
  * point every figure in the paper measures improvement against.
  */
-class DirectMappedCache : public CacheModel
+class DirectMappedCache final : public CacheModel
 {
   public:
     /** @param geometry must have ways == 1. */

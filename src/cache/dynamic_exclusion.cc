@@ -17,6 +17,25 @@ DynamicExclusionCache::DynamicExclusionCache(
                  "dynamic exclusion applies to direct-mapped caches");
     DYNEX_ASSERT(cfg.stickyMax >= 1, "stickyMax must be at least 1");
     lines.resize(geo.numLines());
+    idealHitLast = dynamic_cast<IdealHitLastStore *>(hitLast.get());
+}
+
+bool
+DynamicExclusionCache::lookupHitLast(Addr block) const
+{
+    // IdealHitLastStore is final, so this call devirtualizes and the
+    // bitmap probe inlines into the replay loop.
+    return idealHitLast ? idealHitLast->lookup(block)
+                        : hitLast->lookup(block);
+}
+
+void
+DynamicExclusionCache::updateHitLast(Addr block, bool value)
+{
+    if (idealHitLast)
+        idealHitLast->update(block, value);
+    else
+        hitLast->update(block, value);
 }
 
 void
@@ -54,11 +73,11 @@ DynamicExclusionCache::doAccess(const MemRef &ref, Tick)
         lastBlock = block;
 
     const std::uint64_t set = geo.setOf(ref.addr);
-    const bool h = hitLast->lookup(block);
+    const bool h = lookupHitLast(block);
     const FsmStep step = exclusionStep(lines[set], block, h, cfg.stickyMax);
     events.note(step.event);
     if (step.newHitLast)
-        hitLast->update(block, *step.newHitLast);
+        updateHitLast(block, *step.newHitLast);
 
     outcome.hit = step.hit;
     outcome.filled = step.allocated && !step.hit;

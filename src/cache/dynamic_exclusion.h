@@ -67,7 +67,7 @@ struct FsmEventCounts
  * one exact bit per block, the configuration behind the paper's
  * single-level figures.
  */
-class DynamicExclusionCache : public CacheModel
+class DynamicExclusionCache final : public CacheModel
 {
   public:
     /**
@@ -100,8 +100,15 @@ class DynamicExclusionCache : public CacheModel
     AccessOutcome doAccess(const MemRef &ref, Tick tick) override;
 
   private:
+    bool lookupHitLast(Addr block) const;
+    void updateHitLast(Addr block, bool value);
+
     DynamicExclusionConfig cfg;
     std::unique_ptr<HitLastStore> hitLast;
+    /** Set iff hitLast is the default IdealHitLastStore: lets the hot
+     * path call the final class directly (inlined bitmap probe)
+     * instead of dispatching through the HitLastStore vtable. */
+    IdealHitLastStore *idealHitLast = nullptr;
     std::vector<ExclusionLine> lines;
     FsmEventCounts events;
     Addr lastBlock = kAddrInvalid;

@@ -31,7 +31,7 @@ namespace dynex
  * Exclusion state advances once per line reference, exactly as in the
  * other long-line schemes.
  */
-class ExclusionStreamCache : public CacheModel
+class ExclusionStreamCache final : public CacheModel
 {
   public:
     /**

@@ -6,22 +6,34 @@
 namespace dynex
 {
 
-bool
-IdealHitLastStore::lookup(Addr block) const
-{
-    const auto it = bits.find(block);
-    return it == bits.end() ? initialValue : it->second;
-}
-
 void
 IdealHitLastStore::update(Addr block, bool value)
 {
-    bits[block] = value;
+    const Addr top = block >> kLeafBits;
+    if (top >= kMaxDirectLeaves) {
+        overflow[block] = value;
+        return;
+    }
+    if (top >= leaves.size())
+        leaves.resize(static_cast<std::size_t>(top) + 1);
+    auto &leaf = leaves[static_cast<std::size_t>(top)];
+    if (!leaf) {
+        leaf = std::make_unique<Leaf>();
+        leaf->fill(initialValue ? ~std::uint64_t{0} : 0);
+    }
+    const std::uint64_t bit = block & kLeafMask;
+    const std::uint64_t one = std::uint64_t{1} << (bit & 63);
+    if (value)
+        (*leaf)[bit >> 6] |= one;
+    else
+        (*leaf)[bit >> 6] &= ~one;
 }
 
 HashedHitLastStore::HashedHitLastStore(std::uint64_t table_entries,
                                        bool initial_value)
-    : bits(table_entries, initial_value), mask(table_entries - 1),
+    : words((table_entries + 63) / 64,
+            initial_value ? ~std::uint64_t{0} : 0),
+      entries(table_entries), mask(table_entries - 1),
       initialValue(initial_value)
 {
     DYNEX_ASSERT(isPowerOfTwo(table_entries),
@@ -29,22 +41,11 @@ HashedHitLastStore::HashedHitLastStore(std::uint64_t table_entries,
                  table_entries);
 }
 
-bool
-HashedHitLastStore::lookup(Addr block) const
-{
-    return bits[block & mask];
-}
-
-void
-HashedHitLastStore::update(Addr block, bool value)
-{
-    bits[block & mask] = value;
-}
-
 void
 HashedHitLastStore::reset()
 {
-    bits.assign(bits.size(), initialValue);
+    words.assign(words.size(),
+                 initialValue ? ~std::uint64_t{0} : 0);
 }
 
 } // namespace dynex

@@ -9,11 +9,18 @@
  * (HashedHitLastStore, the paper's "hashed" option) or inside the L2
  * lines (handled by TwoLevelCache with the assume-hit / assume-miss
  * fallbacks for L2 misses).
+ *
+ * Both concrete stores sit on the simulator's per-reference hot path,
+ * so they are flat bit tables rather than node-based containers: the
+ * ideal store is a two-level direct-indexed page-table bitmap (one
+ * shift + one pointer chase per lookup, no hashing), and the hashed
+ * store packs its bits into uint64_t words.
  */
 
 #ifndef DYNEX_CACHE_HIT_LAST_H
 #define DYNEX_CACHE_HIT_LAST_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,8 +57,16 @@ class HitLastStore
  * Unbounded per-address storage: one exact bit per block ever seen,
  * with a configurable initial value for never-seen blocks. This is the
  * model behind the paper's single-level results (Figures 3-5, 11-15).
+ *
+ * Layout: a directory of fixed-size leaf bitmaps, direct-indexed by
+ * the block's high bits. A leaf is materialized (pre-filled with the
+ * initial value) the first time any of its 2^16 blocks is updated, so
+ * dense instruction footprints cost one bit per block while the
+ * address space stays sparse-friendly. Blocks beyond the direct
+ * directory range (far above any trace this library generates) spill
+ * into an exact map so semantics stay unbounded.
  */
-class IdealHitLastStore : public HitLastStore
+class IdealHitLastStore final : public HitLastStore
 {
   public:
     /** @param initial_value h for blocks never updated; the paper's
@@ -61,13 +76,50 @@ class IdealHitLastStore : public HitLastStore
         : initialValue(initial_value)
     {}
 
-    bool lookup(Addr block) const override;
+    bool
+    lookup(Addr block) const override
+    {
+        const Addr top = block >> kLeafBits;
+        if (top < leaves.size()) {
+            const Leaf *leaf = leaves[top].get();
+            if (!leaf)
+                return initialValue;
+            const std::uint64_t bit = block & kLeafMask;
+            return ((*leaf)[bit >> 6] >> (bit & 63)) & 1;
+        }
+        if (top < kMaxDirectLeaves || overflow.empty())
+            return initialValue;
+        const auto it = overflow.find(block);
+        return it == overflow.end() ? initialValue : it->second;
+    }
+
     void update(Addr block, bool value) override;
-    void reset() override { bits.clear(); }
+
+    void
+    reset() override
+    {
+        leaves.clear();
+        overflow.clear();
+    }
+
     std::string name() const override { return "ideal"; }
 
   private:
-    std::unordered_map<Addr, bool> bits;
+    /** 2^16 bits per leaf: 8KB, one page-table level for any trace. */
+    static constexpr unsigned kLeafBits = 16;
+    static constexpr std::uint64_t kLeafMask =
+        (std::uint64_t{1} << kLeafBits) - 1;
+    static constexpr std::size_t kLeafWords =
+        (std::size_t{1} << kLeafBits) / 64;
+    /** Direct directory cap (8MB of pointers): blocks above
+     * 2^36 take the exact-map fallback instead of exploding the
+     * directory. */
+    static constexpr Addr kMaxDirectLeaves = Addr{1} << 20;
+
+    using Leaf = std::array<std::uint64_t, kLeafWords>;
+
+    std::vector<std::unique_ptr<Leaf>> leaves;
+    std::unordered_map<Addr, bool> overflow;
     bool initialValue;
 };
 
@@ -75,9 +127,10 @@ class IdealHitLastStore : public HitLastStore
  * A direct-indexed bit table of bounded size: block i uses bit
  * (i mod table_entries). Aliasing between blocks that share a bit is
  * deliberate — it models the paper's hardware option of "four hit-last
- * bits for each cache line" kept entirely at the first level.
+ * bits for each cache line" kept entirely at the first level. Bits are
+ * packed 64 per word.
  */
-class HashedHitLastStore : public HitLastStore
+class HashedHitLastStore final : public HitLastStore
 {
   public:
     /**
@@ -87,15 +140,32 @@ class HashedHitLastStore : public HitLastStore
     explicit HashedHitLastStore(std::uint64_t table_entries,
                                 bool initial_value = false);
 
-    bool lookup(Addr block) const override;
-    void update(Addr block, bool value) override;
+    bool
+    lookup(Addr block) const override
+    {
+        const std::uint64_t bit = block & mask;
+        return (words[bit >> 6] >> (bit & 63)) & 1;
+    }
+
+    void
+    update(Addr block, bool value) override
+    {
+        const std::uint64_t bit = block & mask;
+        const std::uint64_t one = std::uint64_t{1} << (bit & 63);
+        if (value)
+            words[bit >> 6] |= one;
+        else
+            words[bit >> 6] &= ~one;
+    }
+
     void reset() override;
     std::string name() const override { return "hashed"; }
 
-    std::uint64_t tableEntries() const { return bits.size(); }
+    std::uint64_t tableEntries() const { return entries; }
 
   private:
-    std::vector<bool> bits;
+    std::vector<std::uint64_t> words;
+    std::uint64_t entries;
     std::uint64_t mask;
     bool initialValue;
 };

@@ -36,7 +36,7 @@ namespace dynex
  * be replayed, at this cache's line granularity, and access() must be
  * called with the reference's true trace position.
  */
-class OptimalDirectMappedCache : public CacheModel
+class OptimalDirectMappedCache final : public CacheModel
 {
   public:
     /**
@@ -75,7 +75,7 @@ class OptimalDirectMappedCache : public CacheModel
  * OptimalDirectMappedCache; for multiple ways it is the standard
  * optimal eviction bound extended with bypass.
  */
-class OptimalSetAssocCache : public CacheModel
+class OptimalSetAssocCache final : public CacheModel
 {
   public:
     /**

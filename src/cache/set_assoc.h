@@ -21,7 +21,7 @@ namespace dynex
  * Set-associative cache (covers fully-associative via ways == 0) with
  * allocate-on-miss and a ReplacementPolicy for victim choice.
  */
-class SetAssocCache : public CacheModel
+class SetAssocCache final : public CacheModel
 {
   public:
     /**

@@ -62,7 +62,7 @@ class ExclusionProfile
  * Direct-mapped cache that consults a fixed ExclusionProfile: profiled
  * blocks are passed through, everything else allocates on miss.
  */
-class StaticExclusionCache : public CacheModel
+class StaticExclusionCache final : public CacheModel
 {
   public:
     /**

@@ -29,7 +29,7 @@ namespace dynex
  * or dynamic-exclusion); its own statistics remain observable via
  * inner().
  */
-class StreamBufferCache : public CacheModel
+class StreamBufferCache final : public CacheModel
 {
   public:
     /**

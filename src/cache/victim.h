@@ -24,7 +24,7 @@ namespace dynex
  * hits the victim buffer swaps the two lines and counts as a hit
  * (Jouppi's accounting: the victim hit avoids the memory fetch).
  */
-class VictimCache : public CacheModel
+class VictimCache final : public CacheModel
 {
   public:
     /**

@@ -1,0 +1,75 @@
+#include "sim/parallel.h"
+
+#include "sim/workloads.h"
+#include "trace/next_use.h"
+#include "util/thread_pool.h"
+
+namespace dynex
+{
+
+std::shared_ptr<const Trace>
+loadStream(const std::string &name, Count refs, StreamKind stream)
+{
+    switch (stream) {
+      case StreamKind::Data:
+        return Workloads::data(name, refs);
+      case StreamKind::Mixed:
+        return Workloads::mixed(name, refs);
+      case StreamKind::Instructions:
+        break;
+    }
+    return Workloads::instructions(name, refs);
+}
+
+void
+simParallelFor(std::size_t n,
+               const std::function<void(std::size_t)> &body)
+{
+    ThreadPool::global().parallelFor(n, body);
+}
+
+std::vector<std::vector<TriadResult>>
+sweepSuiteTriads(const std::vector<std::string> &benchmark_names,
+                 Count refs, const std::vector<std::uint64_t> &sizes,
+                 std::uint32_t line_bytes,
+                 const DynamicExclusionConfig &config, StreamKind stream)
+{
+    std::vector<std::vector<TriadResult>> grid(benchmark_names.size());
+    simParallelFor(benchmark_names.size(), [&](std::size_t b) {
+        const auto trace =
+            loadStream(benchmark_names[b], refs, stream);
+        const NextUseIndex index(*trace, line_bytes,
+                                 NextUseMode::RunStart);
+        auto &row = grid[b];
+        row.resize(sizes.size());
+        simParallelFor(sizes.size(), [&](std::size_t s) {
+            row[s] = runTriad(*trace, index, sizes[s], line_bytes,
+                              config);
+        });
+    });
+    return grid;
+}
+
+std::vector<std::vector<TriadResult>>
+sweepSuiteLineTriads(const std::vector<std::string> &benchmark_names,
+                     Count refs, std::uint64_t size_bytes,
+                     const std::vector<std::uint32_t> &lines,
+                     const DynamicExclusionConfig &config)
+{
+    std::vector<std::vector<TriadResult>> grid(benchmark_names.size());
+    simParallelFor(benchmark_names.size(), [&](std::size_t b) {
+        const auto trace = loadStream(benchmark_names[b], refs,
+                                      StreamKind::Instructions);
+        auto &row = grid[b];
+        row.resize(lines.size());
+        simParallelFor(lines.size(), [&](std::size_t l) {
+            const NextUseIndex index(*trace, lines[l],
+                                     NextUseMode::RunStart);
+            row[l] = runTriad(*trace, index, size_bytes, lines[l],
+                              config);
+        });
+    });
+    return grid;
+}
+
+} // namespace dynex

@@ -1,9 +1,13 @@
 #include "sim/runner.h"
 
+#include <functional>
+#include <iterator>
+
 #include "cache/direct_mapped.h"
 #include "cache/optimal.h"
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dynex
 {
@@ -48,19 +52,29 @@ runTriad(const Trace &trace, const NextUseIndex &index,
 
     TriadResult result;
 
-    DirectMappedCache dm(CacheGeometry::directMapped(size_bytes,
-                                                     line_bytes));
-    result.dm = runTrace(dm, trace);
-
-    DynamicExclusionCache de(CacheGeometry::directMapped(size_bytes,
-                                                         line_bytes),
-                             de_config);
-    result.de = runTrace(de, trace);
-
-    OptimalDirectMappedCache opt(CacheGeometry::directMapped(size_bytes,
-                                                             line_bytes),
-                                 index, /*use_last_line=*/true);
-    result.opt = runTrace(opt, trace);
+    // The three models are independent replays of the same read-only
+    // trace; fan them out and write each into its own slot. The triad
+    // is the leaf level of the sweep fan-out, so this also extracts
+    // parallelism from a single-trace, single-size run.
+    const auto geometry =
+        CacheGeometry::directMapped(size_bytes, line_bytes);
+    const std::function<void()> legs[] = {
+        [&] {
+            DirectMappedCache dm(geometry);
+            result.dm = replayTrace(dm, trace);
+        },
+        [&] {
+            DynamicExclusionCache de(geometry, de_config);
+            result.de = replayTrace(de, trace);
+        },
+        [&] {
+            OptimalDirectMappedCache opt(geometry, index,
+                                         /*use_last_line=*/true);
+            result.opt = replayTrace(opt, trace);
+        },
+    };
+    ThreadPool::global().parallelFor(
+        std::size(legs), [&](std::size_t i) { legs[i](); });
 
     return result;
 }

@@ -8,6 +8,8 @@
 #ifndef DYNEX_SIM_RUNNER_H
 #define DYNEX_SIM_RUNNER_H
 
+#include <type_traits>
+
 #include "cache/cache.h"
 #include "cache/dynamic_exclusion.h"
 #include "cache/hierarchy.h"
@@ -19,6 +21,35 @@ namespace dynex
 
 /** Replay @p trace through @p cache (ticks are trace positions). */
 CacheStats runTrace(CacheModel &cache, const Trace &trace);
+
+/**
+ * Statically-dispatched replay: the hot loop for known model types.
+ *
+ * When @p Model is the concrete (final) cache class rather than the
+ * CacheModel base, the compiler knows the dynamic type at every
+ * access() call, so the per-reference virtual doAccess dispatch is
+ * hoisted out of the loop and the model body inlines into it. All leaf
+ * cache models in the library are final for exactly this reason. Use
+ * this from replay-bound code (runTriad, the microbenches); the
+ * virtual runTrace overload above remains for heterogeneous callers
+ * that only hold a CacheModel&.
+ */
+template <typename Model>
+CacheStats
+replayTrace(Model &cache, const Trace &trace)
+{
+    static_assert(std::is_base_of_v<CacheModel, Model>,
+                  "replayTrace requires a CacheModel");
+    static_assert(!std::is_same_v<CacheModel, Model> &&
+                      std::is_final_v<Model>,
+                  "replayTrace only devirtualizes for final leaf "
+                  "models; use runTrace for a CacheModel&");
+    const MemRef *refs = trace.records().data();
+    const std::size_t n = trace.size();
+    for (std::size_t i = 0; i < n; ++i)
+        cache.access(refs[i], i);
+    return cache.stats();
+}
 
 /** Replay @p trace through a two-level hierarchy. */
 HierarchyStats runTrace(TwoLevelCache &hierarchy, const Trace &trace);

@@ -1,5 +1,6 @@
 #include "sim/sweep.h"
 
+#include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/next_use.h"
 #include "util/logging.h"
@@ -58,14 +59,13 @@ sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
            std::uint32_t line_bytes, const DynamicExclusionConfig &config)
 {
     const NextUseIndex index(trace, line_bytes, NextUseMode::RunStart);
-    std::vector<SizeSweepPoint> points;
-    points.reserve(sizes.size());
-    for (const std::uint64_t size : sizes) {
+    std::vector<SizeSweepPoint> points(sizes.size());
+    simParallelFor(sizes.size(), [&](std::size_t s) {
         const TriadResult triad =
-            runTriad(trace, index, size, line_bytes, config);
-        points.push_back({size, triad.dmMissPct(), triad.deMissPct(),
-                          triad.optMissPct()});
-    }
+            runTriad(trace, index, sizes[s], line_bytes, config);
+        points[s] = {sizes[s], triad.dmMissPct(), triad.deMissPct(),
+                     triad.optMissPct()};
+    });
     return points;
 }
 
@@ -82,16 +82,19 @@ sweepSuiteAverage(const std::vector<std::string> &benchmark_names,
     for (std::size_t s = 0; s < sizes.size(); ++s)
         average[s].sizeBytes = sizes[s];
 
-    for (const auto &name : benchmark_names) {
-        const auto trace = mixed_refs ? Workloads::mixed(name, refs)
-                           : data_refs
-                               ? Workloads::data(name, refs)
-                               : Workloads::instructions(name, refs);
-        const auto points = sweepSizes(*trace, sizes, line_bytes, config);
+    const StreamKind stream = mixed_refs ? StreamKind::Mixed
+                              : data_refs ? StreamKind::Data
+                                          : StreamKind::Instructions;
+    const auto grid = sweepSuiteTriads(benchmark_names, refs, sizes,
+                                       line_bytes, config, stream);
+    // Serial reduction in benchmark order: identical floating-point
+    // accumulation order to the historical serial loop, so results are
+    // bit-identical at any thread count.
+    for (const auto &row : grid) {
         for (std::size_t s = 0; s < sizes.size(); ++s) {
-            average[s].dmMissPct += points[s].dmMissPct;
-            average[s].deMissPct += points[s].deMissPct;
-            average[s].optMissPct += points[s].optMissPct;
+            average[s].dmMissPct += row[s].dmMissPct();
+            average[s].deMissPct += row[s].deMissPct();
+            average[s].optMissPct += row[s].optMissPct();
         }
     }
     const auto n = static_cast<double>(benchmark_names.size());
@@ -113,16 +116,13 @@ sweepSuiteLineSizes(const std::vector<std::string> &benchmark_names,
     for (std::size_t l = 0; l < lines.size(); ++l)
         average[l].lineBytes = lines[l];
 
-    for (const auto &name : benchmark_names) {
-        const auto trace = Workloads::instructions(name, refs);
+    const auto grid = sweepSuiteLineTriads(benchmark_names, refs,
+                                           size_bytes, lines, config);
+    for (const auto &row : grid) {
         for (std::size_t l = 0; l < lines.size(); ++l) {
-            const NextUseIndex index(*trace, lines[l],
-                                     NextUseMode::RunStart);
-            const TriadResult triad =
-                runTriad(*trace, index, size_bytes, lines[l], config);
-            average[l].dmMissPct += triad.dmMissPct();
-            average[l].deMissPct += triad.deMissPct();
-            average[l].optMissPct += triad.optMissPct();
+            average[l].dmMissPct += row[l].dmMissPct();
+            average[l].deMissPct += row[l].deMissPct();
+            average[l].optMissPct += row[l].optMissPct();
         }
     }
     const auto n = static_cast<double>(benchmark_names.size());

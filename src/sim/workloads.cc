@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <deque>
+#include <mutex>
 #include <utility>
 
 #include "trace/filter.h"
@@ -30,9 +31,23 @@ memo()
     return entries;
 }
 
+/**
+ * Guards the memo against the parallel sweep engine, which loads
+ * traces from worker threads. Generation happens outside the lock;
+ * concurrent generation of the same key is wasted work but harmless
+ * (generation is deterministic, so both products are identical).
+ */
+std::mutex &
+memoMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 std::shared_ptr<const Trace>
 memoLookup(const std::string &key)
 {
+    const std::lock_guard<std::mutex> lock(memoMutex());
     for (const auto &entry : memo()) {
         if (entry.key == key)
             return entry.trace;
@@ -43,6 +58,7 @@ memoLookup(const std::string &key)
 void
 memoInsert(std::string key, std::shared_ptr<const Trace> trace)
 {
+    const std::lock_guard<std::mutex> lock(memoMutex());
     memo().push_front({std::move(key), std::move(trace)});
     while (memo().size() > kMemoCapacity)
         memo().pop_back();
@@ -122,6 +138,7 @@ Workloads::data(const std::string &name, Count refs)
 void
 Workloads::dropCache()
 {
+    const std::lock_guard<std::mutex> lock(memoMutex());
     memo().clear();
 }
 

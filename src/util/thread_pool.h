@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A fixed-size task-queue thread pool with a blocking parallelFor
+ * helper, shared by the simulation engine to fan independent
+ * simulations out across cores.
+ *
+ * Design constraints, in order:
+ *   1. Determinism — parallelFor only distributes *indices*; callers
+ *      write results into pre-sized slots, so output never depends on
+ *      scheduling.
+ *   2. Composability — parallelFor may be called from inside a
+ *      parallelFor body (nested loops). The calling thread always
+ *      participates in its own loop, so progress never depends on a
+ *      free worker being available and nesting cannot deadlock.
+ *   3. Zero overhead when serial — with one configured worker (or a
+ *      single-element loop) the body runs inline on the caller with no
+ *      locking, no allocation, and no thread handoff.
+ */
+
+#ifndef DYNEX_UTIL_THREAD_POOL_H
+#define DYNEX_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynex
+{
+
+/**
+ * Fixed-size worker pool.
+ *
+ * The pool owns `workers - 1` background threads; the thread calling
+ * parallelFor is always the remaining participant. Worker count is
+ * fixed at construction. The process-wide instance (global()) sizes
+ * itself from the DYNEX_THREADS environment variable, falling back to
+ * std::thread::hardware_concurrency().
+ */
+class ThreadPool
+{
+  public:
+    /** @param workers total participants per loop (>= 1); 0 means
+     * "use configuredWorkers()". */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all background threads. No parallelFor may be in flight. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total participants per loop (background threads + caller). */
+    unsigned workers() const { return workerTarget; }
+
+    /**
+     * Run body(i) for every i in [0, n), distributing indices across
+     * the pool; blocks until every index has completed. The calling
+     * thread participates. If any body throws, the first exception is
+     * rethrown here after the loop drains. Safe to call from inside
+     * another parallelFor body.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * The worker count the process is configured for: the last
+     * setConfiguredWorkers() value if set, else DYNEX_THREADS if set
+     * and positive, else hardware_concurrency() (minimum 1).
+     */
+    static unsigned configuredWorkers();
+
+    /**
+     * Override the configured worker count (0 restores the automatic
+     * DYNEX_THREADS / hardware default) and rebuild the global pool at
+     * the new size. Must not be called while any thread is inside
+     * global().parallelFor(). Used by the CLI --threads flag and by
+     * tests that pin the thread count.
+     */
+    static void setConfiguredWorkers(unsigned workers);
+
+    /** The process-wide pool, built on first use. */
+    static ThreadPool &global();
+
+  private:
+    /** One parallelFor's shared state; helpers pull indices from it. */
+    struct Loop
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t total = 0;
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+        std::once_flag errorOnce;
+        std::exception_ptr error;
+    };
+
+    void workerMain();
+    static void runLoop(Loop &loop);
+
+    unsigned workerTarget;
+    std::vector<std::thread> threads;
+    std::deque<std::shared_ptr<Loop>> queue;
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    bool stopping = false;
+};
+
+} // namespace dynex
+
+#endif // DYNEX_UTIL_THREAD_POOL_H

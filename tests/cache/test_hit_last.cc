@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <vector>
+
 #include "cache/hit_last.h"
+#include "util/rng.h"
 
 namespace dynex
 {
@@ -67,6 +71,122 @@ TEST(HashedHitLast, ResetClearsToInitialValue)
 TEST(HashedHitLastDeathTest, RejectsNonPowerOfTwoTables)
 {
     EXPECT_DEATH(HashedHitLastStore store(12, false), "power of two");
+}
+
+// The stores were reimplemented as flat bit tables (a two-level
+// page-table bitmap for the ideal store, packed uint64_t words for the
+// hashed store); the tests below pin their semantics to the original
+// map/vector reference implementations over randomized workloads.
+
+/** The original IdealHitLastStore semantics, verbatim. */
+struct MapReferenceStore
+{
+    std::unordered_map<Addr, bool> bits;
+    bool initialValue;
+
+    explicit MapReferenceStore(bool initial) : initialValue(initial) {}
+
+    bool
+    lookup(Addr block) const
+    {
+        const auto it = bits.find(block);
+        return it == bits.end() ? initialValue : it->second;
+    }
+
+    void update(Addr block, bool value) { bits[block] = value; }
+};
+
+TEST(IdealHitLast, MatchesMapReferenceOverRandomWorkload)
+{
+    for (const bool initial : {false, true}) {
+        IdealHitLastStore store(initial);
+        MapReferenceStore reference(initial);
+        Rng rng(0x1dea1);
+        for (int step = 0; step < 200000; ++step) {
+            // Mix dense low blocks (instruction-like), a sparse far
+            // region, and blocks beyond the direct-directory range.
+            Addr block;
+            switch (rng.nextBelow(4)) {
+              case 0:
+                block = rng.nextBelow(1 << 14);
+                break;
+              case 1:
+                block = 0x400000 + rng.nextBelow(1 << 10);
+                break;
+              case 2:
+                block = (Addr{1} << 40) + rng.nextBelow(256);
+                break;
+              default:
+                block = rng.nextBelow(1 << 20);
+                break;
+            }
+            if (rng.nextBelow(2) == 0) {
+                const bool value = rng.nextBelow(2) == 0;
+                store.update(block, value);
+                reference.update(block, value);
+            }
+            ASSERT_EQ(store.lookup(block), reference.lookup(block))
+                << "initial=" << initial << " block=0x" << std::hex
+                << block;
+        }
+    }
+}
+
+TEST(IdealHitLast, NeverSeenBlocksKeepInitialValueEverywhere)
+{
+    IdealHitLastStore warm(true);
+    warm.update(0, false); // materializes the first leaf
+    EXPECT_FALSE(warm.lookup(0));
+    EXPECT_TRUE(warm.lookup(1)) << "same leaf, never updated";
+    EXPECT_TRUE(warm.lookup(1 << 16)) << "leaf never materialized";
+    EXPECT_TRUE(warm.lookup(Addr{1} << 50)) << "beyond direct range";
+}
+
+/** The original HashedHitLastStore semantics, verbatim. */
+struct VectorReferenceStore
+{
+    std::vector<bool> bits;
+    std::uint64_t mask;
+
+    VectorReferenceStore(std::uint64_t entries, bool initial)
+        : bits(entries, initial), mask(entries - 1)
+    {}
+
+    bool lookup(Addr block) const { return bits[block & mask]; }
+    void update(Addr block, bool value) { bits[block & mask] = value; }
+};
+
+TEST(HashedHitLast, MatchesVectorReferenceIncludingAliasing)
+{
+    for (const bool initial : {false, true}) {
+        for (const std::uint64_t entries : {8ull, 64ull, 4096ull}) {
+            HashedHitLastStore store(entries, initial);
+            VectorReferenceStore reference(entries, initial);
+            Rng rng(0xa11a5);
+            for (int step = 0; step < 50000; ++step) {
+                // Blocks far beyond the table force aliasing.
+                const Addr block = rng.nextBelow(16 * entries);
+                if (rng.nextBelow(2) == 0) {
+                    const bool value = rng.nextBelow(2) == 0;
+                    store.update(block, value);
+                    reference.update(block, value);
+                }
+                ASSERT_EQ(store.lookup(block), reference.lookup(block))
+                    << "entries=" << entries << " initial=" << initial
+                    << " block=" << block;
+            }
+        }
+    }
+}
+
+TEST(HashedHitLast, SubWordTablesPackCorrectly)
+{
+    // 8 entries live in a fraction of one uint64_t word.
+    HashedHitLastStore store(8, false);
+    for (Addr block = 0; block < 8; ++block)
+        store.update(block, block % 2 == 0);
+    for (Addr block = 0; block < 8; ++block)
+        EXPECT_EQ(store.lookup(block), block % 2 == 0) << block;
 }
 
 } // namespace

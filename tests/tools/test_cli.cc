@@ -117,6 +117,48 @@ TEST(CliTool, TriadComparesThreeModels)
     EXPECT_NE(result.output.find("reduction"), std::string::npos);
 }
 
+TEST(CliTool, SweepRunsThePaperSizeAxis)
+{
+    const auto result =
+        runCli("sweep mat300 --line 4 --refs 30000 --threads 2");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("2 worker thread(s)"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("1KB"), std::string::npos);
+    EXPECT_NE(result.output.find("128KB"), std::string::npos);
+    EXPECT_NE(result.output.find("dynex gain %"), std::string::npos);
+}
+
+TEST(CliTool, SweepOutputIdenticalAcrossThreadCounts)
+{
+    const auto one =
+        runCli("sweep mat300 --line 4 --refs 30000 --threads 1");
+    const auto four =
+        runCli("sweep mat300 --line 4 --refs 30000 --threads 4");
+    ASSERT_EQ(one.exitCode, 0) << one.output;
+    ASSERT_EQ(four.exitCode, 0) << four.output;
+    // Identical except for the reported worker count line.
+    const auto body = [](const std::string &output) {
+        return output.substr(output.find('\n'));
+    };
+    EXPECT_EQ(body(one.output), body(four.output));
+}
+
+TEST(CliTool, ThreadsFlagRejectsZero)
+{
+    const auto result = runCli("sweep mat300 --threads 0");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("--threads"), std::string::npos);
+}
+
+TEST(CliTool, UsageDocumentsThreads)
+{
+    const auto result = runCli("");
+    EXPECT_NE(result.output.find("--threads"), std::string::npos);
+    EXPECT_NE(result.output.find("DYNEX_THREADS"), std::string::npos);
+    EXPECT_NE(result.output.find("sweep"), std::string::npos);
+}
+
 TEST(CliTool, AnalyzeReportsConflictStructure)
 {
     const auto result =

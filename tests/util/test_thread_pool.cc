@@ -1,0 +1,112 @@
+/** @file Unit tests of the thread pool and its parallelFor helper. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workers(), 1u);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(16);
+    pool.parallelFor(seen.size(), [&](std::size_t i) {
+        seen[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : seen)
+        EXPECT_EQ(id, caller) << "one worker means serial on the caller";
+}
+
+TEST(ThreadPool, ResultsLandInPreSizedSlots)
+{
+    ThreadPool pool(8);
+    std::vector<std::size_t> out(257);
+    pool.parallelFor(out.size(), [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, EmptyLoopIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kOuter = 8;
+    constexpr std::size_t kInner = 16;
+    std::vector<std::vector<int>> grid(kOuter);
+    pool.parallelFor(kOuter, [&](std::size_t o) {
+        grid[o].resize(kInner);
+        pool.parallelFor(kInner, [&](std::size_t i) {
+            grid[o][i] = static_cast<int>(o * 100 + i);
+        });
+    });
+    for (std::size_t o = 0; o < kOuter; ++o)
+        for (std::size_t i = 0; i < kInner; ++i)
+            EXPECT_EQ(grid[o][i], static_cast<int>(o * 100 + i));
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterDraining)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](std::size_t i) {
+                             if (i == 13)
+                                 throw std::runtime_error("boom");
+                             ++completed;
+                         }),
+        std::runtime_error);
+    EXPECT_EQ(completed.load(), 63) << "other indices still run";
+}
+
+TEST(ThreadPool, ConfiguredWorkersHonorsOverride)
+{
+    const unsigned automatic = ThreadPool::configuredWorkers();
+    EXPECT_GE(automatic, 1u);
+    ThreadPool::setConfiguredWorkers(3);
+    EXPECT_EQ(ThreadPool::configuredWorkers(), 3u);
+    EXPECT_EQ(ThreadPool::global().workers(), 3u);
+    ThreadPool::setConfiguredWorkers(0);
+    EXPECT_EQ(ThreadPool::configuredWorkers(), automatic);
+}
+
+TEST(ThreadPool, LargeFanOutSums)
+{
+    ThreadPool pool(8);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::uint64_t> values(kN);
+    pool.parallelFor(kN, [&](std::size_t i) { values[i] = i; });
+    const std::uint64_t sum =
+        std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+    EXPECT_EQ(sum, std::uint64_t{kN} * (kN - 1) / 2);
+}
+
+} // namespace
+} // namespace dynex

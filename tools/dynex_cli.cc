@@ -11,12 +11,19 @@
  *             [--line L] [--sticky N] [--lastline] [--victim N]
  *             [--refs N] [--stream KIND]
  *   dynex triad <trace-file|benchmark> [--size S] [--line L] [--refs N]
+ *   dynex sweep <trace-file|benchmark> [--line L] [--refs N]
+ *             [--threads N]
  *   dynex analyze <trace-file|benchmark> [--size S] [--line L]
  *             [--refs N] [--stream KIND]
  *
  * KIND (cache): dm | dynex | 2way | 4way | 8way | fa | opt
  * KIND (stream): mixed | ifetch | data        (benchmarks only)
  * S, L accept size suffixes: 32KB, 16, 8K, ...
+ *
+ * Simulation commands that run several models or sizes (triad, sweep)
+ * fan out across a thread pool; --threads N (or the DYNEX_THREADS
+ * environment variable) sets the worker count. Results are identical
+ * at any thread count.
  */
 
 #include <cstdio>
@@ -30,12 +37,14 @@
 #include "cache/optimal.h"
 #include "cache/victim.h"
 #include "sim/analysis.h"
+#include "sim/sweep.h"
 #include "sim/runner.h"
 #include "sim/workloads.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
 #include "tracegen/spec.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 namespace
@@ -54,7 +63,16 @@ struct Options
     std::uint32_t victimEntries = 0;
     Count refs = 0; // 0 = default
     std::string stream = "ifetch";
+    unsigned threads = 0; // 0 = DYNEX_THREADS / hardware default
 };
+
+/** Apply --threads to the simulation pool before any sweep runs. */
+void
+applyThreads(const Options &options)
+{
+    if (options.threads > 0)
+        ThreadPool::setConfiguredWorkers(options.threads);
+}
 
 int
 usage()
@@ -68,9 +86,15 @@ usage()
         "  convert <in> <out>                    convert dxt <-> din\n"
         "  sim <trace|benchmark> [options]       run one cache model\n"
         "  triad <trace|benchmark> [options]     dm vs dynex vs optimal\n"
+        "  sweep <trace|benchmark> [options]     triad over the paper's\n"
+        "                                        cache-size axis\n"
         "  analyze <trace|benchmark> [options]   conflict structure\n"
         "options: --cache K --size S --line L --sticky N --lastline\n"
-        "         --victim N --refs N --stream mixed|ifetch|data\n");
+        "         --victim N --refs N --stream mixed|ifetch|data\n"
+        "         --threads N  simulation worker threads for triad and\n"
+        "                      sweep (default: DYNEX_THREADS if set,\n"
+        "                      else all hardware threads); any count\n"
+        "                      produces identical results\n");
     return 2;
 }
 
@@ -176,16 +200,23 @@ parseOptions(int argc, char **argv, int first, Options &options)
                 options.lineBytes =
                     static_cast<std::uint32_t>(*parsed);
         } else if (flag == "--sticky" || flag == "--victim" ||
-                   flag == "--refs") {
+                   flag == "--refs" || flag == "--threads") {
             const char *v = value();
             if (!v)
                 return false;
             const auto parsed = std::strtoull(v, nullptr, 10);
+            if (flag == "--threads" && parsed == 0) {
+                std::fprintf(stderr,
+                             "dynex: --threads needs a count >= 1\n");
+                return false;
+            }
             if (flag == "--sticky")
                 options.stickyMax = static_cast<std::uint8_t>(parsed);
             else if (flag == "--victim")
                 options.victimEntries =
                     static_cast<std::uint32_t>(parsed);
+            else if (flag == "--threads")
+                options.threads = static_cast<unsigned>(parsed);
             else
                 options.refs = parsed;
         } else {
@@ -291,6 +322,7 @@ cmdSim(const std::string &target, const Options &options)
 int
 cmdTriad(const std::string &target, const Options &options)
 {
+    applyThreads(options);
     const auto trace = resolveTrace(target, options);
     if (!trace)
         return 1;
@@ -321,6 +353,38 @@ cmdTriad(const std::string &target, const Options &options)
     std::printf("%s\n", table.toText().c_str());
     std::printf("dynamic exclusion reduction: %.1f%% (optimal: %.1f%%)\n",
                 triad.deImprovementPct(), triad.optImprovementPct());
+    return 0;
+}
+
+int
+cmdSweep(const std::string &target, const Options &options)
+{
+    applyThreads(options);
+    const auto trace = resolveTrace(target, options);
+    if (!trace)
+        return 1;
+
+    DynamicExclusionConfig config;
+    config.stickyMax = options.stickyMax;
+    config.useLastLine = options.lineBytes > 4;
+    const auto points = sweepSizes(*trace, paperCacheSizes(),
+                                   options.lineBytes, config);
+
+    Table table;
+    table.setHeader({"size", "dm miss %", "dynex miss %", "opt miss %",
+                     "dynex gain %"});
+    for (const auto &point : points) {
+        table.addRow({formatSize(point.sizeBytes),
+                      Table::fmt(point.dmMissPct, 3),
+                      Table::fmt(point.deMissPct, 3),
+                      Table::fmt(point.optMissPct, 3),
+                      Table::fmt(point.deImprovementPct(), 1)});
+    }
+    std::printf("trace: %s (%zu refs), %s lines, %u worker thread(s)\n\n",
+                trace->name().c_str(), trace->size(),
+                formatSize(options.lineBytes).c_str(),
+                ThreadPool::global().workers());
+    std::printf("%s", table.toText().c_str());
     return 0;
 }
 
@@ -385,7 +449,8 @@ main(int argc, char **argv)
             return usage();
         return cmdConvert(argv[2], argv[3]);
     }
-    if (command == "sim" || command == "triad" || command == "analyze") {
+    if (command == "sim" || command == "triad" || command == "sweep" ||
+        command == "analyze") {
         if (argc < 3)
             return usage();
         Options options;
@@ -395,6 +460,8 @@ main(int argc, char **argv)
             return cmdSim(argv[2], options);
         if (command == "triad")
             return cmdTriad(argv[2], options);
+        if (command == "sweep")
+            return cmdSweep(argv[2], options);
         return cmdAnalyze(argv[2], options);
     }
     std::fprintf(stderr, "dynex: unknown command '%s'\n",
