@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_amat.dir/ablation_amat.cc.o"
+  "CMakeFiles/bench_ablation_amat.dir/ablation_amat.cc.o.d"
+  "bench_ablation_amat"
+  "bench_ablation_amat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_amat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coldstart.dir/ablation_coldstart.cc.o"
+  "CMakeFiles/bench_ablation_coldstart.dir/ablation_coldstart.cc.o.d"
+  "bench_ablation_coldstart"
+  "bench_ablation_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

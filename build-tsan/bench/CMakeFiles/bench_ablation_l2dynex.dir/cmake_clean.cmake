@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_l2dynex.dir/ablation_l2dynex.cc.o"
+  "CMakeFiles/bench_ablation_l2dynex.dir/ablation_l2dynex.cc.o.d"
+  "bench_ablation_l2dynex"
+  "bench_ablation_l2dynex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_l2dynex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lastline.dir/ablation_lastline.cc.o"
+  "CMakeFiles/bench_ablation_lastline.dir/ablation_lastline.cc.o.d"
+  "bench_ablation_lastline"
+  "bench_ablation_lastline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lastline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

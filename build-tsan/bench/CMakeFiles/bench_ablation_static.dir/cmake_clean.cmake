@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_static.dir/ablation_static.cc.o"
+  "CMakeFiles/bench_ablation_static.dir/ablation_static.cc.o.d"
+  "bench_ablation_static"
+  "bench_ablation_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_victim.dir/ablation_victim.cc.o"
+  "CMakeFiles/bench_ablation_victim.dir/ablation_victim.cc.o.d"
+  "bench_ablation_victim"
+  "bench_ablation_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

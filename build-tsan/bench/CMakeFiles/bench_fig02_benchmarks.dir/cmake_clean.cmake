@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_benchmarks.dir/fig02_benchmarks.cc.o"
+  "CMakeFiles/bench_fig02_benchmarks.dir/fig02_benchmarks.cc.o.d"
+  "bench_fig02_benchmarks"
+  "bench_fig02_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_per_benchmark.dir/fig03_per_benchmark.cc.o"
+  "CMakeFiles/bench_fig03_per_benchmark.dir/fig03_per_benchmark.cc.o.d"
+  "bench_fig03_per_benchmark"
+  "bench_fig03_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

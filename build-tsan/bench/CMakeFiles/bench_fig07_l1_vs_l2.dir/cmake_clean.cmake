@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_l1_vs_l2.dir/fig07_l1_vs_l2.cc.o"
+  "CMakeFiles/bench_fig07_l1_vs_l2.dir/fig07_l1_vs_l2.cc.o.d"
+  "bench_fig07_l1_vs_l2"
+  "bench_fig07_l1_vs_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_l1_vs_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

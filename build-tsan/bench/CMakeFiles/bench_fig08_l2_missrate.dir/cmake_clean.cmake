@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_l2_missrate.dir/fig08_l2_missrate.cc.o"
+  "CMakeFiles/bench_fig08_l2_missrate.dir/fig08_l2_missrate.cc.o.d"
+  "bench_fig08_l2_missrate"
+  "bench_fig08_l2_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_l2_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

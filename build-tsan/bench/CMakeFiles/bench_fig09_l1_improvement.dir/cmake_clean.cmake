@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_l1_improvement.dir/fig09_l1_improvement.cc.o"
+  "CMakeFiles/bench_fig09_l1_improvement.dir/fig09_l1_improvement.cc.o.d"
+  "bench_fig09_l1_improvement"
+  "bench_fig09_l1_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_l1_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

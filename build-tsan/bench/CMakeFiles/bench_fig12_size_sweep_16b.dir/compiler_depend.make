@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_size_sweep_16b.
+# This may be replaced when dependencies are built.

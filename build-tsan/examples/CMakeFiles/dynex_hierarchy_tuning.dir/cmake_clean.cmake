@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_hierarchy_tuning.dir/hierarchy_tuning.cpp.o"
+  "CMakeFiles/dynex_hierarchy_tuning.dir/hierarchy_tuning.cpp.o.d"
+  "dynex_hierarchy_tuning"
+  "dynex_hierarchy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_hierarchy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

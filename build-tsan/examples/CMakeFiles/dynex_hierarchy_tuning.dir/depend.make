@@ -1,0 +1,2 @@
+# Empty dependencies file for dynex_hierarchy_tuning.
+# This may be replaced when dependencies are built.

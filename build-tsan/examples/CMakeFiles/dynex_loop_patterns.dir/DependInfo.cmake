@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/loop_patterns.cpp" "examples/CMakeFiles/dynex_loop_patterns.dir/loop_patterns.cpp.o" "gcc" "examples/CMakeFiles/dynex_loop_patterns.dir/loop_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/dynex_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/dynex_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tracegen/CMakeFiles/dynex_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

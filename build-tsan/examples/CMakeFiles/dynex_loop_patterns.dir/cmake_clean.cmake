@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_loop_patterns.dir/loop_patterns.cpp.o"
+  "CMakeFiles/dynex_loop_patterns.dir/loop_patterns.cpp.o.d"
+  "dynex_loop_patterns"
+  "dynex_loop_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_loop_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dynex_loop_patterns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/dynex_quickstart.dir/quickstart.cpp.o.d"
+  "dynex_quickstart"
+  "dynex_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

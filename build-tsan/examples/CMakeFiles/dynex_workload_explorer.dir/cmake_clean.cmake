@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_workload_explorer.dir/workload_explorer.cpp.o"
+  "CMakeFiles/dynex_workload_explorer.dir/workload_explorer.cpp.o.d"
+  "dynex_workload_explorer"
+  "dynex_workload_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_workload_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/dynex_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/config.cc" "src/cache/CMakeFiles/dynex_cache.dir/config.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/config.cc.o.d"
+  "/root/repo/src/cache/direct_mapped.cc" "src/cache/CMakeFiles/dynex_cache.dir/direct_mapped.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/direct_mapped.cc.o.d"
+  "/root/repo/src/cache/dynamic_exclusion.cc" "src/cache/CMakeFiles/dynex_cache.dir/dynamic_exclusion.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/dynamic_exclusion.cc.o.d"
+  "/root/repo/src/cache/exclusion_fsm.cc" "src/cache/CMakeFiles/dynex_cache.dir/exclusion_fsm.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/exclusion_fsm.cc.o.d"
+  "/root/repo/src/cache/exclusion_stream.cc" "src/cache/CMakeFiles/dynex_cache.dir/exclusion_stream.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/exclusion_stream.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/dynex_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/hit_last.cc" "src/cache/CMakeFiles/dynex_cache.dir/hit_last.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/hit_last.cc.o.d"
+  "/root/repo/src/cache/optimal.cc" "src/cache/CMakeFiles/dynex_cache.dir/optimal.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/optimal.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/dynex_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/set_assoc.cc" "src/cache/CMakeFiles/dynex_cache.dir/set_assoc.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/set_assoc.cc.o.d"
+  "/root/repo/src/cache/static_exclusion.cc" "src/cache/CMakeFiles/dynex_cache.dir/static_exclusion.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/static_exclusion.cc.o.d"
+  "/root/repo/src/cache/stats.cc" "src/cache/CMakeFiles/dynex_cache.dir/stats.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/stats.cc.o.d"
+  "/root/repo/src/cache/stream_buffer.cc" "src/cache/CMakeFiles/dynex_cache.dir/stream_buffer.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/stream_buffer.cc.o.d"
+  "/root/repo/src/cache/victim.cc" "src/cache/CMakeFiles/dynex_cache.dir/victim.cc.o" "gcc" "src/cache/CMakeFiles/dynex_cache.dir/victim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_cache.dir/cache.cc.o"
+  "CMakeFiles/dynex_cache.dir/cache.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/config.cc.o"
+  "CMakeFiles/dynex_cache.dir/config.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/direct_mapped.cc.o"
+  "CMakeFiles/dynex_cache.dir/direct_mapped.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/dynamic_exclusion.cc.o"
+  "CMakeFiles/dynex_cache.dir/dynamic_exclusion.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/exclusion_fsm.cc.o"
+  "CMakeFiles/dynex_cache.dir/exclusion_fsm.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/exclusion_stream.cc.o"
+  "CMakeFiles/dynex_cache.dir/exclusion_stream.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/dynex_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/hit_last.cc.o"
+  "CMakeFiles/dynex_cache.dir/hit_last.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/optimal.cc.o"
+  "CMakeFiles/dynex_cache.dir/optimal.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/replacement.cc.o"
+  "CMakeFiles/dynex_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/set_assoc.cc.o"
+  "CMakeFiles/dynex_cache.dir/set_assoc.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/static_exclusion.cc.o"
+  "CMakeFiles/dynex_cache.dir/static_exclusion.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/stats.cc.o"
+  "CMakeFiles/dynex_cache.dir/stats.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/stream_buffer.cc.o"
+  "CMakeFiles/dynex_cache.dir/stream_buffer.cc.o.d"
+  "CMakeFiles/dynex_cache.dir/victim.cc.o"
+  "CMakeFiles/dynex_cache.dir/victim.cc.o.d"
+  "libdynex_cache.a"
+  "libdynex_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

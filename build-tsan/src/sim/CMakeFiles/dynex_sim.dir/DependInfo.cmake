@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analysis.cc" "src/sim/CMakeFiles/dynex_sim.dir/analysis.cc.o" "gcc" "src/sim/CMakeFiles/dynex_sim.dir/analysis.cc.o.d"
+  "/root/repo/src/sim/parallel.cc" "src/sim/CMakeFiles/dynex_sim.dir/parallel.cc.o" "gcc" "src/sim/CMakeFiles/dynex_sim.dir/parallel.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/dynex_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/dynex_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/dynex_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/dynex_sim.dir/runner.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/sim/CMakeFiles/dynex_sim.dir/sweep.cc.o" "gcc" "src/sim/CMakeFiles/dynex_sim.dir/sweep.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/sim/CMakeFiles/dynex_sim.dir/workloads.cc.o" "gcc" "src/sim/CMakeFiles/dynex_sim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cache/CMakeFiles/dynex_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tracegen/CMakeFiles/dynex_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

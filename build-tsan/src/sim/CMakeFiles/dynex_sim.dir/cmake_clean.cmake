@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_sim.dir/analysis.cc.o"
+  "CMakeFiles/dynex_sim.dir/analysis.cc.o.d"
+  "CMakeFiles/dynex_sim.dir/parallel.cc.o"
+  "CMakeFiles/dynex_sim.dir/parallel.cc.o.d"
+  "CMakeFiles/dynex_sim.dir/report.cc.o"
+  "CMakeFiles/dynex_sim.dir/report.cc.o.d"
+  "CMakeFiles/dynex_sim.dir/runner.cc.o"
+  "CMakeFiles/dynex_sim.dir/runner.cc.o.d"
+  "CMakeFiles/dynex_sim.dir/sweep.cc.o"
+  "CMakeFiles/dynex_sim.dir/sweep.cc.o.d"
+  "CMakeFiles/dynex_sim.dir/workloads.cc.o"
+  "CMakeFiles/dynex_sim.dir/workloads.cc.o.d"
+  "libdynex_sim.a"
+  "libdynex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

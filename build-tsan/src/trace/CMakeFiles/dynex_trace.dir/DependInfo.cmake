@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/filter.cc" "src/trace/CMakeFiles/dynex_trace.dir/filter.cc.o" "gcc" "src/trace/CMakeFiles/dynex_trace.dir/filter.cc.o.d"
+  "/root/repo/src/trace/next_use.cc" "src/trace/CMakeFiles/dynex_trace.dir/next_use.cc.o" "gcc" "src/trace/CMakeFiles/dynex_trace.dir/next_use.cc.o.d"
+  "/root/repo/src/trace/text_io.cc" "src/trace/CMakeFiles/dynex_trace.dir/text_io.cc.o" "gcc" "src/trace/CMakeFiles/dynex_trace.dir/text_io.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/dynex_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/dynex_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/dynex_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/dynex_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_trace.dir/filter.cc.o"
+  "CMakeFiles/dynex_trace.dir/filter.cc.o.d"
+  "CMakeFiles/dynex_trace.dir/next_use.cc.o"
+  "CMakeFiles/dynex_trace.dir/next_use.cc.o.d"
+  "CMakeFiles/dynex_trace.dir/text_io.cc.o"
+  "CMakeFiles/dynex_trace.dir/text_io.cc.o.d"
+  "CMakeFiles/dynex_trace.dir/trace.cc.o"
+  "CMakeFiles/dynex_trace.dir/trace.cc.o.d"
+  "CMakeFiles/dynex_trace.dir/trace_io.cc.o"
+  "CMakeFiles/dynex_trace.dir/trace_io.cc.o.d"
+  "libdynex_trace.a"
+  "libdynex_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

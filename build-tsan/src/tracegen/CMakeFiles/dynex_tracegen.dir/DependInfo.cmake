@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracegen/builder.cc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/builder.cc.o" "gcc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/builder.cc.o.d"
+  "/root/repo/src/tracegen/data_pattern.cc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/data_pattern.cc.o" "gcc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/data_pattern.cc.o.d"
+  "/root/repo/src/tracegen/executor.cc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/executor.cc.o" "gcc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/executor.cc.o.d"
+  "/root/repo/src/tracegen/program.cc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/program.cc.o" "gcc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/program.cc.o.d"
+  "/root/repo/src/tracegen/spec.cc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/spec.cc.o" "gcc" "src/tracegen/CMakeFiles/dynex_tracegen.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

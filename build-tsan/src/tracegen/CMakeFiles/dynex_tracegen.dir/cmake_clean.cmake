@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_tracegen.dir/builder.cc.o"
+  "CMakeFiles/dynex_tracegen.dir/builder.cc.o.d"
+  "CMakeFiles/dynex_tracegen.dir/data_pattern.cc.o"
+  "CMakeFiles/dynex_tracegen.dir/data_pattern.cc.o.d"
+  "CMakeFiles/dynex_tracegen.dir/executor.cc.o"
+  "CMakeFiles/dynex_tracegen.dir/executor.cc.o.d"
+  "CMakeFiles/dynex_tracegen.dir/program.cc.o"
+  "CMakeFiles/dynex_tracegen.dir/program.cc.o.d"
+  "CMakeFiles/dynex_tracegen.dir/spec.cc.o"
+  "CMakeFiles/dynex_tracegen.dir/spec.cc.o.d"
+  "libdynex_tracegen.a"
+  "libdynex_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

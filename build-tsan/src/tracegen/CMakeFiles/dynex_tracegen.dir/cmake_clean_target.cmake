@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynex_tracegen.a"
+)

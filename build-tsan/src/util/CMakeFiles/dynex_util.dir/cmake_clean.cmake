@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_util.dir/csv.cc.o"
+  "CMakeFiles/dynex_util.dir/csv.cc.o.d"
+  "CMakeFiles/dynex_util.dir/histogram.cc.o"
+  "CMakeFiles/dynex_util.dir/histogram.cc.o.d"
+  "CMakeFiles/dynex_util.dir/logging.cc.o"
+  "CMakeFiles/dynex_util.dir/logging.cc.o.d"
+  "CMakeFiles/dynex_util.dir/rng.cc.o"
+  "CMakeFiles/dynex_util.dir/rng.cc.o.d"
+  "CMakeFiles/dynex_util.dir/stats.cc.o"
+  "CMakeFiles/dynex_util.dir/stats.cc.o.d"
+  "CMakeFiles/dynex_util.dir/string_utils.cc.o"
+  "CMakeFiles/dynex_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/dynex_util.dir/table.cc.o"
+  "CMakeFiles/dynex_util.dir/table.cc.o.d"
+  "CMakeFiles/dynex_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dynex_util.dir/thread_pool.cc.o.d"
+  "libdynex_util.a"
+  "libdynex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

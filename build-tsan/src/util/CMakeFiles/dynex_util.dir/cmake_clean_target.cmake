@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynex_util.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_config.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_config.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_config.cc.o.d"
+  "/root/repo/tests/cache/test_direct_mapped.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_direct_mapped.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_direct_mapped.cc.o.d"
+  "/root/repo/tests/cache/test_dynamic_exclusion.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_dynamic_exclusion.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_dynamic_exclusion.cc.o.d"
+  "/root/repo/tests/cache/test_exclusion_fsm.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_fsm.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_fsm.cc.o.d"
+  "/root/repo/tests/cache/test_exclusion_stream.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_stream.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_stream.cc.o.d"
+  "/root/repo/tests/cache/test_factory.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_factory.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_factory.cc.o.d"
+  "/root/repo/tests/cache/test_hierarchy.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_hierarchy.cc.o.d"
+  "/root/repo/tests/cache/test_hit_last.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_hit_last.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_hit_last.cc.o.d"
+  "/root/repo/tests/cache/test_optimal.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_optimal.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_optimal.cc.o.d"
+  "/root/repo/tests/cache/test_replacement.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_replacement.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_replacement.cc.o.d"
+  "/root/repo/tests/cache/test_set_assoc.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_set_assoc.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_set_assoc.cc.o.d"
+  "/root/repo/tests/cache/test_static_exclusion.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_static_exclusion.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_static_exclusion.cc.o.d"
+  "/root/repo/tests/cache/test_stream_buffer.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_stream_buffer.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_stream_buffer.cc.o.d"
+  "/root/repo/tests/cache/test_victim.cc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_victim.cc.o" "gcc" "tests/CMakeFiles/dynex_test_cache.dir/cache/test_victim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/dynex_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/dynex_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tracegen/CMakeFiles/dynex_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

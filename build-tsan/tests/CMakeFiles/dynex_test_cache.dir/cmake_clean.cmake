@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_test_cache.dir/cache/test_config.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_config.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_direct_mapped.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_direct_mapped.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_dynamic_exclusion.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_dynamic_exclusion.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_fsm.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_fsm.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_stream.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_exclusion_stream.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_factory.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_factory.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_hierarchy.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_hierarchy.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_hit_last.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_hit_last.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_optimal.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_optimal.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_replacement.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_replacement.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_set_assoc.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_set_assoc.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_static_exclusion.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_static_exclusion.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_stream_buffer.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_stream_buffer.cc.o.d"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_victim.cc.o"
+  "CMakeFiles/dynex_test_cache.dir/cache/test_victim.cc.o.d"
+  "dynex_test_cache"
+  "dynex_test_cache.pdb"
+  "dynex_test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_test_cli.dir/tools/test_cli.cc.o"
+  "CMakeFiles/dynex_test_cli.dir/tools/test_cli.cc.o.d"
+  "dynex_test_cli"
+  "dynex_test_cli.pdb"
+  "dynex_test_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_test_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

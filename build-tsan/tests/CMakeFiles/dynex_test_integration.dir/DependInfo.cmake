@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_edge_cases.cc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_edge_cases.cc.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_end_to_end.cc.o.d"
+  "/root/repo/tests/integration/test_paper_patterns.cc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_paper_patterns.cc.o" "gcc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_paper_patterns.cc.o.d"
+  "/root/repo/tests/integration/test_properties.cc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_properties.cc.o" "gcc" "tests/CMakeFiles/dynex_test_integration.dir/integration/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/dynex_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/dynex_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tracegen/CMakeFiles/dynex_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

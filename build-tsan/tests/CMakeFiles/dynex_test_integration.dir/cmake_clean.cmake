@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_test_integration.dir/integration/test_edge_cases.cc.o"
+  "CMakeFiles/dynex_test_integration.dir/integration/test_edge_cases.cc.o.d"
+  "CMakeFiles/dynex_test_integration.dir/integration/test_end_to_end.cc.o"
+  "CMakeFiles/dynex_test_integration.dir/integration/test_end_to_end.cc.o.d"
+  "CMakeFiles/dynex_test_integration.dir/integration/test_paper_patterns.cc.o"
+  "CMakeFiles/dynex_test_integration.dir/integration/test_paper_patterns.cc.o.d"
+  "CMakeFiles/dynex_test_integration.dir/integration/test_properties.cc.o"
+  "CMakeFiles/dynex_test_integration.dir/integration/test_properties.cc.o.d"
+  "dynex_test_integration"
+  "dynex_test_integration.pdb"
+  "dynex_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

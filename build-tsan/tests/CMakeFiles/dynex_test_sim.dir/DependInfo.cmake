@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_analysis.cc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_analysis.cc.o" "gcc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_analysis.cc.o.d"
+  "/root/repo/tests/sim/test_parallel.cc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_parallel.cc.o" "gcc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_parallel.cc.o.d"
+  "/root/repo/tests/sim/test_report.cc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_report.cc.o" "gcc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_report.cc.o.d"
+  "/root/repo/tests/sim/test_runner.cc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_runner.cc.o" "gcc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_runner.cc.o.d"
+  "/root/repo/tests/sim/test_sweep.cc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_sweep.cc.o" "gcc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_sweep.cc.o.d"
+  "/root/repo/tests/sim/test_timing.cc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_timing.cc.o" "gcc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_timing.cc.o.d"
+  "/root/repo/tests/sim/test_workloads.cc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_workloads.cc.o" "gcc" "tests/CMakeFiles/dynex_test_sim.dir/sim/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/dynex_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/dynex_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tracegen/CMakeFiles/dynex_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_test_sim.dir/sim/test_analysis.cc.o"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_analysis.cc.o.d"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_parallel.cc.o"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_parallel.cc.o.d"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_report.cc.o"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_report.cc.o.d"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_runner.cc.o"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_runner.cc.o.d"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_sweep.cc.o"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_sweep.cc.o.d"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_timing.cc.o"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_timing.cc.o.d"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_workloads.cc.o"
+  "CMakeFiles/dynex_test_sim.dir/sim/test_workloads.cc.o.d"
+  "dynex_test_sim"
+  "dynex_test_sim.pdb"
+  "dynex_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_filter.cc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_filter.cc.o" "gcc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_filter.cc.o.d"
+  "/root/repo/tests/trace/test_next_use.cc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_next_use.cc.o" "gcc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_next_use.cc.o.d"
+  "/root/repo/tests/trace/test_record.cc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_record.cc.o" "gcc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_record.cc.o.d"
+  "/root/repo/tests/trace/test_text_io.cc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_text_io.cc.o" "gcc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_text_io.cc.o.d"
+  "/root/repo/tests/trace/test_trace.cc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_trace.cc.o" "gcc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_trace.cc.o.d"
+  "/root/repo/tests/trace/test_trace_io.cc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/dynex_test_trace.dir/trace/test_trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/dynex_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/dynex_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tracegen/CMakeFiles/dynex_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

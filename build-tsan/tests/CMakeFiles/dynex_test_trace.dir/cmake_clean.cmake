@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_test_trace.dir/trace/test_filter.cc.o"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_filter.cc.o.d"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_next_use.cc.o"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_next_use.cc.o.d"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_record.cc.o"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_record.cc.o.d"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_text_io.cc.o"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_text_io.cc.o.d"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_trace.cc.o"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_trace.cc.o.d"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_trace_io.cc.o"
+  "CMakeFiles/dynex_test_trace.dir/trace/test_trace_io.cc.o.d"
+  "dynex_test_trace"
+  "dynex_test_trace.pdb"
+  "dynex_test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_builder.cc.o"
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_builder.cc.o.d"
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_data_pattern.cc.o"
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_data_pattern.cc.o.d"
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_program.cc.o"
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_program.cc.o.d"
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_spec.cc.o"
+  "CMakeFiles/dynex_test_tracegen.dir/tracegen/test_spec.cc.o.d"
+  "dynex_test_tracegen"
+  "dynex_test_tracegen.pdb"
+  "dynex_test_tracegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_test_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bitops.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_bitops.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_bitops.cc.o.d"
+  "/root/repo/tests/util/test_csv.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_csv.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_csv.cc.o.d"
+  "/root/repo/tests/util/test_histogram.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_histogram.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_histogram.cc.o.d"
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_rng.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_rng.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_rng.cc.o.d"
+  "/root/repo/tests/util/test_stats.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_stats.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_stats.cc.o.d"
+  "/root/repo/tests/util/test_string_utils.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_string_utils.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_string_utils.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/util/test_thread_pool.cc" "tests/CMakeFiles/dynex_test_util.dir/util/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/dynex_test_util.dir/util/test_thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/dynex_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/dynex_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tracegen/CMakeFiles/dynex_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/dynex_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dynex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex_test_util.dir/util/test_bitops.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_bitops.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_csv.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_csv.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_histogram.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_histogram.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_logging.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_logging.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_rng.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_rng.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_stats.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_stats.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_string_utils.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_string_utils.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_table.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_table.cc.o.d"
+  "CMakeFiles/dynex_test_util.dir/util/test_thread_pool.cc.o"
+  "CMakeFiles/dynex_test_util.dir/util/test_thread_pool.cc.o.d"
+  "dynex_test_util"
+  "dynex_test_util.pdb"
+  "dynex_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/dynex_test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dynex_test_trace[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dynex_test_tracegen[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dynex_test_cache[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dynex_test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dynex_test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dynex_test_cli[1]_include.cmake")

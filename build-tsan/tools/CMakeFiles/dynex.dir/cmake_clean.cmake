@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynex.dir/dynex_cli.cc.o"
+  "CMakeFiles/dynex.dir/dynex_cli.cc.o.d"
+  "dynex"
+  "dynex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
