@@ -137,6 +137,38 @@ BM_NextUseIndexBuild(benchmark::State &state)
 BENCHMARK(BM_NextUseIndexBuild);
 
 void
+BM_NextUseBuild(benchmark::State &state)
+{
+    // The flat-hash backward pass with the scratch table reused across
+    // builds — the per-(trace, line size) pattern of the sweeps.
+    const Trace &trace = sharedTrace();
+    NextUseScratch scratch;
+    for (auto _ : state) {
+        NextUseIndex index(trace, 4, NextUseMode::RunStart, &scratch);
+        benchmark::DoNotOptimize(index.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_NextUseBuild);
+
+void
+BM_NextUseBuildMap(benchmark::State &state)
+{
+    // Baseline: the original unordered_map backward pass, kept as the
+    // reference oracle. Compare against BM_NextUseBuild.
+    const Trace &trace = sharedTrace();
+    for (auto _ : state) {
+        const auto next =
+            nextUseByMap(trace, 4, NextUseMode::RunStart);
+        benchmark::DoNotOptimize(next.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_NextUseBuildMap);
+
+void
 BM_ReplayVirtual(benchmark::State &state)
 {
     // Replay through the CacheModel& interface: one virtual dispatch
@@ -168,18 +200,19 @@ BM_ReplayTemplated(benchmark::State &state)
 BENCHMARK(BM_ReplayTemplated);
 
 void
-BM_SuiteSweepParallel(benchmark::State &state)
+runSuiteSweepBenchmark(benchmark::State &state, ReplayEngine engine)
 {
     // The suite-average sweep fanned out over state.range(0) workers;
-    // results are bit-identical across the axis, only wall-clock
-    // changes. Uses a small fixed budget so the smoke run stays fast.
+    // results are bit-identical across the axis and across engines,
+    // only wall-clock changes. Small fixed budget keeps smoke fast.
     ThreadPool::setConfiguredWorkers(
         static_cast<unsigned>(state.range(0)));
     const std::vector<std::string> names = {"mat300", "tomcatv"};
     constexpr Count kRefs = 100000;
     for (auto _ : state) {
         const auto points =
-            sweepSuiteAverage(names, kRefs, paperCacheSizes(), 4);
+            sweepSuiteAverage(names, kRefs, paperCacheSizes(), 4, {},
+                              false, false, engine);
         benchmark::DoNotOptimize(points.back().deMissPct);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
@@ -187,7 +220,26 @@ BM_SuiteSweepParallel(benchmark::State &state)
         3 * kRefs));
     ThreadPool::setConfiguredWorkers(0);
 }
+
+void
+BM_SuiteSweepParallel(benchmark::State &state)
+{
+    // Per-leg engine: one trace pass per (size, model) leg. Baseline
+    // for BM_SweepBatched.
+    runSuiteSweepBenchmark(state, ReplayEngine::PerLeg);
+}
 BENCHMARK(BM_SuiteSweepParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void
+BM_SweepBatched(benchmark::State &state)
+{
+    // Batched engine: every model of the sweep consumes each packed
+    // trace chunk while it is cache-resident — one trace pass per
+    // benchmark instead of one per leg.
+    runSuiteSweepBenchmark(state, ReplayEngine::Batched);
+}
+BENCHMARK(BM_SweepBatched)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void

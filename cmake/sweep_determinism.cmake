@@ -1,0 +1,39 @@
+# Determinism check: the batched replay engine must produce CLI sweep
+# output byte-identical to the per-leg engine at every worker count.
+#
+# Usage: cmake -DDYNEX_CLI=<path-to-dynex> -P sweep_determinism.cmake
+
+if(NOT DYNEX_CLI)
+    message(FATAL_ERROR "pass -DDYNEX_CLI=<path to the dynex binary>")
+endif()
+
+set(common sweep li --line 4 --refs 100000)
+
+foreach(threads 1 2 8)
+    execute_process(
+        COMMAND ${DYNEX_CLI} ${common} --threads ${threads}
+                --replay per-leg
+        OUTPUT_VARIABLE per_leg
+        RESULT_VARIABLE per_leg_rc)
+    if(NOT per_leg_rc EQUAL 0)
+        message(FATAL_ERROR
+            "per-leg sweep failed (threads=${threads}, rc=${per_leg_rc})")
+    endif()
+
+    execute_process(
+        COMMAND ${DYNEX_CLI} ${common} --threads ${threads}
+                --replay batched
+        OUTPUT_VARIABLE batched
+        RESULT_VARIABLE batched_rc)
+    if(NOT batched_rc EQUAL 0)
+        message(FATAL_ERROR
+            "batched sweep failed (threads=${threads}, rc=${batched_rc})")
+    endif()
+
+    if(NOT per_leg STREQUAL batched)
+        message(FATAL_ERROR
+            "sweep output differs between engines at threads=${threads}\n"
+            "--- per-leg ---\n${per_leg}\n--- batched ---\n${batched}")
+    endif()
+    message(STATUS "threads=${threads}: engines byte-identical")
+endforeach()

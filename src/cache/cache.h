@@ -56,18 +56,7 @@ class CacheModel
     access(const MemRef &ref, Tick tick)
     {
         const AccessOutcome outcome = doAccess(ref, tick);
-        ++statsData.accesses;
-        if (outcome.hit) {
-            ++statsData.hits;
-        } else {
-            ++statsData.misses;
-            if (outcome.filled)
-                ++statsData.fills;
-            if (outcome.bypassed)
-                ++statsData.bypasses;
-            if (outcome.evicted)
-                ++statsData.evictions;
-        }
+        recordOutcome(outcome);
         return outcome;
     }
 
@@ -88,6 +77,30 @@ class CacheModel
 
     /** Model-specific access behavior; stats are handled by access(). */
     virtual AccessOutcome doAccess(const MemRef &ref, Tick tick) = 0;
+
+    /**
+     * Fold one access outcome into the counters. Shared by access()
+     * and the leaf models' block-based batch entry points
+     * (accessBlock), which bypass the MemRef path but must keep
+     * identical statistics.
+     */
+    void
+    recordOutcome(const AccessOutcome &outcome)
+    {
+        // Branchless: every counter takes an unconditional add of a
+        // 0/1 flag, so the replay loops carry no data-dependent
+        // branches through the bookkeeping. fills/bypasses/evictions
+        // count only on misses, exactly as the branchy form did.
+        const Count miss = outcome.hit ? 0 : 1;
+        ++statsData.accesses;
+        statsData.hits += 1 - miss;
+        statsData.misses += miss;
+        statsData.fills += miss & static_cast<Count>(outcome.filled);
+        statsData.bypasses +=
+            miss & static_cast<Count>(outcome.bypassed);
+        statsData.evictions +=
+            miss & static_cast<Count>(outcome.evicted);
+    }
 
     /** Allow models to count cold misses precisely. */
     void noteColdMiss() { ++statsData.coldMisses; }

@@ -13,6 +13,7 @@ DirectMappedCache::DirectMappedCache(const CacheGeometry &geometry)
                  geometry.ways);
     tags.assign(geo.numLines(), 0);
     valid.assign(geo.numLines(), false);
+    setMask = geo.numSets() - 1;
 }
 
 void
@@ -38,25 +39,7 @@ DirectMappedCache::residentBlock(std::uint64_t set) const
 AccessOutcome
 DirectMappedCache::doAccess(const MemRef &ref, Tick)
 {
-    const Addr block = geo.blockOf(ref.addr);
-    const std::uint64_t set = geo.setOf(ref.addr);
-
-    AccessOutcome outcome;
-    if (valid[set] && tags[set] == block) {
-        outcome.hit = true;
-        return outcome;
-    }
-
-    if (valid[set]) {
-        outcome.evicted = true;
-        outcome.victimBlock = tags[set];
-    } else {
-        noteColdMiss();
-    }
-    tags[set] = block;
-    valid[set] = true;
-    outcome.filled = true;
-    return outcome;
+    return stepBlock(geo.blockOf(ref.addr));
 }
 
 } // namespace dynex

@@ -27,6 +27,21 @@ class DirectMappedCache final : public CacheModel
     void reset() override;
     std::string name() const override { return "direct-mapped"; }
 
+    /**
+     * Batch entry point: present the reference whose block number at
+     * this cache's line granularity is already known. Equivalent to
+     * access() on any address within the block — the batched replay
+     * engine streams precomputed block arrays through this, skipping
+     * the MemRef load and the address arithmetic.
+     */
+    AccessOutcome
+    accessBlock(Addr block, Tick)
+    {
+        const AccessOutcome outcome = stepBlock(block);
+        recordOutcome(outcome);
+        return outcome;
+    }
+
     /** @return true iff @p addr's block is currently resident. */
     bool contains(Addr addr) const;
 
@@ -38,8 +53,32 @@ class DirectMappedCache final : public CacheModel
     AccessOutcome doAccess(const MemRef &ref, Tick tick) override;
 
   private:
+    AccessOutcome
+    stepBlock(Addr block)
+    {
+        const std::uint64_t set = block & setMask;
+
+        AccessOutcome outcome;
+        if (valid[set] && tags[set] == block) {
+            outcome.hit = true;
+            return outcome;
+        }
+
+        if (valid[set]) {
+            outcome.evicted = true;
+            outcome.victimBlock = tags[set];
+        } else {
+            noteColdMiss();
+        }
+        tags[set] = block;
+        valid[set] = true;
+        outcome.filled = true;
+        return outcome;
+    }
+
     std::vector<Addr> tags;   ///< resident block number per line
     std::vector<bool> valid;
+    Addr setMask = 0;         ///< numSets - 1, cached off the geometry
 };
 
 } // namespace dynex

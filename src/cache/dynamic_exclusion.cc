@@ -18,24 +18,7 @@ DynamicExclusionCache::DynamicExclusionCache(
     DYNEX_ASSERT(cfg.stickyMax >= 1, "stickyMax must be at least 1");
     lines.resize(geo.numLines());
     idealHitLast = dynamic_cast<IdealHitLastStore *>(hitLast.get());
-}
-
-bool
-DynamicExclusionCache::lookupHitLast(Addr block) const
-{
-    // IdealHitLastStore is final, so this call devirtualizes and the
-    // bitmap probe inlines into the replay loop.
-    return idealHitLast ? idealHitLast->lookup(block)
-                        : hitLast->lookup(block);
-}
-
-void
-DynamicExclusionCache::updateHitLast(Addr block, bool value)
-{
-    if (idealHitLast)
-        idealHitLast->update(block, value);
-    else
-        hitLast->update(block, value);
+    setMask = geo.numSets() - 1;
 }
 
 void
@@ -59,34 +42,7 @@ DynamicExclusionCache::contains(Addr addr) const
 AccessOutcome
 DynamicExclusionCache::doAccess(const MemRef &ref, Tick)
 {
-    const Addr block = geo.blockOf(ref.addr);
-
-    AccessOutcome outcome;
-    if (cfg.useLastLine && block == lastBlock) {
-        // Sequential reference within the most recent line: served by
-        // the last-line buffer; exclusion state is deliberately left
-        // untouched (Section 6).
-        outcome.hit = true;
-        return outcome;
-    }
-    if (cfg.useLastLine)
-        lastBlock = block;
-
-    const std::uint64_t set = geo.setOf(ref.addr);
-    const bool h = lookupHitLast(block);
-    const FsmStep step = exclusionStep(lines[set], block, h, cfg.stickyMax);
-    events.note(step.event);
-    if (step.newHitLast)
-        updateHitLast(block, *step.newHitLast);
-
-    outcome.hit = step.hit;
-    outcome.filled = step.allocated && !step.hit;
-    outcome.bypassed = step.event == FsmEvent::Bypass;
-    outcome.evicted = step.evicted;
-    outcome.victimBlock = step.victimTag;
-    if (step.event == FsmEvent::ColdFill)
-        noteColdMiss();
-    return outcome;
+    return stepBlock(geo.blockOf(ref.addr));
 }
 
 } // namespace dynex

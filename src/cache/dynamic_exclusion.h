@@ -84,6 +84,20 @@ class DynamicExclusionCache final : public CacheModel
     void reset() override;
     std::string name() const override { return "dynamic-exclusion"; }
 
+    /**
+     * Batch entry point: present the reference whose block number at
+     * this cache's line granularity is already known; equivalent to
+     * access() on any address within the block. See
+     * DirectMappedCache::accessBlock.
+     */
+    AccessOutcome
+    accessBlock(Addr block, Tick)
+    {
+        const AccessOutcome outcome = stepBlock(block);
+        recordOutcome(outcome);
+        return outcome;
+    }
+
     /** Per-transition counts since the last reset. */
     const FsmEventCounts &eventCounts() const { return events; }
 
@@ -100,8 +114,55 @@ class DynamicExclusionCache final : public CacheModel
     AccessOutcome doAccess(const MemRef &ref, Tick tick) override;
 
   private:
-    bool lookupHitLast(Addr block) const;
-    void updateHitLast(Addr block, bool value);
+    bool
+    lookupHitLast(Addr block) const
+    {
+        // IdealHitLastStore is final, so this call devirtualizes and
+        // the bitmap probe inlines into the replay loop.
+        return idealHitLast ? idealHitLast->lookup(block)
+                            : hitLast->lookup(block);
+    }
+
+    void
+    updateHitLast(Addr block, bool value)
+    {
+        if (idealHitLast)
+            idealHitLast->update(block, value);
+        else
+            hitLast->update(block, value);
+    }
+
+    AccessOutcome
+    stepBlock(Addr block)
+    {
+        AccessOutcome outcome;
+        if (cfg.useLastLine && block == lastBlock) {
+            // Sequential reference within the most recent line: served
+            // by the last-line buffer; exclusion state is deliberately
+            // left untouched (Section 6).
+            outcome.hit = true;
+            return outcome;
+        }
+        if (cfg.useLastLine)
+            lastBlock = block;
+
+        const std::uint64_t set = block & setMask;
+        const bool h = lookupHitLast(block);
+        const FsmStep step =
+            exclusionStep(lines[set], block, h, cfg.stickyMax);
+        events.note(step.event);
+        if (step.newHitLast)
+            updateHitLast(block, *step.newHitLast);
+
+        outcome.hit = step.hit;
+        outcome.filled = step.allocated && !step.hit;
+        outcome.bypassed = step.event == FsmEvent::Bypass;
+        outcome.evicted = step.evicted;
+        outcome.victimBlock = step.victimTag;
+        if (step.event == FsmEvent::ColdFill)
+            noteColdMiss();
+        return outcome;
+    }
 
     DynamicExclusionConfig cfg;
     std::unique_ptr<HitLastStore> hitLast;
@@ -112,6 +173,7 @@ class DynamicExclusionCache final : public CacheModel
     std::vector<ExclusionLine> lines;
     FsmEventCounts events;
     Addr lastBlock = kAddrInvalid;
+    Addr setMask = 0; ///< numSets - 1, cached off the geometry
 };
 
 } // namespace dynex

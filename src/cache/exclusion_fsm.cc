@@ -1,7 +1,5 @@
 #include "cache/exclusion_fsm.h"
 
-#include "util/logging.h"
-
 namespace dynex
 {
 
@@ -21,72 +19,6 @@ fsmEventName(FsmEvent event)
         return "bypass";
     }
     return "unknown";
-}
-
-FsmStep
-exclusionStep(ExclusionLine &line, Addr tag, bool hit_last_x,
-              std::uint8_t sticky_max)
-{
-    DYNEX_ASSERT(sticky_max >= 1, "sticky_max must be at least 1");
-
-    FsmStep step;
-
-    if (!line.valid) {
-        step.event = FsmEvent::ColdFill;
-        step.allocated = true;
-        step.newHitLast = true;
-        line.tag = tag;
-        line.valid = true;
-        line.sticky = sticky_max;
-        line.hitLastCopy = true;
-        return step;
-    }
-
-    if (line.tag == tag) {
-        step.event = FsmEvent::Hit;
-        step.hit = true;
-        step.newHitLast = true;
-        line.sticky = sticky_max;
-        line.hitLastCopy = true;
-        return step;
-    }
-
-    if (line.sticky == 0) {
-        // The resident survived a previous conflict without being
-        // re-executed; it loses this one. The incoming block "should
-        // have hit the last time it was executed", so h[x] is set even
-        // though it did not actually hit (the A,!s -> B,s transition).
-        step.event = FsmEvent::ReplaceUnsticky;
-        step.allocated = true;
-        step.newHitLast = true;
-        step.evicted = true;
-        step.victimTag = line.tag;
-        step.victimHitLast = line.hitLastCopy;
-        line.tag = tag;
-        line.sticky = sticky_max;
-        line.hitLastCopy = true;
-        return step;
-    }
-
-    if (hit_last_x) {
-        // The hit-last bit overrides stickiness, but is consumed: the
-        // incoming block must prove itself by actually hitting before
-        // it can override again.
-        step.event = FsmEvent::ReplaceHitLast;
-        step.allocated = true;
-        step.newHitLast = false;
-        step.evicted = true;
-        step.victimTag = line.tag;
-        step.victimHitLast = line.hitLastCopy;
-        line.tag = tag;
-        line.sticky = sticky_max;
-        line.hitLastCopy = false;
-        return step;
-    }
-
-    step.event = FsmEvent::Bypass;
-    line.sticky = static_cast<std::uint8_t>(line.sticky - 1);
-    return step;
 }
 
 } // namespace dynex

@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 
+#include "util/logging.h"
 #include "util/types.h"
 
 namespace dynex
@@ -77,6 +78,10 @@ struct FsmStep
 /**
  * Apply one access to @p line.
  *
+ * Defined inline: this is the innermost step of every dynamic-exclusion
+ * replay loop, and keeping the body visible lets it fold into the
+ * models' stepBlock fast paths without a cross-TU call per reference.
+ *
  * @param line the (mutated) cache-line state.
  * @param tag block number of the access.
  * @param hit_last_x the stored h[x] for this block, as looked up by
@@ -85,8 +90,71 @@ struct FsmStep
  *        paper's machine uses 1.
  * @return the step record describing what happened.
  */
-FsmStep exclusionStep(ExclusionLine &line, Addr tag, bool hit_last_x,
-                      std::uint8_t sticky_max = 1);
+inline FsmStep
+exclusionStep(ExclusionLine &line, Addr tag, bool hit_last_x,
+              std::uint8_t sticky_max = 1)
+{
+    DYNEX_ASSERT(sticky_max >= 1, "sticky_max must be at least 1");
+
+    FsmStep step;
+
+    if (!line.valid) {
+        step.event = FsmEvent::ColdFill;
+        step.allocated = true;
+        step.newHitLast = true;
+        line.tag = tag;
+        line.valid = true;
+        line.sticky = sticky_max;
+        line.hitLastCopy = true;
+        return step;
+    }
+
+    if (line.tag == tag) {
+        step.event = FsmEvent::Hit;
+        step.hit = true;
+        step.newHitLast = true;
+        line.sticky = sticky_max;
+        line.hitLastCopy = true;
+        return step;
+    }
+
+    if (line.sticky == 0) {
+        // The resident survived a previous conflict without being
+        // re-executed; it loses this one. The incoming block "should
+        // have hit the last time it was executed", so h[x] is set even
+        // though it did not actually hit (the A,!s -> B,s transition).
+        step.event = FsmEvent::ReplaceUnsticky;
+        step.allocated = true;
+        step.newHitLast = true;
+        step.evicted = true;
+        step.victimTag = line.tag;
+        step.victimHitLast = line.hitLastCopy;
+        line.tag = tag;
+        line.sticky = sticky_max;
+        line.hitLastCopy = true;
+        return step;
+    }
+
+    if (hit_last_x) {
+        // The hit-last bit overrides stickiness, but is consumed: the
+        // incoming block must prove itself by actually hitting before
+        // it can override again.
+        step.event = FsmEvent::ReplaceHitLast;
+        step.allocated = true;
+        step.newHitLast = false;
+        step.evicted = true;
+        step.victimTag = line.tag;
+        step.victimHitLast = line.hitLastCopy;
+        line.tag = tag;
+        line.sticky = sticky_max;
+        line.hitLastCopy = false;
+        return step;
+    }
+
+    step.event = FsmEvent::Bypass;
+    line.sticky = static_cast<std::uint8_t>(line.sticky - 1);
+    return step;
+}
 
 } // namespace dynex
 

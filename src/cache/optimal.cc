@@ -20,6 +20,7 @@ OptimalDirectMappedCache::OptimalDirectMappedCache(
     tags.assign(geo.numLines(), 0);
     valid.assign(geo.numLines(), false);
     residentNextUse.assign(geo.numLines(), kTickInfinity);
+    setMask = geo.numSets() - 1;
 }
 
 void
@@ -35,50 +36,7 @@ OptimalDirectMappedCache::reset()
 AccessOutcome
 OptimalDirectMappedCache::doAccess(const MemRef &ref, Tick tick)
 {
-    DYNEX_ASSERT(tick < oracle->size(), "tick ", tick,
-                 " beyond indexed trace of ", oracle->size());
-    const Addr block = geo.blockOf(ref.addr);
-
-    AccessOutcome outcome;
-    if (lastLineEnabled && block == lastBlock) {
-        // Within-run reference: served by the last-line register
-        // without touching (or re-deciding) the cache line.
-        outcome.hit = true;
-        return outcome;
-    }
-    if (lastLineEnabled)
-        lastBlock = block;
-
-    const std::uint64_t set = geo.setOf(ref.addr);
-    const Tick incoming_next = oracle->nextUse(tick);
-
-    if (valid[set] && tags[set] == block) {
-        outcome.hit = true;
-        residentNextUse[set] = incoming_next;
-        return outcome;
-    }
-
-    if (!valid[set]) {
-        noteColdMiss();
-        tags[set] = block;
-        valid[set] = true;
-        residentNextUse[set] = incoming_next;
-        outcome.filled = true;
-        return outcome;
-    }
-
-    // Conflict: retain whichever block is referenced sooner. Ties are
-    // impossible (two distinct blocks cannot share a future position).
-    if (incoming_next < residentNextUse[set]) {
-        outcome.evicted = true;
-        outcome.victimBlock = tags[set];
-        tags[set] = block;
-        residentNextUse[set] = incoming_next;
-        outcome.filled = true;
-    } else {
-        outcome.bypassed = true;
-    }
-    return outcome;
+    return stepBlock(geo.blockOf(ref.addr), tick);
 }
 
 OptimalSetAssocCache::OptimalSetAssocCache(const CacheGeometry &geometry,

@@ -14,6 +14,7 @@
 
 #include "cache/cache.h"
 #include "trace/next_use.h"
+#include "util/logging.h"
 
 namespace dynex
 {
@@ -54,10 +55,73 @@ class OptimalDirectMappedCache final : public CacheModel
     void reset() override;
     std::string name() const override { return "optimal-direct-mapped"; }
 
+    /**
+     * Batch entry point: present the reference whose block number at
+     * this cache's line granularity is already known; @p tick must
+     * still be the reference's true trace position (the oracle is
+     * consulted with it). See DirectMappedCache::accessBlock.
+     */
+    AccessOutcome
+    accessBlock(Addr block, Tick tick)
+    {
+        const AccessOutcome outcome = stepBlock(block, tick);
+        recordOutcome(outcome);
+        return outcome;
+    }
+
   protected:
     AccessOutcome doAccess(const MemRef &ref, Tick tick) override;
 
   private:
+    AccessOutcome
+    stepBlock(Addr block, Tick tick)
+    {
+        DYNEX_ASSERT(tick < oracle->size(), "tick ", tick,
+                     " beyond indexed trace of ", oracle->size());
+
+        AccessOutcome outcome;
+        if (lastLineEnabled && block == lastBlock) {
+            // Within-run reference: served by the last-line register
+            // without touching (or re-deciding) the cache line.
+            outcome.hit = true;
+            return outcome;
+        }
+        if (lastLineEnabled)
+            lastBlock = block;
+
+        const std::uint64_t set = block & setMask;
+        const Tick incoming_next = oracle->nextUse(tick);
+
+        if (valid[set] && tags[set] == block) {
+            outcome.hit = true;
+            residentNextUse[set] = incoming_next;
+            return outcome;
+        }
+
+        if (!valid[set]) {
+            noteColdMiss();
+            tags[set] = block;
+            valid[set] = true;
+            residentNextUse[set] = incoming_next;
+            outcome.filled = true;
+            return outcome;
+        }
+
+        // Conflict: retain whichever block is referenced sooner. Ties
+        // are impossible (two distinct blocks cannot share a future
+        // position).
+        if (incoming_next < residentNextUse[set]) {
+            outcome.evicted = true;
+            outcome.victimBlock = tags[set];
+            tags[set] = block;
+            residentNextUse[set] = incoming_next;
+            outcome.filled = true;
+        } else {
+            outcome.bypassed = true;
+        }
+        return outcome;
+    }
+
     const NextUseIndex *oracle;
     std::vector<Addr> tags;
     std::vector<bool> valid;
@@ -65,6 +129,7 @@ class OptimalDirectMappedCache final : public CacheModel
     std::vector<Tick> residentNextUse;
     bool lastLineEnabled;
     Addr lastBlock = kAddrInvalid;
+    Addr setMask = 0; ///< numSets - 1, cached off the geometry
 };
 
 /**

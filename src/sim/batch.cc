@@ -1,0 +1,62 @@
+#include "sim/batch.h"
+
+#include <memory>
+
+#include "cache/direct_mapped.h"
+#include "cache/optimal.h"
+#include "util/logging.h"
+
+namespace dynex
+{
+
+std::vector<TriadResult>
+replayTriadBatch(const Trace &trace, const NextUseIndex &index,
+                 const std::vector<std::uint64_t> &sizes,
+                 std::uint32_t line_bytes,
+                 const DynamicExclusionConfig &de_config)
+{
+    DYNEX_ASSERT(index.blockSize() == line_bytes,
+                 "index granularity mismatch");
+
+    // unique_ptr elements because CacheModel is non-copyable and
+    // non-movable; the batch loop only chases |sizes| pointers per
+    // chunk, not per reference.
+    std::vector<std::unique_ptr<DirectMappedCache>> dms;
+    std::vector<std::unique_ptr<DynamicExclusionCache>> des;
+    std::vector<std::unique_ptr<OptimalDirectMappedCache>> opts;
+    dms.reserve(sizes.size());
+    des.reserve(sizes.size());
+    opts.reserve(sizes.size());
+    for (const std::uint64_t size : sizes) {
+        const auto geometry =
+            CacheGeometry::directMapped(size, line_bytes);
+        dms.push_back(std::make_unique<DirectMappedCache>(geometry));
+        des.push_back(
+            std::make_unique<DynamicExclusionCache>(geometry, de_config));
+        opts.push_back(std::make_unique<OptimalDirectMappedCache>(
+            geometry, index, /*use_last_line=*/true));
+    }
+
+    const PackedTraceView view(trace, line_bytes);
+    const Addr *blocks = view.blocks();
+    const std::size_t n = view.size();
+    for (std::size_t base = 0; base < n;
+         base += detail::kBatchChunkRefs) {
+        const std::size_t end =
+            std::min(n, base + detail::kBatchChunkRefs);
+        for (auto &dm : dms)
+            detail::replayBlockSpan(*dm, blocks, base, end);
+        for (auto &de : des)
+            detail::replayBlockSpan(*de, blocks, base, end);
+        for (auto &opt : opts)
+            detail::replayBlockSpan(*opt, blocks, base, end);
+    }
+
+    std::vector<TriadResult> results(sizes.size());
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        results[s] = {dms[s]->stats(), des[s]->stats(),
+                      opts[s]->stats()};
+    return results;
+}
+
+} // namespace dynex

@@ -32,7 +32,8 @@ std::vector<std::vector<TriadResult>>
 sweepSuiteTriads(const std::vector<std::string> &benchmark_names,
                  Count refs, const std::vector<std::uint64_t> &sizes,
                  std::uint32_t line_bytes,
-                 const DynamicExclusionConfig &config, StreamKind stream)
+                 const DynamicExclusionConfig &config, StreamKind stream,
+                 ReplayEngine engine)
 {
     std::vector<std::vector<TriadResult>> grid(benchmark_names.size());
     simParallelFor(benchmark_names.size(), [&](std::size_t b) {
@@ -41,6 +42,14 @@ sweepSuiteTriads(const std::vector<std::string> &benchmark_names,
         const NextUseIndex index(*trace, line_bytes,
                                  NextUseMode::RunStart);
         auto &row = grid[b];
+        if (engine == ReplayEngine::Batched) {
+            // One pass over the trace feeds every (size, model) leg of
+            // this benchmark; parallelism comes from the benchmark
+            // fan-out above.
+            row = replayTriadBatch(*trace, index, sizes, line_bytes,
+                                   config);
+            return;
+        }
         row.resize(sizes.size());
         simParallelFor(sizes.size(), [&](std::size_t s) {
             row[s] = runTriad(*trace, index, sizes[s], line_bytes,
@@ -54,7 +63,8 @@ std::vector<std::vector<TriadResult>>
 sweepSuiteLineTriads(const std::vector<std::string> &benchmark_names,
                      Count refs, std::uint64_t size_bytes,
                      const std::vector<std::uint32_t> &lines,
-                     const DynamicExclusionConfig &config)
+                     const DynamicExclusionConfig &config,
+                     ReplayEngine engine)
 {
     std::vector<std::vector<TriadResult>> grid(benchmark_names.size());
     simParallelFor(benchmark_names.size(), [&](std::size_t b) {
@@ -62,6 +72,21 @@ sweepSuiteLineTriads(const std::vector<std::string> &benchmark_names,
                                       StreamKind::Instructions);
         auto &row = grid[b];
         row.resize(lines.size());
+        if (engine == ReplayEngine::Batched) {
+            // Serial over line sizes so every index build of this
+            // benchmark reuses one scratch table; each line point's
+            // three models replay in a single trace pass.
+            NextUseScratch scratch;
+            const std::vector<std::uint64_t> one_size = {size_bytes};
+            for (std::size_t l = 0; l < lines.size(); ++l) {
+                const NextUseIndex index(*trace, lines[l],
+                                         NextUseMode::RunStart,
+                                         &scratch);
+                row[l] = replayTriadBatch(*trace, index, one_size,
+                                          lines[l], config)[0];
+            }
+            return;
+        }
         simParallelFor(lines.size(), [&](std::size_t l) {
             const NextUseIndex index(*trace, lines[l],
                                      NextUseMode::RunStart);

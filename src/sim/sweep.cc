@@ -56,10 +56,19 @@ const
 
 std::vector<SizeSweepPoint>
 sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
-           std::uint32_t line_bytes, const DynamicExclusionConfig &config)
+           std::uint32_t line_bytes, const DynamicExclusionConfig &config,
+           ReplayEngine engine)
 {
     const NextUseIndex index(trace, line_bytes, NextUseMode::RunStart);
     std::vector<SizeSweepPoint> points(sizes.size());
+    if (engine == ReplayEngine::Batched) {
+        const auto triads =
+            replayTriadBatch(trace, index, sizes, line_bytes, config);
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            points[s] = {sizes[s], triads[s].dmMissPct(),
+                         triads[s].deMissPct(), triads[s].optMissPct()};
+        return points;
+    }
     simParallelFor(sizes.size(), [&](std::size_t s) {
         const TriadResult triad =
             runTriad(trace, index, sizes[s], line_bytes, config);
@@ -74,7 +83,7 @@ sweepSuiteAverage(const std::vector<std::string> &benchmark_names,
                   Count refs, const std::vector<std::uint64_t> &sizes,
                   std::uint32_t line_bytes,
                   const DynamicExclusionConfig &config, bool data_refs,
-                  bool mixed_refs)
+                  bool mixed_refs, ReplayEngine engine)
 {
     DYNEX_ASSERT(!(data_refs && mixed_refs),
                  "choose one stream kind");
@@ -86,7 +95,8 @@ sweepSuiteAverage(const std::vector<std::string> &benchmark_names,
                               : data_refs ? StreamKind::Data
                                           : StreamKind::Instructions;
     const auto grid = sweepSuiteTriads(benchmark_names, refs, sizes,
-                                       line_bytes, config, stream);
+                                       line_bytes, config, stream,
+                                       engine);
     // Serial reduction in benchmark order: identical floating-point
     // accumulation order to the historical serial loop, so results are
     // bit-identical at any thread count.
@@ -110,14 +120,16 @@ std::vector<LineSweepPoint>
 sweepSuiteLineSizes(const std::vector<std::string> &benchmark_names,
                     Count refs, std::uint64_t size_bytes,
                     const std::vector<std::uint32_t> &lines,
-                    const DynamicExclusionConfig &config)
+                    const DynamicExclusionConfig &config,
+                    ReplayEngine engine)
 {
     std::vector<LineSweepPoint> average(lines.size());
     for (std::size_t l = 0; l < lines.size(); ++l)
         average[l].lineBytes = lines[l];
 
     const auto grid = sweepSuiteLineTriads(benchmark_names, refs,
-                                           size_bytes, lines, config);
+                                           size_bytes, lines, config,
+                                           engine);
     for (const auto &row : grid) {
         for (std::size_t l = 0; l < lines.size(); ++l) {
             average[l].dmMissPct += row[l].dmMissPct();

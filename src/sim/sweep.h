@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/dynamic_exclusion.h"
+#include "sim/batch.h"
 #include "sim/runner.h"
 #include "trace/trace.h"
 
@@ -38,10 +39,14 @@ struct SizeSweepPoint
 /**
  * Run the three-way comparison over @p sizes on one trace.
  * A single RunStart next-use index at @p line_bytes is built once.
+ * With the default Batched engine the trace is streamed once for all
+ * sizes and models; PerLeg replays per (size, model) leg. Both produce
+ * bit-identical results at any thread count.
  */
 std::vector<SizeSweepPoint> sweepSizes(
     const Trace &trace, const std::vector<std::uint64_t> &sizes,
-    std::uint32_t line_bytes, const DynamicExclusionConfig &config = {});
+    std::uint32_t line_bytes, const DynamicExclusionConfig &config = {},
+    ReplayEngine engine = ReplayEngine::Batched);
 
 /**
  * Suite-averaged size sweep: arithmetic mean of the per-benchmark miss
@@ -52,12 +57,14 @@ std::vector<SizeSweepPoint> sweepSizes(
  * @param refs per-benchmark reference budget.
  * @param data_refs use the data stream instead of instruction fetches.
  * @param mixed_refs use the mixed I+D stream.
+ * @param engine batched (one trace pass per benchmark) or per-leg.
  */
 std::vector<SizeSweepPoint> sweepSuiteAverage(
     const std::vector<std::string> &benchmark_names, Count refs,
     const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
     const DynamicExclusionConfig &config = {}, bool data_refs = false,
-    bool mixed_refs = false);
+    bool mixed_refs = false,
+    ReplayEngine engine = ReplayEngine::Batched);
 
 /** One (line size, triad) point at fixed capacity. */
 struct LineSweepPoint
@@ -75,7 +82,8 @@ struct LineSweepPoint
 std::vector<LineSweepPoint> sweepSuiteLineSizes(
     const std::vector<std::string> &benchmark_names, Count refs,
     std::uint64_t size_bytes, const std::vector<std::uint32_t> &lines,
-    const DynamicExclusionConfig &config = {});
+    const DynamicExclusionConfig &config = {},
+    ReplayEngine engine = ReplayEngine::Batched);
 
 } // namespace dynex
 

@@ -31,12 +31,39 @@ enum class NextUseMode
 };
 
 /**
+ * Reusable working memory for NextUseIndex builds: the open-addressing
+ * block -> upcoming-position table of the backward pass.
+ *
+ * A sweep that builds several indexes over the same trace (one per
+ * line size) can pass one scratch to every build; the table's
+ * allocation survives between builds and is wiped (not reallocated),
+ * so only the first build pays for the memory.
+ */
+class NextUseScratch
+{
+  public:
+    NextUseScratch() = default;
+
+  private:
+    friend class NextUseIndex;
+    /** One open-addressing slot: the key and its payload share a cache
+     * line, so a probe touches one line instead of two arrays. */
+    struct Slot
+    {
+        Addr key;  ///< block number; kAddrInvalid = empty
+        Tick tick; ///< upcoming qualifying position for the key
+    };
+    std::vector<Slot> slots;
+};
+
+/**
  * Precomputed forward-reference distances at a given block granularity.
  *
  * nextUse(i) is the smallest j > i such that block(trace[j]) ==
  * block(trace[i]) (and, in RunStart mode, j starts a new run), or
  * kTickInfinity when the block is never referenced again. Built in one
- * backward pass (O(n) expected with hashing).
+ * backward pass over an open-addressing flat hash table (one probe
+ * chain per reference, no node allocation), O(n) expected.
  */
 class NextUseIndex
 {
@@ -46,9 +73,14 @@ class NextUseIndex
      * @param block_size power-of-two block granularity in bytes;
      *        references are equivalent iff addr / block_size matches.
      * @param mode which references qualify as future uses.
+     * @param scratch optional reusable working memory; pass the same
+     *        scratch to consecutive builds to amortize the table
+     *        allocation. Not thread-safe: concurrent builds need
+     *        distinct scratches (or none).
      */
     NextUseIndex(const Trace &trace, std::uint64_t block_size,
-                 NextUseMode mode = NextUseMode::AnyReference);
+                 NextUseMode mode = NextUseMode::AnyReference,
+                 NextUseScratch *scratch = nullptr);
 
     /** @return the next qualifying position referencing trace[i]'s
      * block, or kTickInfinity. */
@@ -58,15 +90,30 @@ class NextUseIndex
         return next[i];
     }
 
+    /** The whole index, for equivalence tests. */
+    const std::vector<Tick> &values() const { return next; }
+
     std::uint64_t blockSize() const { return blockBytes; }
     NextUseMode mode() const { return useMode; }
     std::size_t size() const { return next.size(); }
 
   private:
+    void build(const Trace &trace, NextUseScratch &scratch);
+
     std::vector<Tick> next;
     std::uint64_t blockBytes;
     NextUseMode useMode;
 };
+
+/**
+ * Reference implementation of the backward pass on std::unordered_map,
+ * the pre-flat-hash builder. Kept (only) as the oracle for equivalence
+ * tests and as the baseline of the BM_NextUseBuild microbenchmarks;
+ * simulation code should use NextUseIndex.
+ */
+std::vector<Tick> nextUseByMap(const Trace &trace,
+                               std::uint64_t block_size,
+                               NextUseMode mode);
 
 } // namespace dynex
 

@@ -1,0 +1,23 @@
+#include "trace/packed_view.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace dynex
+{
+
+PackedTraceView::PackedTraceView(const Trace &trace,
+                                 std::uint32_t block_bytes)
+    : blockBytesValue(block_bytes)
+{
+    DYNEX_ASSERT(isPowerOfTwo(block_bytes),
+                 "block size must be a power of two, got ", block_bytes);
+    const unsigned shift = floorLog2(block_bytes);
+    const MemRef *refs = trace.records().data();
+    const std::size_t n = trace.size();
+    blockIds.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        blockIds[i] = refs[i].addr >> shift;
+}
+
+} // namespace dynex

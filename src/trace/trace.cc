@@ -61,13 +61,85 @@ Trace::append(const Trace &other)
     refs.insert(refs.end(), other.refs.begin(), other.refs.end());
 }
 
+namespace
+{
+
+/**
+ * Exact distinct-count over an open-addressing table keyed by word
+ * address: O(n) expected, no copy of the reference vector and no sort.
+ * Word addresses are 4-byte aligned, so word+1 (never a valid key) is
+ * the empty-slot marker.
+ */
+class WordCounter
+{
+  public:
+    explicit WordCounter(std::size_t expected)
+    {
+        std::size_t capacity = 256;
+        while (capacity < expected / 2)
+            capacity *= 2;
+        slots.assign(capacity, kEmpty);
+        limit = capacity - capacity / 4; // 0.75 load factor
+    }
+
+    void
+    insert(Addr word)
+    {
+        std::size_t slot = hash(word) & (slots.size() - 1);
+        while (slots[slot] != kEmpty) {
+            if (slots[slot] == word)
+                return;
+            slot = (slot + 1) & (slots.size() - 1);
+        }
+        slots[slot] = word;
+        if (++used >= limit)
+            grow();
+    }
+
+    Count count() const { return used; }
+
+  private:
+    static constexpr Addr kEmpty = 1; ///< unaligned, so never a word
+
+    static std::size_t
+    hash(Addr word)
+    {
+        std::uint64_t x = word;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x);
+    }
+
+    void
+    grow()
+    {
+        std::vector<Addr> old(slots.size() * 2, kEmpty);
+        old.swap(slots);
+        limit = slots.size() - slots.size() / 4;
+        for (const Addr word : old) {
+            if (word == kEmpty)
+                continue;
+            std::size_t slot = hash(word) & (slots.size() - 1);
+            while (slots[slot] != kEmpty)
+                slot = (slot + 1) & (slots.size() - 1);
+            slots[slot] = word;
+        }
+    }
+
+    std::vector<Addr> slots;
+    std::size_t used = 0;
+    std::size_t limit = 0;
+};
+
+} // namespace
+
 TraceSummary
 Trace::summarize() const
 {
     TraceSummary summary;
     summary.total = refs.size();
-    std::vector<Addr> words;
-    words.reserve(refs.size());
+    WordCounter words(refs.size());
     for (const auto &ref : refs) {
         switch (ref.type) {
           case RefType::Ifetch:
@@ -82,11 +154,9 @@ Trace::summarize() const
         }
         summary.minAddr = std::min(summary.minAddr, ref.addr);
         summary.maxAddr = std::max(summary.maxAddr, ref.addr);
-        words.push_back(ref.addr & ~Addr{3});
+        words.insert(ref.addr & ~Addr{3});
     }
-    std::sort(words.begin(), words.end());
-    summary.uniqueWords =
-        std::unique(words.begin(), words.end()) - words.begin();
+    summary.uniqueWords = words.count();
     return summary;
 }
 

@@ -24,7 +24,7 @@ struct TraceSummary
     Count stores = 0;
     Addr minAddr = kAddrInvalid;
     Addr maxAddr = 0;
-    /** Distinct 4-byte-aligned words touched (exact, via sorting). */
+    /** Distinct 4-byte-aligned words touched (exact, via hashing). */
     Count uniqueWords = 0;
 
     std::string toString() const;
@@ -85,7 +85,9 @@ class Trace
     const std::vector<MemRef> &records() const { return refs; }
     std::vector<MemRef> &mutableRecords() { return refs; }
 
-    /** Compute composition statistics (O(n log n) for unique words). */
+    /** Compute composition statistics (O(n) expected; the unique-word
+     * count hashes instead of copying and sorting the references).
+     * Report-path only — keep it out of per-sweep hot paths. */
     TraceSummary summarize() const;
 
   private:

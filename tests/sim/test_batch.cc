@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Equivalence tests of the batched replay engine: one trace pass
+ * through every model of a sweep must produce statistics EXPECT_EQ-
+ * exact against the sequential per-leg replay, for every model
+ * combination and at every thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/direct_mapped.h"
+#include "cache/optimal.h"
+#include "sim/batch.h"
+#include "sim/sweep.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dynex
+{
+namespace
+{
+
+/** Restores the automatic thread configuration when a test exits. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { ThreadPool::setConfiguredWorkers(0); }
+};
+
+void
+expectStatsEq(const CacheStats &batched, const CacheStats &per_leg,
+              const std::string &label)
+{
+    EXPECT_EQ(batched.accesses, per_leg.accesses) << label;
+    EXPECT_EQ(batched.hits, per_leg.hits) << label;
+    EXPECT_EQ(batched.misses, per_leg.misses) << label;
+    EXPECT_EQ(batched.coldMisses, per_leg.coldMisses) << label;
+    EXPECT_EQ(batched.fills, per_leg.fills) << label;
+    EXPECT_EQ(batched.bypasses, per_leg.bypasses) << label;
+    EXPECT_EQ(batched.evictions, per_leg.evictions) << label;
+}
+
+/** A conflict-heavy loopy trace with a pseudo-random data sprinkle. */
+Trace
+batchTrace(std::size_t refs)
+{
+    Rng rng(0x8a7c3);
+    Trace trace("batch");
+    trace.reserve(refs);
+    while (trace.size() < refs) {
+        const Addr base = 0x1000 + 4 * rng.nextBelow(4096);
+        const int body = 2 + static_cast<int>(rng.nextBelow(20));
+        for (int j = 0; j < body && trace.size() < refs; ++j)
+            trace.append(ifetch(base + 4 * static_cast<Addr>(j)));
+        trace.append(load(0x90000 + 8 * rng.nextBelow(512)));
+    }
+    trace.mutableRecords().resize(refs);
+    return trace;
+}
+
+TEST(BatchReplay, VariadicBatchMatchesPerLegReplayAllModels)
+{
+    const Trace trace = batchTrace(20000);
+    const std::uint32_t line = 16;
+    const NextUseIndex index(trace, line, NextUseMode::RunStart);
+    const auto geometry = CacheGeometry::directMapped(4096, line);
+    DynamicExclusionConfig de_config;
+    de_config.useLastLine = true;
+
+    DirectMappedCache dm_batch(geometry);
+    DynamicExclusionCache de_batch(geometry, de_config);
+    OptimalDirectMappedCache opt_batch(geometry, index, true);
+    const PackedTraceView view(trace, line);
+    replayBatch(view, dm_batch, de_batch, opt_batch);
+
+    DirectMappedCache dm(geometry);
+    DynamicExclusionCache de(geometry, de_config);
+    OptimalDirectMappedCache opt(geometry, index, true);
+    expectStatsEq(dm_batch.stats(), replayTrace(dm, trace), "dm");
+    expectStatsEq(de_batch.stats(), replayTrace(de, trace), "de");
+    expectStatsEq(opt_batch.stats(), replayTrace(opt, trace), "opt");
+}
+
+TEST(BatchReplay, AccessBlockLeavesModelInSameStateAsAccess)
+{
+    // Not just the counters: the models' visible post-replay state
+    // (residency) must match, since batch and per-leg paths share it.
+    const Trace trace = batchTrace(5000);
+    const auto geometry = CacheGeometry::directMapped(1024, 4);
+    DirectMappedCache via_access(geometry);
+    DirectMappedCache via_block(geometry);
+    DynamicExclusionCache de_access(geometry);
+    DynamicExclusionCache de_block(geometry);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        via_access.access(trace[i], i);
+        via_block.accessBlock(geometry.blockOf(trace[i].addr), i);
+        de_access.access(trace[i], i);
+        de_block.accessBlock(geometry.blockOf(trace[i].addr), i);
+    }
+    for (std::uint64_t set = 0; set < geometry.numLines(); ++set)
+        EXPECT_EQ(via_block.residentBlock(set),
+                  via_access.residentBlock(set));
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(de_block.contains(trace[i].addr),
+                  de_access.contains(trace[i].addr));
+    expectStatsEq(de_block.stats(), de_access.stats(), "de state");
+}
+
+TEST(BatchReplay, TriadBatchMatchesRunTriadAtEverySize)
+{
+    const Trace trace = batchTrace(30000);
+    const std::vector<std::uint64_t> sizes = {256, 1024, 4096,
+                                              16 * 1024};
+    for (const std::uint32_t line : {4u, 16u}) {
+        const NextUseIndex index(trace, line, NextUseMode::RunStart);
+        DynamicExclusionConfig config;
+        config.useLastLine = line > 4;
+        const auto batched =
+            replayTriadBatch(trace, index, sizes, line, config);
+        ASSERT_EQ(batched.size(), sizes.size());
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            const TriadResult leg =
+                runTriad(trace, index, sizes[s], line, config);
+            const std::string label = "line " + std::to_string(line) +
+                                      " size " +
+                                      std::to_string(sizes[s]);
+            expectStatsEq(batched[s].dm, leg.dm, "dm " + label);
+            expectStatsEq(batched[s].de, leg.de, "de " + label);
+            expectStatsEq(batched[s].opt, leg.opt, "opt " + label);
+        }
+    }
+}
+
+TEST(BatchReplay, SweepSizesEnginesIdenticalAcrossWorkerCounts)
+{
+    ThreadCountGuard guard;
+    const Trace trace = batchTrace(30000);
+    const std::vector<std::uint64_t> sizes = {256, 1024, 4096};
+    ThreadPool::setConfiguredWorkers(1);
+    const auto reference =
+        sweepSizes(trace, sizes, 4, {}, ReplayEngine::PerLeg);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool::setConfiguredWorkers(threads);
+        for (const ReplayEngine engine :
+             {ReplayEngine::Batched, ReplayEngine::PerLeg}) {
+            const auto points = sweepSizes(trace, sizes, 4, {}, engine);
+            ASSERT_EQ(points.size(), reference.size());
+            for (std::size_t s = 0; s < points.size(); ++s) {
+                EXPECT_EQ(points[s].dmMissPct, reference[s].dmMissPct)
+                    << threads << " workers, point " << s;
+                EXPECT_EQ(points[s].deMissPct, reference[s].deMissPct)
+                    << threads << " workers, point " << s;
+                EXPECT_EQ(points[s].optMissPct, reference[s].optMissPct)
+                    << threads << " workers, point " << s;
+            }
+        }
+    }
+}
+
+TEST(BatchReplay, SuiteAverageEnginesIdenticalAcrossWorkerCounts)
+{
+    ThreadCountGuard guard;
+    const std::vector<std::string> names = {"mat300", "tomcatv"};
+    const std::vector<std::uint64_t> sizes = {1024, 8 * 1024,
+                                              32 * 1024};
+    ThreadPool::setConfiguredWorkers(1);
+    const auto reference = sweepSuiteAverage(
+        names, 30000, sizes, 4, {}, false, false, ReplayEngine::PerLeg);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool::setConfiguredWorkers(threads);
+        const auto batched =
+            sweepSuiteAverage(names, 30000, sizes, 4, {}, false, false,
+                              ReplayEngine::Batched);
+        ASSERT_EQ(batched.size(), reference.size());
+        for (std::size_t s = 0; s < batched.size(); ++s) {
+            EXPECT_EQ(batched[s].dmMissPct, reference[s].dmMissPct);
+            EXPECT_EQ(batched[s].deMissPct, reference[s].deMissPct);
+            EXPECT_EQ(batched[s].optMissPct, reference[s].optMissPct);
+        }
+    }
+}
+
+TEST(BatchReplay, SuiteLineSweepEnginesIdenticalAcrossWorkerCounts)
+{
+    ThreadCountGuard guard;
+    const std::vector<std::string> names = {"tomcatv"};
+    ThreadPool::setConfiguredWorkers(1);
+    const auto reference =
+        sweepSuiteLineSizes(names, 30000, 16 * 1024, {4, 16, 64}, {},
+                            ReplayEngine::PerLeg);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool::setConfiguredWorkers(threads);
+        const auto batched =
+            sweepSuiteLineSizes(names, 30000, 16 * 1024, {4, 16, 64},
+                                {}, ReplayEngine::Batched);
+        ASSERT_EQ(batched.size(), reference.size());
+        for (std::size_t l = 0; l < batched.size(); ++l) {
+            EXPECT_EQ(batched[l].lineBytes, reference[l].lineBytes);
+            EXPECT_EQ(batched[l].dmMissPct, reference[l].dmMissPct);
+            EXPECT_EQ(batched[l].deMissPct, reference[l].deMissPct);
+            EXPECT_EQ(batched[l].optMissPct, reference[l].optMissPct);
+        }
+    }
+}
+
+TEST(BatchReplay, EmptyTraceYieldsZeroedStats)
+{
+    Trace trace("empty");
+    const NextUseIndex index(trace, 4, NextUseMode::RunStart);
+    const auto triads = replayTriadBatch(trace, index, {256, 1024}, 4);
+    ASSERT_EQ(triads.size(), 2u);
+    for (const auto &triad : triads) {
+        EXPECT_EQ(triad.dm.accesses, 0u);
+        EXPECT_EQ(triad.de.accesses, 0u);
+        EXPECT_EQ(triad.opt.accesses, 0u);
+    }
+}
+
+} // namespace
+} // namespace dynex

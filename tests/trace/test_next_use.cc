@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "trace/next_use.h"
+#include "util/rng.h"
 
 namespace dynex
 {
@@ -77,6 +78,81 @@ TEST(NextUseDeathTest, RejectsNonPowerOfTwoBlock)
 {
     Trace trace;
     EXPECT_DEATH(NextUseIndex(trace, 12), "power of two");
+}
+
+/** A randomized trace with runs, revisits, and wide-address outliers —
+ * designed to exercise table growth and collision chains. */
+Trace
+randomizedTrace(std::uint64_t seed, std::size_t refs)
+{
+    Rng rng(seed);
+    Trace trace("random");
+    trace.reserve(refs);
+    while (trace.size() < refs) {
+        const Addr base = 0x4000 + 4 * rng.nextBelow(1 << 16);
+        const int run = 1 + static_cast<int>(rng.nextBelow(6));
+        for (int j = 0; j < run && trace.size() < refs; ++j)
+            trace.append(ifetch(base + 4 * static_cast<Addr>(j)));
+        if (rng.nextBelow(16) == 0) // sparse far-address outlier
+            trace.append(load((Addr{1} << 40) + 64 * rng.nextBelow(64)));
+    }
+    trace.mutableRecords().resize(refs);
+    return trace;
+}
+
+TEST(NextUse, FlatHashBuilderMatchesMapBuilderOnRandomTraces)
+{
+    // The flat open-addressing builder must be exact-equal to the
+    // reference unordered_map backward pass — both modes, several
+    // block granularities, several seeds.
+    for (const std::uint64_t seed : {0x1234u, 0xbeefu, 0x77u}) {
+        const Trace trace = randomizedTrace(seed, 40000);
+        for (const std::uint64_t block : {4u, 16u, 64u}) {
+            for (const NextUseMode mode : {NextUseMode::AnyReference,
+                                           NextUseMode::RunStart}) {
+                const NextUseIndex index(trace, block, mode);
+                EXPECT_EQ(index.values(),
+                          nextUseByMap(trace, block, mode))
+                    << "seed " << seed << " block " << block << " mode "
+                    << static_cast<int>(mode);
+            }
+        }
+    }
+}
+
+TEST(NextUse, ScratchReuseAcrossBuildsIsExact)
+{
+    // One scratch across per-(trace, block size) builds — the sweep
+    // reuse pattern — must not leak state between builds.
+    NextUseScratch scratch;
+    for (const std::uint64_t seed : {1u, 2u}) {
+        const Trace trace = randomizedTrace(seed, 20000);
+        for (const std::uint64_t block : {64u, 16u, 4u}) {
+            const NextUseIndex index(trace, block,
+                                     NextUseMode::RunStart, &scratch);
+            EXPECT_EQ(index.values(),
+                      nextUseByMap(trace, block,
+                                   NextUseMode::RunStart))
+                << "seed " << seed << " block " << block;
+        }
+    }
+}
+
+TEST(NextUse, TableGrowthPreservesChains)
+{
+    // A trace of mostly-distinct blocks forces the table past its
+    // initial capacity (sized at refs/4) mid-build.
+    Trace trace("distinct");
+    const std::size_t n = 4096;
+    for (std::size_t i = 0; i < n; ++i)
+        trace.append(ifetch(0x1000 + 64 * static_cast<Addr>(i)));
+    for (std::size_t i = 0; i < n; ++i)
+        trace.append(ifetch(0x1000 + 64 * static_cast<Addr>(i)));
+    const NextUseIndex index(trace, 4);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(index.nextUse(i), n + i);
+        EXPECT_EQ(index.nextUse(n + i), kTickInfinity);
+    }
 }
 
 } // namespace

@@ -12,7 +12,7 @@
  *             [--refs N] [--stream KIND]
  *   dynex triad <trace-file|benchmark> [--size S] [--line L] [--refs N]
  *   dynex sweep <trace-file|benchmark> [--line L] [--refs N]
- *             [--threads N]
+ *             [--threads N] [--replay batched|per-leg]
  *   dynex analyze <trace-file|benchmark> [--size S] [--line L]
  *             [--refs N] [--stream KIND]
  *
@@ -64,6 +64,7 @@ struct Options
     Count refs = 0; // 0 = default
     std::string stream = "ifetch";
     unsigned threads = 0; // 0 = DYNEX_THREADS / hardware default
+    ReplayEngine replay = ReplayEngine::Batched;
 };
 
 /** Apply --threads to the simulation pool before any sweep runs. */
@@ -94,7 +95,11 @@ usage()
         "         --threads N  simulation worker threads for triad and\n"
         "                      sweep (default: DYNEX_THREADS if set,\n"
         "                      else all hardware threads); any count\n"
-        "                      produces identical results\n");
+        "                      produces identical results\n"
+        "         --replay batched|per-leg  sweep replay engine:\n"
+        "                      batched streams the trace once for all\n"
+        "                      sizes and models (default); per-leg\n"
+        "                      replays per leg; identical output\n");
     return 2;
 }
 
@@ -175,6 +180,18 @@ parseOptions(int argc, char **argv, int first, Options &options)
             if (!v)
                 return false;
             options.cache = v;
+        } else if (flag == "--replay") {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (iequals(v, "batched")) {
+                options.replay = ReplayEngine::Batched;
+            } else if (iequals(v, "per-leg")) {
+                options.replay = ReplayEngine::PerLeg;
+            } else {
+                std::fprintf(stderr, "dynex: bad --replay '%s'\n", v);
+                return false;
+            }
         } else if (flag == "--stream") {
             const char *v = value();
             if (!v)
@@ -368,7 +385,8 @@ cmdSweep(const std::string &target, const Options &options)
     config.stickyMax = options.stickyMax;
     config.useLastLine = options.lineBytes > 4;
     const auto points = sweepSizes(*trace, paperCacheSizes(),
-                                   options.lineBytes, config);
+                                   options.lineBytes, config,
+                                   options.replay);
 
     Table table;
     table.setHeader({"size", "dm miss %", "dynex miss %", "opt miss %",
