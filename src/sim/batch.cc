@@ -59,4 +59,73 @@ replayTriadBatch(const Trace &trace, const NextUseIndex &index,
     return results;
 }
 
+TriadBatchOutcome
+replayTriadBatchChecked(const Trace &trace, const NextUseIndex &index,
+                        const std::vector<std::uint64_t> &sizes,
+                        std::uint32_t line_bytes,
+                        const DynamicExclusionConfig &de_config,
+                        const std::string &bench)
+{
+    DYNEX_ASSERT(index.blockSize() == line_bytes,
+                 "index granularity mismatch");
+    const std::string &label = bench.empty() ? trace.name() : bench;
+
+    TriadBatchOutcome outcome;
+    outcome.triads.resize(sizes.size());
+    outcome.ok.assign(sizes.size(), 0);
+
+    // A leg that fails setup (or an injected fault) leaves its slots
+    // null and is skipped by the batch pass below; because the models
+    // never interact, the surviving legs replay exactly as they would
+    // in an unfaulted run.
+    std::vector<std::unique_ptr<DirectMappedCache>> dms(sizes.size());
+    std::vector<std::unique_ptr<DynamicExclusionCache>> des(sizes.size());
+    std::vector<std::unique_ptr<OptimalDirectMappedCache>> opts(
+        sizes.size());
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        try {
+            if (const auto &hook = sweepFaultHook())
+                hook(label, sizes[s]);
+            const auto geometry =
+                CacheGeometry::directMapped(sizes[s], line_bytes);
+            dms[s] = std::make_unique<DirectMappedCache>(geometry);
+            des[s] = std::make_unique<DynamicExclusionCache>(geometry,
+                                                             de_config);
+            opts[s] = std::make_unique<OptimalDirectMappedCache>(
+                geometry, index, /*use_last_line=*/true);
+            outcome.ok[s] = 1;
+        } catch (...) {
+            dms[s].reset();
+            des[s].reset();
+            opts[s].reset();
+            outcome.failures.push_back(
+                {s, statusFromException(std::current_exception())});
+        }
+    }
+
+    const PackedTraceView view(trace, line_bytes);
+    const Addr *blocks = view.blocks();
+    const std::size_t n = view.size();
+    for (std::size_t base = 0; base < n;
+         base += detail::kBatchChunkRefs) {
+        const std::size_t end =
+            std::min(n, base + detail::kBatchChunkRefs);
+        for (auto &dm : dms)
+            if (dm)
+                detail::replayBlockSpan(*dm, blocks, base, end);
+        for (auto &de : des)
+            if (de)
+                detail::replayBlockSpan(*de, blocks, base, end);
+        for (auto &opt : opts)
+            if (opt)
+                detail::replayBlockSpan(*opt, blocks, base, end);
+    }
+
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        if (outcome.ok[s])
+            outcome.triads[s] = {dms[s]->stats(), des[s]->stats(),
+                                 opts[s]->stats()};
+    return outcome;
+}
+
 } // namespace dynex

@@ -28,6 +28,7 @@
 #include "trace/next_use.h"
 #include "trace/packed_view.h"
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace dynex
 {
@@ -105,6 +106,43 @@ std::vector<TriadResult> replayTriadBatch(
     const Trace &trace, const NextUseIndex &index,
     const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
     const DynamicExclusionConfig &de_config = {});
+
+/** One failed size leg of a checked triad batch. */
+struct TriadLegFailure
+{
+    std::size_t sizeIndex = 0;
+    Status status;
+};
+
+/** The result of a fault-tolerant triad batch: per-size triads plus a
+ * validity mask and the statuses of any legs that failed. */
+struct TriadBatchOutcome
+{
+    /** triads[s] is meaningful iff ok[s]. */
+    std::vector<TriadResult> triads;
+    std::vector<std::uint8_t> ok;
+    /** Sorted by sizeIndex. */
+    std::vector<TriadLegFailure> failures;
+
+    bool allOk() const { return failures.empty(); }
+};
+
+/**
+ * The fault-tolerant form of replayTriadBatch: a leg whose setup
+ * throws (model construction, an injected fault via the sweep fault
+ * hook) is recorded as a TriadLegFailure and excluded from the batch
+ * pass, while every other leg completes with results bit-identical to
+ * an unfaulted run — models never interact, so dropping one cannot
+ * perturb the rest.
+ *
+ * @param bench the benchmark label passed to the sweep fault hook;
+ *        empty means "use trace.name()".
+ */
+TriadBatchOutcome replayTriadBatchChecked(
+    const Trace &trace, const NextUseIndex &index,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &de_config = {},
+    const std::string &bench = {});
 
 } // namespace dynex
 

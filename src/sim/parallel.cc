@@ -1,11 +1,25 @@
 #include "sim/parallel.h"
 
+#include <memory>
+#include <sstream>
+
 #include "sim/workloads.h"
 #include "trace/next_use.h"
+#include "util/string_utils.h"
 #include "util/thread_pool.h"
 
 namespace dynex
 {
+
+std::string
+FailedLeg::toString() const
+{
+    std::ostringstream oss;
+    oss << bench << " @ "
+        << (sizeBytes ? formatSize(sizeBytes) : std::string("all"))
+        << " [" << model << "]: " << status.toString();
+    return oss.str();
+}
 
 std::shared_ptr<const Trace>
 loadStream(const std::string &name, Count refs, StreamKind stream)
@@ -57,6 +71,89 @@ sweepSuiteTriads(const std::vector<std::string> &benchmark_names,
         });
     });
     return grid;
+}
+
+SuiteSweepOutcome
+sweepSuiteTriadsChecked(const std::vector<std::string> &benchmark_names,
+                        Count refs,
+                        const std::vector<std::uint64_t> &sizes,
+                        std::uint32_t line_bytes,
+                        const DynamicExclusionConfig &config,
+                        StreamKind stream, ReplayEngine engine)
+{
+    const std::size_t benches = benchmark_names.size();
+    SuiteSweepOutcome outcome;
+    outcome.grid.assign(benches,
+                        std::vector<TriadResult>(sizes.size()));
+    outcome.ok.assign(benches,
+                      std::vector<std::uint8_t>(sizes.size(), 0));
+
+    // Failures land in per-benchmark slots and are concatenated
+    // serially afterwards, so the failure list (like the grid) is
+    // deterministic at any worker count.
+    std::vector<std::vector<FailedLeg>> per_bench(benches);
+
+    const auto escaped = ThreadPool::global().parallelForCollect(
+        benches, [&](std::size_t b) {
+            const std::string &bench = benchmark_names[b];
+            std::shared_ptr<const Trace> trace;
+            std::unique_ptr<NextUseIndex> index;
+            try {
+                if (const auto &hook = sweepFaultHook())
+                    hook(bench, 0);
+                trace = loadStream(bench, refs, stream);
+                index = std::make_unique<NextUseIndex>(
+                    *trace, line_bytes, NextUseMode::RunStart);
+            } catch (...) {
+                per_bench[b].push_back(
+                    {bench, 0, "triad",
+                     statusFromException(std::current_exception())});
+                return;
+            }
+            if (engine == ReplayEngine::Batched) {
+                auto batch = replayTriadBatchChecked(
+                    *trace, *index, sizes, line_bytes, config, bench);
+                outcome.grid[b] = std::move(batch.triads);
+                outcome.ok[b] = std::move(batch.ok);
+                for (auto &failure : batch.failures)
+                    per_bench[b].push_back(
+                        {bench, sizes[failure.sizeIndex], "triad",
+                         std::move(failure.status)});
+                return;
+            }
+            std::vector<Status> leg_status(sizes.size());
+            simParallelFor(sizes.size(), [&](std::size_t s) {
+                try {
+                    if (const auto &hook = sweepFaultHook())
+                        hook(bench, sizes[s]);
+                    outcome.grid[b][s] = runTriad(
+                        *trace, *index, sizes[s], line_bytes, config);
+                    outcome.ok[b][s] = 1;
+                } catch (...) {
+                    leg_status[s] = statusFromException(
+                        std::current_exception());
+                }
+            });
+            for (std::size_t s = 0; s < sizes.size(); ++s)
+                if (!outcome.ok[b][s])
+                    per_bench[b].push_back({bench, sizes[s], "triad",
+                                            leg_status[s]});
+        });
+
+    // A failure that escaped the per-leg capture (e.g. an allocation
+    // failure while recording one) still only voids its own benchmark.
+    for (const auto &e : escaped) {
+        outcome.ok[e.index].assign(sizes.size(), 0);
+        per_bench[e.index].clear();
+        per_bench[e.index].push_back({benchmark_names[e.index], 0,
+                                      "triad",
+                                      statusFromException(e.error)});
+    }
+
+    for (auto &failures : per_bench)
+        for (auto &failure : failures)
+            outcome.failures.push_back(std::move(failure));
+    return outcome;
 }
 
 std::vector<std::vector<TriadResult>>

@@ -23,9 +23,41 @@
 #include "sim/batch.h"
 #include "sim/runner.h"
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace dynex
 {
+
+/**
+ * One failed leg of a fault-tolerant sweep. sizeBytes == 0 means the
+ * whole benchmark failed (trace load / index build / setup), so every
+ * size of that benchmark is invalid.
+ */
+struct FailedLeg
+{
+    std::string bench;
+    std::uint64_t sizeBytes = 0;
+    /** Which model(s) the failure covers; "triad" = all three. */
+    std::string model = "triad";
+    Status status;
+
+    std::string toString() const;
+};
+
+/**
+ * A fault-tolerant suite sweep's result: the triad grid plus a
+ * validity mask and the recorded failures. grid[b][s] is meaningful
+ * iff ok[b][s]; failures are ordered benchmark-major then by size, so
+ * the outcome is deterministic at any worker count.
+ */
+struct SuiteSweepOutcome
+{
+    std::vector<std::vector<TriadResult>> grid;
+    std::vector<std::vector<std::uint8_t>> ok;
+    std::vector<FailedLeg> failures;
+
+    bool allOk() const { return failures.empty(); }
+};
 
 /** Which reference stream of a suite benchmark to replay. */
 enum class StreamKind
@@ -59,6 +91,22 @@ void simParallelFor(std::size_t n,
  * engines produce bit-identical grids at any worker count.
  */
 std::vector<std::vector<TriadResult>> sweepSuiteTriads(
+    const std::vector<std::string> &benchmark_names, Count refs,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &config, StreamKind stream,
+    ReplayEngine engine = ReplayEngine::Batched);
+
+/**
+ * The fault-tolerant form of sweepSuiteTriads: every failure — a
+ * throwing trace load, a failing leg, an injected fault — is captured
+ * as a FailedLeg instead of propagating, and every unaffected leg
+ * completes with results bit-identical to an unfaulted run at any
+ * worker count. Benchmarks are independent simulations, so one
+ * benchmark's failure cannot perturb another's replay; within a
+ * benchmark, legs are independent models, so a failed leg cannot
+ * perturb its siblings.
+ */
+SuiteSweepOutcome sweepSuiteTriadsChecked(
     const std::vector<std::string> &benchmark_names, Count refs,
     const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
     const DynamicExclusionConfig &config, StreamKind stream,

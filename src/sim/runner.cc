@@ -12,6 +12,30 @@
 namespace dynex
 {
 
+namespace
+{
+
+SweepFaultHook &
+faultHookSlot()
+{
+    static SweepFaultHook hook;
+    return hook;
+}
+
+} // namespace
+
+void
+setSweepFaultHook(SweepFaultHook hook)
+{
+    faultHookSlot() = std::move(hook);
+}
+
+const SweepFaultHook &
+sweepFaultHook()
+{
+    return faultHookSlot();
+}
+
 CacheStats
 runTrace(CacheModel &cache, const Trace &trace)
 {

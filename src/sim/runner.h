@@ -8,6 +8,8 @@
 #ifndef DYNEX_SIM_RUNNER_H
 #define DYNEX_SIM_RUNNER_H
 
+#include <functional>
+#include <string>
 #include <type_traits>
 
 #include "cache/cache.h"
@@ -18,6 +20,24 @@
 
 namespace dynex
 {
+
+/**
+ * Fault-injection point for the checked sweep engines (tests and the
+ * CLI's --inject-fault flag). When set, the hook is invoked before
+ * each leg of a *checked* sweep runs — once per benchmark with
+ * size_bytes == 0 ("setup"), and once per (benchmark, cache size)
+ * leg — and may throw (typically StatusError) to make that leg fail.
+ * The unchecked hot paths never consult it. Set it before a sweep
+ * starts; it is read concurrently while one runs.
+ */
+using SweepFaultHook =
+    std::function<void(const std::string &bench, std::uint64_t size_bytes)>;
+
+/** Install @p hook (empty restores "no injection"). */
+void setSweepFaultHook(SweepFaultHook hook);
+
+/** The installed hook; empty when no injection is active. */
+const SweepFaultHook &sweepFaultHook();
 
 /** Replay @p trace through @p cache (ticks are trace positions). */
 CacheStats runTrace(CacheModel &cache, const Trace &trace);

@@ -1,5 +1,7 @@
 #include "sim/sweep.h"
 
+#include <memory>
+
 #include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/next_use.h"
@@ -78,6 +80,73 @@ sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
     return points;
 }
 
+SizeSweepOutcome
+sweepSizesChecked(const Trace &trace,
+                  const std::vector<std::uint64_t> &sizes,
+                  std::uint32_t line_bytes,
+                  const DynamicExclusionConfig &config,
+                  ReplayEngine engine)
+{
+    SizeSweepOutcome outcome;
+    outcome.points.resize(sizes.size());
+    outcome.ok.assign(sizes.size(), 0);
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        outcome.points[s].sizeBytes = sizes[s];
+
+    std::unique_ptr<NextUseIndex> index;
+    try {
+        index = std::make_unique<NextUseIndex>(trace, line_bytes,
+                                               NextUseMode::RunStart);
+    } catch (...) {
+        // Without the shared next-use oracle no leg can run.
+        const Status status =
+            statusFromException(std::current_exception())
+                .withContext("next-use index");
+        for (const std::uint64_t size : sizes)
+            outcome.failures.push_back(
+                {trace.name(), size, "triad", status});
+        return outcome;
+    }
+
+    auto fillPoint = [&](std::size_t s, const TriadResult &triad) {
+        outcome.points[s] = {sizes[s], triad.dmMissPct(),
+                             triad.deMissPct(), triad.optMissPct()};
+        outcome.ok[s] = 1;
+    };
+
+    if (engine == ReplayEngine::Batched) {
+        auto batch = replayTriadBatchChecked(trace, *index, sizes,
+                                             line_bytes, config);
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            if (batch.ok[s])
+                fillPoint(s, batch.triads[s]);
+        for (auto &failure : batch.failures)
+            outcome.failures.push_back({trace.name(),
+                                        sizes[failure.sizeIndex],
+                                        "triad",
+                                        std::move(failure.status)});
+        return outcome;
+    }
+
+    std::vector<Status> leg_status(sizes.size());
+    simParallelFor(sizes.size(), [&](std::size_t s) {
+        try {
+            if (const auto &hook = sweepFaultHook())
+                hook(trace.name(), sizes[s]);
+            fillPoint(s, runTriad(trace, *index, sizes[s], line_bytes,
+                                  config));
+        } catch (...) {
+            leg_status[s] =
+                statusFromException(std::current_exception());
+        }
+    });
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        if (!outcome.ok[s])
+            outcome.failures.push_back(
+                {trace.name(), sizes[s], "triad", leg_status[s]});
+    return outcome;
+}
+
 std::vector<SizeSweepPoint>
 sweepSuiteAverage(const std::vector<std::string> &benchmark_names,
                   Count refs, const std::vector<std::uint64_t> &sizes,
@@ -114,6 +183,57 @@ sweepSuiteAverage(const std::vector<std::string> &benchmark_names,
         point.optMissPct /= n;
     }
     return average;
+}
+
+SuiteAverageOutcome
+sweepSuiteAverageChecked(const std::vector<std::string> &benchmark_names,
+                         Count refs,
+                         const std::vector<std::uint64_t> &sizes,
+                         std::uint32_t line_bytes,
+                         const DynamicExclusionConfig &config,
+                         bool data_refs, bool mixed_refs,
+                         ReplayEngine engine)
+{
+    DYNEX_ASSERT(!(data_refs && mixed_refs),
+                 "choose one stream kind");
+    SuiteAverageOutcome outcome;
+    outcome.points.resize(sizes.size());
+    outcome.ok.assign(sizes.size(), 0);
+    outcome.contributors.assign(sizes.size(), 0);
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        outcome.points[s].sizeBytes = sizes[s];
+
+    const StreamKind stream = mixed_refs ? StreamKind::Mixed
+                              : data_refs ? StreamKind::Data
+                                          : StreamKind::Instructions;
+    auto suite = sweepSuiteTriadsChecked(benchmark_names, refs, sizes,
+                                         line_bytes, config, stream,
+                                         engine);
+    outcome.failures = std::move(suite.failures);
+
+    // Same serial benchmark-order accumulation as the unchecked
+    // reduction; a failed leg simply contributes nothing to its size.
+    for (std::size_t b = 0; b < suite.grid.size(); ++b) {
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            if (!suite.ok[b][s])
+                continue;
+            outcome.points[s].dmMissPct += suite.grid[b][s].dmMissPct();
+            outcome.points[s].deMissPct += suite.grid[b][s].deMissPct();
+            outcome.points[s].optMissPct +=
+                suite.grid[b][s].optMissPct();
+            ++outcome.contributors[s];
+        }
+    }
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        if (outcome.contributors[s] == 0)
+            continue;
+        const auto n = static_cast<double>(outcome.contributors[s]);
+        outcome.points[s].dmMissPct /= n;
+        outcome.points[s].deMissPct /= n;
+        outcome.points[s].optMissPct /= n;
+        outcome.ok[s] = 1;
+    }
+    return outcome;
 }
 
 std::vector<LineSweepPoint>

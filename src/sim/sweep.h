@@ -12,6 +12,7 @@
 
 #include "cache/dynamic_exclusion.h"
 #include "sim/batch.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "trace/trace.h"
 
@@ -49,6 +50,32 @@ std::vector<SizeSweepPoint> sweepSizes(
     ReplayEngine engine = ReplayEngine::Batched);
 
 /**
+ * A fault-tolerant size sweep's result: every requested size has a
+ * point (with its sizeBytes filled in), but points[s] carries real
+ * miss rates only when ok[s]; the statuses of failed legs are listed
+ * in failures (ordered by size).
+ */
+struct SizeSweepOutcome
+{
+    std::vector<SizeSweepPoint> points;
+    std::vector<std::uint8_t> ok;
+    std::vector<FailedLeg> failures;
+
+    bool allOk() const { return failures.empty(); }
+};
+
+/**
+ * The fault-tolerant form of sweepSizes: a failing leg (including one
+ * injected via the sweep fault hook) is recorded instead of
+ * propagating, and every other leg completes bit-identical to an
+ * unfaulted run at any worker count.
+ */
+SizeSweepOutcome sweepSizesChecked(
+    const Trace &trace, const std::vector<std::uint64_t> &sizes,
+    std::uint32_t line_bytes, const DynamicExclusionConfig &config = {},
+    ReplayEngine engine = ReplayEngine::Batched);
+
+/**
  * Suite-averaged size sweep: arithmetic mean of the per-benchmark miss
  * percentages at each size (the paper's "average ... across the SPEC
  * benchmarks").
@@ -60,6 +87,31 @@ std::vector<SizeSweepPoint> sweepSizes(
  * @param engine batched (one trace pass per benchmark) or per-leg.
  */
 std::vector<SizeSweepPoint> sweepSuiteAverage(
+    const std::vector<std::string> &benchmark_names, Count refs,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &config = {}, bool data_refs = false,
+    bool mixed_refs = false,
+    ReplayEngine engine = ReplayEngine::Batched);
+
+/**
+ * A fault-tolerant suite average: points[s] averages the benchmarks
+ * whose leg at sizes[s] succeeded (contributors[s] of them, in input
+ * order — the same accumulation order as the unfaulted reduction);
+ * ok[s] is false when no benchmark contributed. Per-leg failures are
+ * listed in failures.
+ */
+struct SuiteAverageOutcome
+{
+    std::vector<SizeSweepPoint> points;
+    std::vector<std::uint8_t> ok;
+    std::vector<Count> contributors;
+    std::vector<FailedLeg> failures;
+
+    bool allOk() const { return failures.empty(); }
+};
+
+/** The fault-tolerant form of sweepSuiteAverage. */
+SuiteAverageOutcome sweepSuiteAverageChecked(
     const std::vector<std::string> &benchmark_names, Count refs,
     const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
     const DynamicExclusionConfig &config = {}, bool data_refs = false,

@@ -1,7 +1,9 @@
 #include "trace/text_io.h"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -12,6 +14,9 @@ namespace dynex
 
 namespace
 {
+
+/** Hex digits in a full 64-bit address: anything longer overflows. */
+constexpr std::size_t kMaxAddrHexDigits = 16;
 
 int
 dinLabel(RefType type)
@@ -27,20 +32,23 @@ dinLabel(RefType type)
     return 2;
 }
 
-bool
-fail(std::string *error, std::size_t line_no, const char *reason)
+Status
+lineError(std::size_t line_no, const std::string &reason)
 {
-    if (error) {
-        std::ostringstream oss;
-        oss << "line " << line_no << ": " << reason;
-        *error = oss.str();
-    }
-    return false;
+    std::ostringstream oss;
+    oss << "line " << line_no << ": " << reason;
+    return Status::corruptInput(oss.str());
+}
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
 }
 
 } // namespace
 
-bool
+Status
 writeDinTrace(const Trace &trace, std::ostream &out)
 {
     out << "# din trace: " << trace.name() << "\n";
@@ -52,19 +60,31 @@ writeDinTrace(const Trace &trace, std::ostream &out)
                           static_cast<unsigned long long>(ref.addr));
         out.write(buf, written);
     }
-    return static_cast<bool>(out);
+    if (!out)
+        return Status::ioError(std::string("stream write failed: ") +
+                               errnoText());
+    return Status();
 }
 
-bool
+Status
 writeDinTraceFile(const Trace &trace, const std::string &path)
 {
     std::ofstream out(path);
-    return out && writeDinTrace(trace, out);
+    if (!out)
+        return Status::ioError("cannot open " + path + ": " +
+                               errnoText());
+    Status status = writeDinTrace(trace, out);
+    if (!status.ok())
+        return status.withContext(path);
+    out.flush();
+    if (!out)
+        return Status::ioError("cannot write " + path + ": " +
+                               errnoText());
+    return Status();
 }
 
-std::optional<Trace>
-readDinTrace(std::istream &in, const std::string &name,
-             std::string *error)
+Result<Trace>
+readDinTrace(std::istream &in, const std::string &name)
 {
     Trace trace(name);
     std::string line;
@@ -75,7 +95,8 @@ readDinTrace(std::istream &in, const std::string &name,
         if (text.empty() || text[0] == '#')
             continue;
 
-        // Label field.
+        // Label field. Matched as literal text so both unknown ("x")
+        // and out-of-range ("3", "17", "-1") labels are rejected.
         std::size_t pos = 0;
         while (pos < text.size() &&
                !std::isspace(static_cast<unsigned char>(text[pos])))
@@ -88,10 +109,9 @@ readDinTrace(std::istream &in, const std::string &name,
             type = RefType::Store;
         else if (label == "2")
             type = RefType::Ifetch;
-        else {
-            fail(error, line_no, "unknown din label");
-            return std::nullopt;
-        }
+        else
+            return lineError(line_no,
+                             "unknown din label '" + label + "'");
 
         // Address field (hex, optional 0x prefix).
         while (pos < text.size() &&
@@ -104,39 +124,43 @@ readDinTrace(std::istream &in, const std::string &name,
             addr_text = addr_text.substr(0, cut);
         if (addr_text.rfind("0x", 0) == 0 || addr_text.rfind("0X", 0) == 0)
             addr_text = addr_text.substr(2);
-        if (addr_text.empty()) {
-            fail(error, line_no, "missing address");
-            return std::nullopt;
-        }
+        if (addr_text.empty())
+            return lineError(line_no, "missing address");
+        if (addr_text.size() > kMaxAddrHexDigits)
+            return lineError(line_no,
+                             "hex address longer than 64 bits");
         Addr addr = 0;
         const auto result = std::from_chars(
             addr_text.data(), addr_text.data() + addr_text.size(), addr,
             16);
+        if (result.ec == std::errc::result_out_of_range)
+            return lineError(line_no, "hex address out of range");
         if (result.ec != std::errc{} ||
-            result.ptr != addr_text.data() + addr_text.size()) {
-            fail(error, line_no, "malformed hex address");
-            return std::nullopt;
-        }
+            result.ptr != addr_text.data() + addr_text.size())
+            return lineError(line_no, "malformed hex address");
         trace.append(MemRef{addr, type, 4});
     }
+    if (in.bad())
+        return Status::ioError("stream read failed: " + errnoText());
     return trace;
 }
 
-std::optional<Trace>
-readDinTraceFile(const std::string &path, std::string *error)
+Result<Trace>
+readDinTraceFile(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in) {
-        if (error)
-            *error = "cannot open " + path;
-        return std::nullopt;
-    }
+    if (!in)
+        return Status::ioError("cannot open " + path + ": " +
+                               errnoText());
     // Name the trace after the file's basename.
     std::string name = path;
     if (const auto slash = name.find_last_of('/');
         slash != std::string::npos)
         name = name.substr(slash + 1);
-    return readDinTrace(in, name, error);
+    Result<Trace> result = readDinTrace(in, name);
+    if (!result.ok())
+        return result.status().withContext(path);
+    return result;
 }
 
 } // namespace dynex

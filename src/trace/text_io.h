@@ -8,39 +8,42 @@
  * with label 0 = data read, 1 = data write, 2 = instruction fetch.
  * Lines starting with '#' and blank lines are ignored on input.
  * Access sizes are not representable in din; they default to 4 bytes.
+ *
+ * The reader is hardened against malformed text: unknown or
+ * out-of-range labels, missing/malformed/overlong hex addresses all
+ * yield a CorruptInput status naming the offending line.
  */
 
 #ifndef DYNEX_TRACE_TEXT_IO_H
 #define DYNEX_TRACE_TEXT_IO_H
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace dynex
 {
 
-/** Serialize @p trace as din text. @return false on stream failure. */
-bool writeDinTrace(const Trace &trace, std::ostream &out);
+/** Serialize @p trace as din text. */
+Status writeDinTrace(const Trace &trace, std::ostream &out);
 
-/** Serialize to a file. */
-bool writeDinTraceFile(const Trace &trace, const std::string &path);
+/** Serialize to a file; an IoError carries the errno text. */
+Status writeDinTraceFile(const Trace &trace, const std::string &path);
 
 /**
  * Parse a din-format trace.
  * @param name name to give the resulting trace.
- * @param error optional sink for a failure description (includes the
- *        offending line number).
+ * @return the trace, or a CorruptInput status that includes the
+ *         offending line number.
  */
-std::optional<Trace> readDinTrace(std::istream &in,
-                                  const std::string &name = "din",
-                                  std::string *error = nullptr);
+Result<Trace> readDinTrace(std::istream &in,
+                           const std::string &name = "din");
 
-/** Parse from a file. */
-std::optional<Trace> readDinTraceFile(const std::string &path,
-                                      std::string *error = nullptr);
+/** Parse from a file; an IoError carries the errno text for open
+ * failures. */
+Result<Trace> readDinTraceFile(const std::string &path);
 
 } // namespace dynex
 

@@ -1,9 +1,12 @@
 #include "trace/trace_io.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
-#include <optional>
+#include <sstream>
 #include <vector>
+
+#include "util/crc32.h"
 
 namespace dynex
 {
@@ -11,8 +14,20 @@ namespace dynex
 namespace
 {
 
-constexpr char kMagic[4] = {'D', 'X', 'T', '1'};
+constexpr char kMagicDxt1[4] = {'D', 'X', 'T', '1'};
+constexpr char kMagicDxt2[4] = {'D', 'X', 'T', '2'};
 constexpr std::size_t kRecordBytes = 10;
+constexpr std::size_t kIoChunkRecords = 4096;
+
+/** Caps on unvalidated header fields, so a corrupt or hostile image
+ * can never drive an unbounded allocation. */
+constexpr std::uint64_t kMaxNameBytes = 1 << 20;
+constexpr std::uint64_t kMaxRecords = std::uint64_t{1} << 33;
+
+/** Upper bound on the up-front reserve: past this the vector grows
+ * geometrically as records actually arrive from the stream, so memory
+ * is bounded by real input, not by a header field. */
+constexpr std::uint64_t kReserveCapRecords = 1 << 20;
 
 void
 putU32(std::string &buf, std::uint32_t v)
@@ -37,124 +52,302 @@ getUint(const unsigned char *p, int bytes)
     return v;
 }
 
-bool
-fail(std::string *error, const char *reason)
+/** Bytes left between the current position and the end of a seekable
+ * stream, or -1 when the stream cannot be seeked (e.g. a pipe). */
+std::int64_t
+remainingBytes(std::istream &in)
 {
-    if (error)
-        *error = reason;
-    return false;
+    const std::istream::pos_type here = in.tellg();
+    if (here == std::istream::pos_type(-1))
+        return -1;
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(here);
+    if (end == std::istream::pos_type(-1) || !in)
+        return -1;
+    return static_cast<std::int64_t>(end - here);
 }
 
-} // namespace
-
-bool
-writeTrace(const Trace &trace, std::ostream &out)
+std::string
+errnoText()
 {
-    std::string header;
-    header.append(kMagic, sizeof(kMagic));
-    putU32(header, static_cast<std::uint32_t>(trace.name().size()));
-    header += trace.name();
-    putU64(header, trace.size());
-    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    return std::strerror(errno);
+}
 
-    // Records are packed into a reusable buffer in chunks to avoid one
-    // write syscall per record.
+Status
+writeFailure(std::ostream &out)
+{
+    (void)out;
+    return Status::ioError(std::string("stream write failed: ") +
+                           errnoText());
+}
+
+/** Classify a failed read: badbit means the stream itself broke (a
+ * device error, not a short file), anything else is truncation. */
+Status
+readFailure(const std::istream &in, const char *what)
+{
+    if (in.bad())
+        return Status::ioError(std::string("read error in ") + what);
+    return Status::corruptInput(std::string("truncated ") + what);
+}
+
+/** Serialize the record payload in chunks, folding an optional CRC. */
+Status
+writeRecords(const Trace &trace, std::ostream &out, std::uint32_t *crc)
+{
     std::string buf;
-    buf.reserve(kRecordBytes * 4096);
+    buf.reserve(kRecordBytes * kIoChunkRecords);
+    auto flush = [&]() -> bool {
+        if (crc)
+            *crc = crc32Update(*crc, buf.data(), buf.size());
+        out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+        buf.clear();
+        return static_cast<bool>(out);
+    };
     for (const auto &ref : trace) {
         putU64(buf, ref.addr);
         buf += static_cast<char>(ref.type);
         buf += static_cast<char>(ref.size);
-        if (buf.size() >= kRecordBytes * 4096) {
-            out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-            buf.clear();
-        }
+        if (buf.size() >= kRecordBytes * kIoChunkRecords && !flush())
+            return writeFailure(out);
     }
-    if (!buf.empty())
-        out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    return static_cast<bool>(out);
+    if (!buf.empty() && !flush())
+        return writeFailure(out);
+    return Status();
 }
 
-bool
-writeTraceFile(const Trace &trace, const std::string &path)
+Status
+writeTraceDxt1(const Trace &trace, std::ostream &out)
 {
-    std::ofstream out(path, std::ios::binary);
-    return out && writeTrace(trace, out);
+    std::string header;
+    header.append(kMagicDxt1, sizeof(kMagicDxt1));
+    putU32(header, static_cast<std::uint32_t>(trace.name().size()));
+    header += trace.name();
+    putU64(header, trace.size());
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    if (!out)
+        return writeFailure(out);
+    return writeRecords(trace, out, nullptr);
 }
 
-std::optional<Trace>
-readTrace(std::istream &in, std::string *error)
+Status
+writeTraceDxt2(const Trace &trace, std::ostream &out)
 {
-    char magic[4];
-    if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
-        fail(error, "bad magic");
-        return std::nullopt;
-    }
+    std::string header;
+    header.append(kMagicDxt2, sizeof(kMagicDxt2));
+    putU32(header, static_cast<std::uint32_t>(trace.name().size()));
+    putU64(header, trace.size());
+    putU32(header, crc32Of(header.data(), header.size()));
+    header += trace.name();
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    if (!out)
+        return writeFailure(out);
 
-    unsigned char word[8];
-    if (!in.read(reinterpret_cast<char *>(word), 4)) {
-        fail(error, "truncated name length");
-        return std::nullopt;
-    }
-    const auto name_len = static_cast<std::size_t>(getUint(word, 4));
-    if (name_len > 1 << 20) {
-        fail(error, "implausible name length");
-        return std::nullopt;
-    }
+    std::uint32_t crc = crc32Update(crc32Init(), trace.name().data(),
+                                    trace.name().size());
+    if (Status status = writeRecords(trace, out, &crc); !status.ok())
+        return status;
 
-    std::string name(name_len, '\0');
-    if (name_len && !in.read(name.data(),
-                             static_cast<std::streamsize>(name_len))) {
-        fail(error, "truncated name");
-        return std::nullopt;
-    }
+    std::string trailer;
+    putU32(trailer, crc32Final(crc));
+    out.write(trailer.data(),
+              static_cast<std::streamsize>(trailer.size()));
+    if (!out)
+        return writeFailure(out);
+    return Status();
+}
 
-    if (!in.read(reinterpret_cast<char *>(word), 8)) {
-        fail(error, "truncated record count");
-        return std::nullopt;
-    }
-    const std::uint64_t count = getUint(word, 8);
-
-    Trace trace(name);
-    trace.reserve(count);
-    std::vector<unsigned char> buf(kRecordBytes * 4096);
+/**
+ * Read and validate the record payload shared by both formats: chunked
+ * reads (never an allocation proportional to the claimed count), type
+ * validation per record, and an optional running CRC.
+ */
+Status
+readRecords(std::istream &in, std::uint64_t count, Trace &trace,
+            std::uint32_t *crc)
+{
+    trace.reserve(static_cast<std::size_t>(
+        std::min(count, kReserveCapRecords)));
+    std::vector<unsigned char> buf(kRecordBytes * kIoChunkRecords);
     std::uint64_t remaining = count;
     while (remaining > 0) {
-        const std::size_t chunk =
-            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, 4096));
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, kIoChunkRecords));
         if (!in.read(reinterpret_cast<char *>(buf.data()),
-                     static_cast<std::streamsize>(chunk * kRecordBytes))) {
-            fail(error, "truncated records");
-            return std::nullopt;
-        }
+                     static_cast<std::streamsize>(chunk * kRecordBytes)))
+            return readFailure(in, "records");
+        if (crc)
+            *crc = crc32Update(*crc, buf.data(), chunk * kRecordBytes);
         for (std::size_t i = 0; i < chunk; ++i) {
             const unsigned char *p = buf.data() + i * kRecordBytes;
             MemRef ref;
             ref.addr = getUint(p, 8);
             const unsigned char type = p[8];
-            if (type > static_cast<unsigned char>(RefType::Store)) {
-                fail(error, "invalid reference type");
-                return std::nullopt;
-            }
+            if (type > static_cast<unsigned char>(RefType::Store))
+                return Status::corruptInput("invalid reference type");
             ref.type = static_cast<RefType>(type);
             ref.size = p[9];
             trace.append(ref);
         }
         remaining -= chunk;
     }
+    return Status();
+}
+
+/** Reject counts/lengths that cannot fit in what the stream holds. */
+Status
+checkPlausibleSizes(std::istream &in, std::uint64_t name_len,
+                    std::uint64_t count, std::uint64_t trailer_bytes)
+{
+    if (name_len > kMaxNameBytes) {
+        std::ostringstream oss;
+        oss << "implausible name length " << name_len;
+        return Status::resourceLimit(oss.str());
+    }
+    if (count > kMaxRecords) {
+        std::ostringstream oss;
+        oss << "implausible record count " << count;
+        return Status::resourceLimit(oss.str());
+    }
+    // With both fields capped, the byte total cannot overflow u64.
+    const std::uint64_t needed =
+        name_len + count * kRecordBytes + trailer_bytes;
+    const std::int64_t remaining = remainingBytes(in);
+    if (remaining >= 0 &&
+        needed > static_cast<std::uint64_t>(remaining)) {
+        std::ostringstream oss;
+        oss << "header claims " << needed << " payload bytes but only "
+            << remaining << " remain in the stream";
+        return Status::resourceLimit(oss.str());
+    }
+    return Status();
+}
+
+Result<Trace>
+readTraceDxt1(std::istream &in)
+{
+    unsigned char word[8];
+    if (!in.read(reinterpret_cast<char *>(word), 4))
+        return readFailure(in, "name length");
+    const auto name_len = getUint(word, 4);
+    if (name_len > kMaxNameBytes)
+        return Status::resourceLimit("implausible name length");
+
+    std::string name(static_cast<std::size_t>(name_len), '\0');
+    if (name_len && !in.read(name.data(),
+                             static_cast<std::streamsize>(name_len)))
+        return readFailure(in, "name");
+
+    if (!in.read(reinterpret_cast<char *>(word), 8))
+        return readFailure(in, "record count");
+    const std::uint64_t count = getUint(word, 8);
+    if (Status status = checkPlausibleSizes(in, 0, count, 0);
+        !status.ok())
+        return status;
+
+    Trace trace(name);
+    if (Status status = readRecords(in, count, trace, nullptr);
+        !status.ok())
+        return status;
     return trace;
 }
 
-std::optional<Trace>
-readTraceFile(const std::string &path, std::string *error)
+Result<Trace>
+readTraceDxt2(std::istream &in)
+{
+    // The 16-byte fixed header (magic already consumed) is validated
+    // by its own CRC before any field is trusted.
+    unsigned char header[16];
+    std::memcpy(header, kMagicDxt2, 4);
+    if (!in.read(reinterpret_cast<char *>(header) + 4, 12))
+        return readFailure(in, "header");
+    const auto name_len = getUint(header + 4, 4);
+    const std::uint64_t count = getUint(header + 8, 8);
+    unsigned char crc_word[4];
+    if (!in.read(reinterpret_cast<char *>(crc_word), 4))
+        return readFailure(in, "header crc");
+    const auto header_crc =
+        static_cast<std::uint32_t>(getUint(crc_word, 4));
+    if (crc32Of(header, sizeof(header)) != header_crc)
+        return Status::corruptInput("header crc mismatch");
+
+    if (Status status = checkPlausibleSizes(in, name_len, count, 4);
+        !status.ok())
+        return status;
+
+    std::string name(static_cast<std::size_t>(name_len), '\0');
+    if (name_len && !in.read(name.data(),
+                             static_cast<std::streamsize>(name_len)))
+        return readFailure(in, "name");
+    std::uint32_t crc =
+        crc32Update(crc32Init(), name.data(), name.size());
+
+    Trace trace(name);
+    if (Status status = readRecords(in, count, trace, &crc);
+        !status.ok())
+        return status;
+
+    if (!in.read(reinterpret_cast<char *>(crc_word), 4))
+        return readFailure(in, "payload crc");
+    const auto payload_crc =
+        static_cast<std::uint32_t>(getUint(crc_word, 4));
+    if (crc32Final(crc) != payload_crc)
+        return Status::corruptInput("payload crc mismatch");
+    return trace;
+}
+
+} // namespace
+
+Status
+writeTrace(const Trace &trace, std::ostream &out, TraceFormat format)
+{
+    return format == TraceFormat::Dxt1 ? writeTraceDxt1(trace, out)
+                                       : writeTraceDxt2(trace, out);
+}
+
+Status
+writeTraceFile(const Trace &trace, const std::string &path,
+               TraceFormat format)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return Status::ioError("cannot open " + path + ": " +
+                               errnoText());
+    Status status = writeTrace(trace, out, format);
+    if (!status.ok())
+        return status.withContext(path);
+    out.flush();
+    if (!out)
+        return Status::ioError("cannot write " + path + ": " +
+                               errnoText());
+    return Status();
+}
+
+Result<Trace>
+readTrace(std::istream &in)
+{
+    char magic[4];
+    if (!in.read(magic, 4))
+        return readFailure(in, "magic");
+    if (std::memcmp(magic, kMagicDxt2, 4) == 0)
+        return readTraceDxt2(in);
+    if (std::memcmp(magic, kMagicDxt1, 4) == 0)
+        return readTraceDxt1(in);
+    return Status::corruptInput("bad magic");
+}
+
+Result<Trace>
+readTraceFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        if (error)
-            *error = "cannot open " + path;
-        return std::nullopt;
-    }
-    return readTrace(in, error);
+    if (!in)
+        return Status::ioError("cannot open " + path + ": " +
+                               errnoText());
+    Result<Trace> result = readTrace(in);
+    if (!result.ok())
+        return result.status().withContext(path);
+    return result;
 }
 
 } // namespace dynex

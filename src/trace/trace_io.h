@@ -1,46 +1,72 @@
 /**
  * @file
- * Binary trace file format ("DXT1"): a compact on-disk representation
- * so generated workloads can be cached between runs and exchanged with
+ * Binary trace file formats: a compact on-disk representation so
+ * generated workloads can be cached between runs and exchanged with
  * external tools.
  *
- * Layout (little-endian):
+ * Two wire formats are supported (both little-endian):
+ *
+ * DXT1 (legacy, read-only by default):
  *   magic       "DXT1"                       4 bytes
  *   name_len    u32                          4 bytes
  *   name        name_len bytes
  *   count       u64                          8 bytes
  *   records     count * { addr u64, type u8, size u8 }  (10 bytes each)
+ *
+ * DXT2 (checksummed, the default write format):
+ *   magic       "DXT2"                       4 bytes
+ *   name_len    u32                          4 bytes
+ *   count       u64                          8 bytes
+ *   header_crc  u32   CRC-32 of the 16 bytes above
+ *   name        name_len bytes
+ *   records     count * { addr u64, type u8, size u8 }
+ *   payload_crc u32   CRC-32 of name + records
+ *
+ * Readers validate every header field against hard caps and (when the
+ * stream is seekable) against the remaining stream size before
+ * allocating, so a corrupt or hostile count can never trigger an
+ * unbounded allocation; DXT2 additionally rejects any image whose
+ * header or payload CRC does not match.
  */
 
 #ifndef DYNEX_TRACE_TRACE_IO_H
 #define DYNEX_TRACE_TRACE_IO_H
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace dynex
 {
 
-/** Serialize @p trace to @p out. @return false on stream failure. */
-bool writeTrace(const Trace &trace, std::ostream &out);
+/** On-disk trace format selector for the writers. */
+enum class TraceFormat
+{
+    Dxt1, ///< legacy, no checksums; kept for interchange with old files
+    Dxt2, ///< checksummed; the default
+};
 
-/** Serialize @p trace to @p path. @return false on I/O failure. */
-bool writeTraceFile(const Trace &trace, const std::string &path);
+/** Serialize @p trace to @p out. */
+Status writeTrace(const Trace &trace, std::ostream &out,
+                  TraceFormat format = TraceFormat::Dxt2);
+
+/** Serialize @p trace to @p path; an IoError carries the errno text. */
+Status writeTraceFile(const Trace &trace, const std::string &path,
+                      TraceFormat format = TraceFormat::Dxt2);
 
 /**
- * Deserialize a trace from @p in.
- * @param error optional sink for a human-readable failure reason.
- * @return the trace, or std::nullopt on malformed input.
+ * Deserialize a trace from @p in, auto-detecting DXT1 vs DXT2 from the
+ * magic. Malformed input yields CorruptInput, an implausible record
+ * count or name length yields ResourceLimit; parsing never allocates
+ * more than a bounded amount beyond what the stream actually holds.
  */
-std::optional<Trace> readTrace(std::istream &in,
-                               std::string *error = nullptr);
+Result<Trace> readTrace(std::istream &in);
 
-/** Deserialize a trace from @p path. */
-std::optional<Trace> readTraceFile(const std::string &path,
-                                   std::string *error = nullptr);
+/** Deserialize a trace from @p path; an IoError carries the errno
+ * text for open failures. */
+Result<Trace> readTraceFile(const std::string &path);
 
 } // namespace dynex
 

@@ -1,0 +1,89 @@
+#include "util/status.h"
+
+#include <new>
+
+namespace dynex
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "ok";
+      case StatusCode::CorruptInput:
+        return "corrupt-input";
+      case StatusCode::IoError:
+        return "io-error";
+      case StatusCode::ResourceLimit:
+        return "resource-limit";
+      case StatusCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+Status
+Status::corruptInput(std::string message)
+{
+    return Status(StatusCode::CorruptInput, std::move(message));
+}
+
+Status
+Status::ioError(std::string message)
+{
+    return Status(StatusCode::IoError, std::move(message));
+}
+
+Status
+Status::resourceLimit(std::string message)
+{
+    return Status(StatusCode::ResourceLimit, std::move(message));
+}
+
+Status
+Status::internal(std::string message)
+{
+    return Status(StatusCode::Internal, std::move(message));
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::string out = statusCodeName(statusCode);
+    if (!text.empty()) {
+        out += ": ";
+        out += text;
+    }
+    return out;
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (ok())
+        return *this;
+    return Status(statusCode, context + ": " + text);
+}
+
+Status
+statusFromException(std::exception_ptr error)
+{
+    if (!error)
+        return Status();
+    try {
+        std::rethrow_exception(error);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const std::bad_alloc &) {
+        return Status::resourceLimit("allocation failed");
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    } catch (...) {
+        return Status::internal("unknown exception");
+    }
+}
+
+} // namespace dynex

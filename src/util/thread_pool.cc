@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -109,9 +110,14 @@ ThreadPool::runLoop(Loop &loop)
         try {
             (*loop.body)(i);
         } catch (...) {
-            std::call_once(loop.errorOnce, [&loop] {
-                loop.error = std::current_exception();
-            });
+            if (loop.errors) {
+                std::lock_guard<std::mutex> lock(loop.errorsMutex);
+                loop.errors->push_back({i, std::current_exception()});
+            } else {
+                std::call_once(loop.errorOnce, [&loop] {
+                    loop.error = std::current_exception();
+                });
+            }
         }
         if (loop.done.fetch_add(1) + 1 == loop.total) {
             // All indices finished; release the waiting caller. The
@@ -127,18 +133,48 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &body)
 {
-    if (n == 0)
-        return;
-    if (workerTarget <= 1 || n == 1) {
+    if (workerTarget <= 1 || n <= 1) {
         // Serial fast path: no shared state, no locking.
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;
     }
+    runShared(n, body, nullptr);
+}
 
+std::vector<IndexedError>
+ThreadPool::parallelForCollect(
+    std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    std::vector<IndexedError> errors;
+    if (workerTarget <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                errors.push_back({i, std::current_exception()});
+            }
+        }
+        return errors;
+    }
+    runShared(n, body, &errors);
+    // Capture order depends on scheduling; index order does not.
+    std::sort(errors.begin(), errors.end(),
+              [](const IndexedError &a, const IndexedError &b) {
+                  return a.index < b.index;
+              });
+    return errors;
+}
+
+void
+ThreadPool::runShared(std::size_t n,
+                      const std::function<void(std::size_t)> &body,
+                      std::vector<IndexedError> *errors)
+{
     auto loop = std::make_shared<Loop>();
     loop->total = n;
     loop->body = &body;
+    loop->errors = errors;
 
     // One helper ticket per background thread that could usefully
     // join; late poppers see the index counter exhausted and return

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,13 @@
 
 namespace dynex
 {
+
+/** One captured exception of an error-aggregating parallel loop. */
+struct IndexedError
+{
+    std::size_t index = 0;
+    std::exception_ptr error;
+};
 
 /**
  * Fixed-size worker pool.
@@ -69,6 +77,18 @@ class ThreadPool
                      const std::function<void(std::size_t)> &body);
 
     /**
+     * The error-aggregating variant of parallelFor: every index runs
+     * regardless of failures, and instead of rethrowing the first
+     * exception the loop drains *all* of them and returns one entry
+     * per throwing index, sorted by index (so the result is
+     * deterministic at any worker count). An empty vector means every
+     * body completed. The pool remains fully usable afterwards.
+     */
+    std::vector<IndexedError>
+    parallelForCollect(std::size_t n,
+                       const std::function<void(std::size_t)> &body);
+
+    /**
      * The worker count the process is configured for: the last
      * setConfiguredWorkers() value if set, else DYNEX_THREADS if set
      * and positive, else hardware_concurrency() (minimum 1).
@@ -99,9 +119,16 @@ class ThreadPool
         std::condition_variable doneCv;
         std::once_flag errorOnce;
         std::exception_ptr error;
+        /** When set, every exception is appended here (under
+         * errorsMutex) instead of keeping only the first. */
+        std::vector<IndexedError> *errors = nullptr;
+        std::mutex errorsMutex;
     };
 
     void workerMain();
+    void runShared(std::size_t n,
+                   const std::function<void(std::size_t)> &body,
+                   std::vector<IndexedError> *errors);
     static void runLoop(Loop &loop);
 
     unsigned workerTarget;

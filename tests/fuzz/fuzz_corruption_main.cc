@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Standalone corruption fuzzer over the trace readers.
+ *
+ *     dynex_fuzz_corruption [seed] [iterations]
+ *
+ * Runs the same deterministic mutation engine as the gtest smoke test
+ * but with an arbitrary budget, and exits nonzero when any mutation
+ * crashes the process or produces an Internal error. Registered in
+ * ctest as `fuzz_smoke` with a fixed seed, and useful standalone under
+ * the sanitizer preset for longer campaigns.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "../robustness/corruption_fuzzer.h"
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1992;
+    std::uint64_t iterations = 1000;
+    if (argc > 1)
+        seed = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        iterations = std::strtoull(argv[2], nullptr, 10);
+
+    const auto report = dynex::test::runCorruptionFuzzer(seed, iterations);
+    std::cout << "corruption fuzzer: seed " << seed << ", "
+              << report.iterations << " iterations, "
+              << report.cleanSuccesses << " clean, "
+              << report.structuredErrors << " structured errors, "
+              << report.violations.size() << " violations\n";
+    for (const auto &violation : report.violations)
+        std::cerr << "VIOLATION: " << violation << "\n";
+    return report.ok() ? 0 : 1;
+}

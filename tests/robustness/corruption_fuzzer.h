@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deterministic corruption fuzzer over the trace readers. Starting
+ * from valid DXT1, DXT2, and din images, a seeded Rng applies byte
+ * flips and truncations and feeds each mutant to the matching reader.
+ * Every mutation must yield either a clean success (CRC-less formats
+ * can survive benign flips) or a structured, non-Internal error —
+ * never a crash, hang, or unbounded allocation. Shared between the
+ * gtest smoke test and the standalone fuzz binary so both run the
+ * exact same corpus for a given seed.
+ */
+
+#ifndef DYNEX_TESTS_ROBUSTNESS_CORRUPTION_FUZZER_H
+#define DYNEX_TESTS_ROBUSTNESS_CORRUPTION_FUZZER_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/text_io.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
+
+namespace dynex::test
+{
+
+/** Tally of one fuzzing run. */
+struct FuzzReport
+{
+    std::uint64_t iterations = 0;
+    std::uint64_t cleanSuccesses = 0; ///< mutant still parsed fine
+    std::uint64_t structuredErrors = 0;
+    /** Mutations whose outcome broke the contract (an Internal error).
+     * One line each: "<format> seed=<s> iter=<i>: <status>". */
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+namespace fuzz_detail
+{
+
+/** A seed corpus entry: a format label, a valid image, and a parser. */
+struct Subject
+{
+    const char *format;
+    std::string image;
+    // Returns the parse Status (Ok on success).
+    Status (*parse)(const std::string &bytes);
+};
+
+inline Trace
+corpusTrace()
+{
+    Trace trace("fuzz-corpus");
+    Rng rng(0xc0ffee);
+    for (int i = 0; i < 200; ++i) {
+        const Addr addr = rng.next() & 0xffff'ffffull;
+        switch (rng.nextBelow(3)) {
+        case 0: trace.append(ifetch(addr)); break;
+        case 1: trace.append(load(addr, 4)); break;
+        default: trace.append(store(addr, 8)); break;
+        }
+    }
+    return trace;
+}
+
+inline Status
+parseBinary(const std::string &bytes)
+{
+    std::istringstream in(bytes);
+    return readTrace(in).status();
+}
+
+inline Status
+parseDin(const std::string &bytes)
+{
+    std::istringstream in(bytes);
+    return readDinTrace(in, "fuzz").status();
+}
+
+inline std::vector<Subject>
+buildCorpus()
+{
+    const Trace trace = corpusTrace();
+    std::vector<Subject> corpus;
+    {
+        std::ostringstream out;
+        writeTrace(trace, out, TraceFormat::Dxt1);
+        corpus.push_back({"dxt1", out.str(), &parseBinary});
+    }
+    {
+        std::ostringstream out;
+        writeTrace(trace, out, TraceFormat::Dxt2);
+        corpus.push_back({"dxt2", out.str(), &parseBinary});
+    }
+    {
+        std::ostringstream out;
+        writeDinTrace(trace, out);
+        corpus.push_back({"din", out.str(), &parseDin});
+    }
+    return corpus;
+}
+
+/** Mutate @p image in place: a burst of byte flips, a truncation, an
+ * extension, or a combination — all drawn from @p rng. */
+inline void
+mutate(std::string &image, Rng &rng)
+{
+    const auto kind = rng.nextBelow(4);
+    if (kind == 0 || kind == 3) { // flip 1..8 bytes
+        const std::uint64_t flips = 1 + rng.nextBelow(8);
+        for (std::uint64_t f = 0; f < flips && !image.empty(); ++f) {
+            const std::size_t at = rng.nextBelow(image.size());
+            image[at] = static_cast<char>(
+                image[at] ^ static_cast<char>(1 + rng.nextBelow(255)));
+        }
+    }
+    if (kind == 1 || kind == 3) // truncate anywhere, including to empty
+        image.resize(rng.nextBelow(image.size() + 1));
+    if (kind == 2) { // append garbage
+        const std::uint64_t extra = 1 + rng.nextBelow(32);
+        for (std::uint64_t e = 0; e < extra; ++e)
+            image.push_back(static_cast<char>(rng.next()));
+    }
+}
+
+} // namespace fuzz_detail
+
+/**
+ * Run @p iterations seeded mutations across the DXT1/DXT2/din corpus.
+ * Iterations are split round-robin across the three formats so a small
+ * budget still covers all of them.
+ */
+inline FuzzReport
+runCorruptionFuzzer(std::uint64_t seed, std::uint64_t iterations)
+{
+    const auto corpus = fuzz_detail::buildCorpus();
+    FuzzReport report;
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        const auto &subject = corpus[i % corpus.size()];
+        std::string mutant = subject.image;
+        fuzz_detail::mutate(mutant, rng);
+        const Status status = subject.parse(mutant);
+        ++report.iterations;
+        if (status.ok()) {
+            ++report.cleanSuccesses;
+        } else if (status.code() != StatusCode::Internal) {
+            ++report.structuredErrors;
+        } else {
+            report.violations.push_back(
+                std::string(subject.format) +
+                " seed=" + std::to_string(seed) +
+                " iter=" + std::to_string(i) + ": " +
+                status.toString());
+        }
+    }
+    return report;
+}
+
+} // namespace dynex::test
+
+#endif // DYNEX_TESTS_ROBUSTNESS_CORRUPTION_FUZZER_H

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdio>
+#include <sstream>
 #include <string>
 
 #ifndef DYNEX_CLI_PATH
@@ -142,6 +143,50 @@ TEST(CliTool, SweepOutputIdenticalAcrossThreadCounts)
         return output.substr(output.find('\n'));
     };
     EXPECT_EQ(body(one.output), body(four.output));
+}
+
+TEST(CliTool, SweepWithInjectedFaultReportsPartialResults)
+{
+    const auto result = runCli(
+        "sweep mat300 --line 4 --refs 30000 --threads 2 "
+        "--inject-fault 4KB");
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("1 of 8 legs failed"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("results above are partial"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("mat300.ifetch @ 4KB"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("internal: injected fault"),
+              std::string::npos);
+    // The 4KB row is blanked out rather than fabricated.
+    const auto row_start = result.output.find("\n4KB");
+    ASSERT_NE(row_start, std::string::npos);
+    const auto row = result.output.substr(
+        row_start + 1, result.output.find('\n', row_start + 1) -
+                           row_start - 1);
+    EXPECT_EQ(row.find('.'), std::string::npos)
+        << "no miss rates on the failed row: " << row;
+}
+
+TEST(CliTool, SweepWithInjectedFaultKeepsOtherRowsIdentical)
+{
+    const auto clean =
+        runCli("sweep mat300 --line 4 --refs 30000 --threads 2");
+    const auto faulted = runCli(
+        "sweep mat300 --line 4 --refs 30000 --threads 2 "
+        "--inject-fault 8KB");
+    ASSERT_EQ(clean.exitCode, 0) << clean.output;
+    ASSERT_EQ(faulted.exitCode, 1) << faulted.output;
+    // Every row except 8KB must be byte-identical to the clean run.
+    std::istringstream clean_lines(clean.output);
+    std::string line;
+    while (std::getline(clean_lines, line)) {
+        if (line.rfind("8KB", 0) == 0 || line.empty())
+            continue;
+        EXPECT_NE(faulted.output.find(line), std::string::npos)
+            << "missing row: " << line;
+    }
 }
 
 TEST(CliTool, ThreadsFlagRejectsZero)

@@ -18,7 +18,7 @@ TEST(DinFormat, WritesLabelsAndHexAddresses)
     trace.append(store(0x2004));
     trace.append(ifetch(0xdeadbeef));
     std::ostringstream out;
-    ASSERT_TRUE(writeDinTrace(trace, out));
+    ASSERT_TRUE(writeDinTrace(trace, out).ok());
     EXPECT_EQ(out.str(),
               "# din trace: t\n0 1000\n1 2004\n2 deadbeef\n");
 }
@@ -30,11 +30,10 @@ TEST(DinFormat, RoundTrips)
     trace.append(store(0x2004));
     trace.append(ifetch(0x40'0000));
     std::stringstream buffer;
-    ASSERT_TRUE(writeDinTrace(trace, buffer));
+    ASSERT_TRUE(writeDinTrace(trace, buffer).ok());
 
-    std::string error;
-    const auto restored = readDinTrace(buffer, "t", &error);
-    ASSERT_TRUE(restored.has_value()) << error;
+    const auto restored = readDinTrace(buffer, "t");
+    ASSERT_TRUE(restored.ok()) << restored.status().toString();
     ASSERT_EQ(restored->size(), trace.size());
     for (std::size_t i = 0; i < trace.size(); ++i)
         EXPECT_EQ((*restored)[i], trace[i]) << "record " << i;
@@ -44,7 +43,7 @@ TEST(DinFormat, AcceptsCommentsBlanksAndPrefixes)
 {
     std::stringstream in("# comment\n\n2 0x1000\n0 FF\n");
     const auto trace = readDinTrace(in);
-    ASSERT_TRUE(trace.has_value());
+    ASSERT_TRUE(trace.ok());
     ASSERT_EQ(trace->size(), 2u);
     EXPECT_EQ((*trace)[0].addr, 0x1000u);
     EXPECT_EQ((*trace)[0].type, RefType::Ifetch);
@@ -56,7 +55,7 @@ TEST(DinFormat, IgnoresTrailingFields)
 {
     std::stringstream in("2 1000 12345\n");
     const auto trace = readDinTrace(in);
-    ASSERT_TRUE(trace.has_value());
+    ASSERT_TRUE(trace.ok());
     ASSERT_EQ(trace->size(), 1u);
     EXPECT_EQ((*trace)[0].addr, 0x1000u);
 }
@@ -64,25 +63,80 @@ TEST(DinFormat, IgnoresTrailingFields)
 TEST(DinFormat, RejectsBadLabel)
 {
     std::stringstream in("7 1000\n");
-    std::string error;
-    EXPECT_FALSE(readDinTrace(in, "x", &error).has_value());
-    EXPECT_NE(error.find("line 1"), std::string::npos);
-    EXPECT_NE(error.find("unknown din label"), std::string::npos);
+    const auto result = readDinTrace(in, "x");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptInput);
+    EXPECT_NE(result.status().message().find("line 1"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("unknown din label"),
+              std::string::npos);
+}
+
+TEST(DinFormat, RejectsOutOfRangeLabels)
+{
+    for (const char *line : {"3 1000\n", "17 1000\n", "-1 1000\n",
+                             "00 1000\n", "0x2 1000\n"}) {
+        std::stringstream in(line);
+        const auto result = readDinTrace(in, "x");
+        ASSERT_FALSE(result.ok()) << line;
+        EXPECT_EQ(result.status().code(), StatusCode::CorruptInput);
+        EXPECT_NE(result.status().message().find("din label"),
+                  std::string::npos)
+            << line;
+    }
 }
 
 TEST(DinFormat, RejectsBadAddress)
 {
     std::stringstream in("2 zzzz\n");
-    std::string error;
-    EXPECT_FALSE(readDinTrace(in, "x", &error).has_value());
-    EXPECT_NE(error.find("malformed hex"), std::string::npos);
+    const auto result = readDinTrace(in, "x");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("malformed hex"),
+              std::string::npos);
+}
+
+TEST(DinFormat, RejectsOverlongHexAddress)
+{
+    // 17 hex digits cannot fit a 64-bit address; neither can a
+    // 40-digit monster, which must not be fed to from_chars blindly.
+    for (const char *line :
+         {"2 12345678901234567\n",
+          "2 0xffffffffffffffffffffffffffffffffffffffff\n"}) {
+        std::stringstream in(line);
+        const auto result = readDinTrace(in, "x");
+        ASSERT_FALSE(result.ok()) << line;
+        EXPECT_EQ(result.status().code(), StatusCode::CorruptInput);
+        EXPECT_NE(result.status().message().find("line 1"),
+                  std::string::npos);
+        EXPECT_NE(result.status().message().find("64 bits"),
+                  std::string::npos)
+            << line;
+    }
+}
+
+TEST(DinFormat, AcceptsFullWidthAddress)
+{
+    std::stringstream in("2 ffffffffffffffff\n");
+    const auto trace = readDinTrace(in);
+    ASSERT_TRUE(trace.ok()) << trace.status().toString();
+    EXPECT_EQ((*trace)[0].addr, ~Addr{0});
+}
+
+TEST(DinFormat, ErrorsNameTheOffendingLine)
+{
+    std::stringstream in("2 1000\n0 2000\n# fine\n1 oops\n");
+    const auto result = readDinTrace(in, "x");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("line 4"),
+              std::string::npos);
 }
 
 TEST(DinFormat, RejectsMissingAddress)
 {
     std::stringstream in("2\n");
-    std::string error;
-    EXPECT_FALSE(readDinTrace(in, "x", &error).has_value());
+    const auto result = readDinTrace(in, "x");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptInput);
 }
 
 TEST(DinFormat, FileRoundTripNamesTraceAfterBasename)
@@ -90,20 +144,23 @@ TEST(DinFormat, FileRoundTripNamesTraceAfterBasename)
     Trace trace("orig");
     trace.append(ifetch(0x42));
     const std::string path = ::testing::TempDir() + "/dynex_din_test.din";
-    ASSERT_TRUE(writeDinTraceFile(trace, path));
+    ASSERT_TRUE(writeDinTraceFile(trace, path).ok());
     const auto restored = readDinTraceFile(path);
     std::remove(path.c_str());
-    ASSERT_TRUE(restored.has_value());
+    ASSERT_TRUE(restored.ok());
     EXPECT_EQ(restored->name(), "dynex_din_test.din");
     EXPECT_EQ((*restored)[0].addr, 0x42u);
 }
 
-TEST(DinFormat, MissingFileReportsError)
+TEST(DinFormat, MissingFileReportsErrnoText)
 {
-    std::string error;
-    EXPECT_FALSE(readDinTraceFile("/no/such/file.din", &error)
-                     .has_value());
-    EXPECT_NE(error.find("cannot open"), std::string::npos);
+    const auto result = readDinTraceFile("/no/such/file.din");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::IoError);
+    EXPECT_NE(result.status().message().find("cannot open"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("o such file"),
+              std::string::npos);
 }
 
 } // namespace

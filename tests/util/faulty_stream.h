@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fault-injection stream for I/O robustness tests: a streambuf over an
+ * in-memory image that either ends early (short read: EOF at byte N)
+ * or hard-fails (read error at byte N, surfacing as badbit on the
+ * owning istream). Lets tests drive the trace readers through every
+ * partial-read and device-error path without touching the filesystem.
+ */
+
+#ifndef DYNEX_TESTS_UTIL_FAULTY_STREAM_H
+#define DYNEX_TESTS_UTIL_FAULTY_STREAM_H
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <stdexcept>
+#include <streambuf>
+#include <string>
+
+namespace dynex::test
+{
+
+/** What happens when the reader crosses the fault byte. */
+enum class FaultKind
+{
+    ShortRead, ///< the stream cleanly ends at the fault byte (EOF)
+    ReadError, ///< the read fails: underflow throws, istream sets badbit
+};
+
+/**
+ * A read-only streambuf over @p image that misbehaves at @p fault_at
+ * bytes: with ShortRead the data simply stops there; with ReadError the
+ * first fetch past that offset throws, which std::istream translates
+ * into badbit (ios_base::failure is swallowed unless exceptions are
+ * armed). Serves one character at a time so the fault lands exactly at
+ * byte N regardless of the caller's chunk size.
+ *
+ * Deliberately non-seekable: seekoff is not overridden, so tellg/seekg
+ * fail and readers must take their non-seekable code paths — the same
+ * situation as a pipe.
+ */
+class FaultyStreambuf : public std::streambuf
+{
+  public:
+    FaultyStreambuf(std::string image, std::size_t fault_at,
+                    FaultKind kind)
+        : bytes(std::move(image)),
+          faultAt(std::min(fault_at, bytes.size())), faultKind(kind)
+    {}
+
+  protected:
+    int_type
+    underflow() override
+    {
+        if (at >= faultAt) {
+            if (faultKind == FaultKind::ReadError)
+                throw std::runtime_error("injected read error");
+            return traits_type::eof();
+        }
+        current = bytes[at];
+        setg(&current, &current, &current + 1);
+        ++at;
+        return traits_type::to_int_type(current);
+    }
+
+  private:
+    std::string bytes;
+    std::size_t faultAt = 0;
+    FaultKind faultKind = FaultKind::ShortRead;
+    std::size_t at = 0;
+    char current = 0;
+};
+
+/** An istream owning a FaultyStreambuf. */
+class FaultyStream : public std::istream
+{
+  public:
+    FaultyStream(std::string image, std::size_t fault_at, FaultKind kind)
+        : std::istream(nullptr),
+          buffer(std::move(image), fault_at, kind)
+    {
+        rdbuf(&buffer);
+    }
+
+  private:
+    FaultyStreambuf buffer;
+};
+
+} // namespace dynex::test
+
+#endif // DYNEX_TESTS_UTIL_FAULTY_STREAM_H

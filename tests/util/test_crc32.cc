@@ -1,0 +1,57 @@
+/** @file Unit tests of the CRC-32 helper. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/crc32.h"
+
+namespace dynex
+{
+namespace
+{
+
+TEST(Crc32, KnownCheckValue)
+{
+    // The standard CRC-32/IEEE check vector.
+    const char *check = "123456789";
+    EXPECT_EQ(crc32Of(check, std::strlen(check)), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyBufferIsZero)
+{
+    EXPECT_EQ(crc32Of("", 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string data =
+        "The quick brown fox jumps over the lazy dog";
+    const std::uint32_t whole = crc32Of(data.data(), data.size());
+    // Fold the same bytes in awkward chunk sizes.
+    for (const std::size_t chunk : {1u, 3u, 7u, 16u, 64u}) {
+        std::uint32_t crc = crc32Init();
+        for (std::size_t at = 0; at < data.size(); at += chunk)
+            crc = crc32Update(crc, data.data() + at,
+                              std::min(chunk, data.size() - at));
+        EXPECT_EQ(crc32Final(crc), whole) << "chunk " << chunk;
+    }
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    std::string data(256, '\0');
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<char>(i * 7 + 3);
+    const std::uint32_t clean = crc32Of(data.data(), data.size());
+    for (const std::size_t at : {0u, 17u, 128u, 255u}) {
+        std::string mutated = data;
+        mutated[at] ^= 0x10;
+        EXPECT_NE(crc32Of(mutated.data(), mutated.size()), clean)
+            << "flip at " << at;
+    }
+}
+
+} // namespace
+} // namespace dynex

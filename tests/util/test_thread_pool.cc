@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.h"
@@ -95,6 +96,96 @@ TEST(ThreadPool, ConfiguredWorkersHonorsOverride)
     EXPECT_EQ(ThreadPool::global().workers(), 3u);
     ThreadPool::setConfiguredWorkers(0);
     EXPECT_EQ(ThreadPool::configuredWorkers(), automatic);
+}
+
+TEST(ThreadPool, CollectReturnsEmptyWhenNothingThrows)
+{
+    ThreadPool pool(4);
+    std::vector<int> out(64);
+    const auto errors = pool.parallelForCollect(
+        out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+    EXPECT_TRUE(errors.empty());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+/** Runs the multi-thrower scenario on a pool with @p workers workers. */
+void
+expectAllErrorsSurface(unsigned workers)
+{
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ThreadPool pool(workers);
+    constexpr std::size_t kN = 128;
+    // Several bodies throw concurrently; every one must be drained.
+    const std::vector<std::size_t> throwers = {3, 17, 17 + 1, 64, 127};
+    std::atomic<int> completed{0};
+    const auto errors = pool.parallelForCollect(kN, [&](std::size_t i) {
+        for (const std::size_t t : throwers)
+            if (i == t)
+                throw std::runtime_error("boom " + std::to_string(i));
+        ++completed;
+    });
+
+    ASSERT_EQ(errors.size(), throwers.size());
+    EXPECT_EQ(completed.load(),
+              static_cast<int>(kN - throwers.size()))
+        << "non-throwing indices all still run";
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+        EXPECT_EQ(errors[e].index, throwers[e])
+            << "errors come back sorted by index";
+        try {
+            std::rethrow_exception(errors[e].error);
+        } catch (const std::runtime_error &ex) {
+            EXPECT_EQ(std::string(ex.what()),
+                      "boom " + std::to_string(throwers[e]));
+        } catch (...) {
+            ADD_FAILURE() << "wrong exception type at index "
+                          << errors[e].index;
+        }
+    }
+
+    // The pool keeps working after an error-laden loop.
+    std::vector<int> out(32);
+    const auto clean = pool.parallelForCollect(
+        out.size(), [&](std::size_t i) { out[i] = 1; });
+    EXPECT_TRUE(clean.empty());
+    for (const int v : out)
+        EXPECT_EQ(v, 1);
+    pool.parallelFor(out.size(), [&](std::size_t i) { out[i] = 2; });
+    for (const int v : out)
+        EXPECT_EQ(v, 2);
+}
+
+TEST(ThreadPool, CollectSurfacesEveryErrorAtOneWorker)
+{
+    expectAllErrorsSurface(1);
+}
+
+TEST(ThreadPool, CollectSurfacesEveryErrorAtTwoWorkers)
+{
+    expectAllErrorsSurface(2);
+}
+
+TEST(ThreadPool, CollectSurfacesEveryErrorAtEightWorkers)
+{
+    expectAllErrorsSurface(8);
+}
+
+TEST(ThreadPool, CollectWhereEveryBodyThrows)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 40;
+    const auto errors = pool.parallelForCollect(
+        kN, [&](std::size_t i) { throw static_cast<int>(i); });
+    ASSERT_EQ(errors.size(), kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(errors[i].index, i);
+        try {
+            std::rethrow_exception(errors[i].error);
+        } catch (const int v) {
+            EXPECT_EQ(v, static_cast<int>(i));
+        }
+    }
 }
 
 TEST(ThreadPool, LargeFanOutSums)

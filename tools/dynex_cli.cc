@@ -65,6 +65,7 @@ struct Options
     std::string stream = "ifetch";
     unsigned threads = 0; // 0 = DYNEX_THREADS / hardware default
     ReplayEngine replay = ReplayEngine::Batched;
+    std::uint64_t injectFaultSize = 0; // 0 = no injection
 };
 
 /** Apply --threads to the simulation pool before any sweep runs. */
@@ -99,7 +100,10 @@ usage()
         "         --replay batched|per-leg  sweep replay engine:\n"
         "                      batched streams the trace once for all\n"
         "                      sizes and models (default); per-leg\n"
-        "                      replays per leg; identical output\n");
+        "                      replays per leg; identical output\n"
+        "         --inject-fault S  (testing) fail the sweep leg at\n"
+        "                      cache size S; other legs still complete\n"
+        "                      and the failure is reported\n");
     return 2;
 }
 
@@ -120,23 +124,26 @@ isDinPath(const std::string &path)
 std::optional<Trace>
 loadTraceFile(const std::string &path)
 {
-    std::string error;
-    auto trace = isDinPath(path) ? readDinTraceFile(path, &error)
-                                 : readTraceFile(path, &error);
-    if (!trace)
+    Result<Trace> trace = isDinPath(path) ? readDinTraceFile(path)
+                                          : readTraceFile(path);
+    if (!trace.ok()) {
         std::fprintf(stderr, "dynex: cannot read %s: %s\n", path.c_str(),
-                     error.c_str());
-    return trace;
+                     trace.status().toString().c_str());
+        return std::nullopt;
+    }
+    return std::move(trace).value();
 }
 
 bool
 storeTraceFile(const Trace &trace, const std::string &path)
 {
-    const bool ok = isDinPath(path) ? writeDinTraceFile(trace, path)
-                                    : writeTraceFile(trace, path);
-    if (!ok)
-        std::fprintf(stderr, "dynex: cannot write %s\n", path.c_str());
-    return ok;
+    const Status status = isDinPath(path)
+                              ? writeDinTraceFile(trace, path)
+                              : writeTraceFile(trace, path);
+    if (!status.ok())
+        std::fprintf(stderr, "dynex: cannot write %s: %s\n",
+                     path.c_str(), status.toString().c_str());
+    return status.ok();
 }
 
 /** Resolve a positional trace argument: a file path or a benchmark. */
@@ -202,7 +209,8 @@ parseOptions(int argc, char **argv, int first, Options &options)
                 std::fprintf(stderr, "dynex: bad --stream '%s'\n", v);
                 return false;
             }
-        } else if (flag == "--size" || flag == "--line") {
+        } else if (flag == "--size" || flag == "--line" ||
+                   flag == "--inject-fault") {
             const char *v = value();
             if (!v)
                 return false;
@@ -213,6 +221,8 @@ parseOptions(int argc, char **argv, int first, Options &options)
             }
             if (flag == "--size")
                 options.sizeBytes = *parsed;
+            else if (flag == "--inject-fault")
+                options.injectFaultSize = *parsed;
             else
                 options.lineBytes =
                     static_cast<std::uint32_t>(*parsed);
@@ -381,17 +391,32 @@ cmdSweep(const std::string &target, const Options &options)
     if (!trace)
         return 1;
 
+    if (options.injectFaultSize > 0) {
+        const std::uint64_t fault_size = options.injectFaultSize;
+        setSweepFaultHook([fault_size](const std::string &,
+                                       std::uint64_t size_bytes) {
+            if (size_bytes == fault_size)
+                throw StatusError(Status::internal("injected fault"));
+        });
+    }
+
     DynamicExclusionConfig config;
     config.stickyMax = options.stickyMax;
     config.useLastLine = options.lineBytes > 4;
-    const auto points = sweepSizes(*trace, paperCacheSizes(),
-                                   options.lineBytes, config,
-                                   options.replay);
+    const auto outcome = sweepSizesChecked(*trace, paperCacheSizes(),
+                                           options.lineBytes, config,
+                                           options.replay);
 
     Table table;
     table.setHeader({"size", "dm miss %", "dynex miss %", "opt miss %",
                      "dynex gain %"});
-    for (const auto &point : points) {
+    for (std::size_t s = 0; s < outcome.points.size(); ++s) {
+        const auto &point = outcome.points[s];
+        if (!outcome.ok[s]) {
+            table.addRow({formatSize(point.sizeBytes), "-", "-", "-",
+                          "-"});
+            continue;
+        }
         table.addRow({formatSize(point.sizeBytes),
                       Table::fmt(point.dmMissPct, 3),
                       Table::fmt(point.deMissPct, 3),
@@ -403,6 +428,20 @@ cmdSweep(const std::string &target, const Options &options)
                 formatSize(options.lineBytes).c_str(),
                 ThreadPool::global().workers());
     std::printf("%s", table.toText().c_str());
+
+    if (!outcome.failures.empty()) {
+        Table failed;
+        failed.setHeader({"failed leg", "status"});
+        for (const auto &failure : outcome.failures)
+            failed.addRow({failure.bench + " @ " +
+                               formatSize(failure.sizeBytes),
+                           failure.status.toString()});
+        std::printf("\n%zu of %zu legs failed; results above are "
+                    "partial\n\n%s",
+                    outcome.failures.size(), outcome.points.size(),
+                    failed.toText().c_str());
+        return 1;
+    }
     return 0;
 }
 
