@@ -7,11 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <optional>
+
 #include "cache/direct_mapped.h"
 #include "cache/dynamic_exclusion.h"
 #include "cache/optimal.h"
 #include "cache/set_assoc.h"
 #include "cache/victim.h"
+#include "obs/metrics.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "trace/next_use.h"
@@ -200,7 +204,8 @@ BM_ReplayTemplated(benchmark::State &state)
 BENCHMARK(BM_ReplayTemplated);
 
 void
-runSuiteSweepBenchmark(benchmark::State &state, ReplayEngine engine)
+runSuiteSweepBenchmark(benchmark::State &state, ReplayEngine engine,
+                       bool with_metrics = false)
 {
     // The suite-average sweep fanned out over state.range(0) workers;
     // results are bit-identical across the axis and across engines,
@@ -209,6 +214,15 @@ runSuiteSweepBenchmark(benchmark::State &state, ReplayEngine engine)
         static_cast<unsigned>(state.range(0)));
     const std::vector<std::string> names = {"mat300", "tomcatv"};
     constexpr Count kRefs = 100000;
+    std::unique_ptr<obs::MetricsCollector> collector;
+    std::optional<obs::ScopedMetrics> install;
+    if (with_metrics) {
+        collector = std::make_unique<obs::MetricsCollector>();
+        for (const std::string &name : names)
+            for (const std::uint64_t size : paperCacheSizes())
+                collector->addLeg(name + ".ifetch", size);
+        install.emplace(collector.get());
+    }
     for (auto _ : state) {
         const auto points =
             sweepSuiteAverage(names, kRefs, paperCacheSizes(), 4, {},
@@ -240,6 +254,20 @@ BM_SweepBatched(benchmark::State &state)
     runSuiteSweepBenchmark(state, ReplayEngine::Batched);
 }
 BENCHMARK(BM_SweepBatched)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void
+BM_SweepBatchedMetricsOn(benchmark::State &state)
+{
+    // BM_SweepBatched with a metrics collector installed: bounds the
+    // cost a --metrics-out run adds (per-chunk clock reads and slot
+    // fills). The compiled-in-but-*disabled* cost — what every normal
+    // sweep pays — is a few null checks per chunk; compare this
+    // against BM_SweepBatched to see the *enabled* cost.
+    runSuiteSweepBenchmark(state, ReplayEngine::Batched,
+                           /*with_metrics=*/true);
+}
+BENCHMARK(BM_SweepBatchedMetricsOn)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void

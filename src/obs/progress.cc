@@ -1,0 +1,98 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+
+namespace dynex
+{
+namespace obs
+{
+
+namespace
+{
+
+std::atomic<ProgressBar *> activeBar{nullptr};
+
+constexpr int kBarWidth = 32;
+
+} // namespace
+
+ProgressBar::ProgressBar(std::string label, std::uint64_t total,
+                         std::FILE *out)
+    : barLabel(std::move(label)), totalUnits(total), sink(out)
+{
+}
+
+ProgressBar::~ProgressBar()
+{
+    finish();
+}
+
+ProgressBar *
+ProgressBar::active()
+{
+    return activeBar.load(std::memory_order_relaxed);
+}
+
+void
+ProgressBar::setActive(ProgressBar *bar)
+{
+    activeBar.store(bar, std::memory_order_relaxed);
+}
+
+void
+ProgressBar::add(std::uint64_t delta)
+{
+    const std::uint64_t done_units =
+        doneUnits.fetch_add(delta) + delta;
+    if (finished.load(std::memory_order_relaxed))
+        return;
+    // Redraw only on a visible (permille) change, and only if the draw
+    // lock is free: workers never block on terminal I/O.
+    const std::uint64_t permille =
+        totalUnits ? std::min<std::uint64_t>(
+                         1000, done_units * 1000 / totalUnits)
+                   : done_units;
+    if (permille == lastDrawnPermille.load(std::memory_order_relaxed))
+        return;
+    if (!drawMutex.try_lock())
+        return;
+    lastDrawnPermille.store(permille, std::memory_order_relaxed);
+    draw(done_units, false);
+    drawMutex.unlock();
+}
+
+void
+ProgressBar::finish()
+{
+    if (finished.exchange(true))
+        return;
+    std::lock_guard<std::mutex> lock(drawMutex);
+    draw(doneUnits.load(), true);
+}
+
+void
+ProgressBar::draw(std::uint64_t done_units, bool final_draw)
+{
+    if (totalUnits) {
+        const std::uint64_t capped =
+            std::min(done_units, totalUnits);
+        const int filled = static_cast<int>(
+            capped * kBarWidth / totalUnits);
+        char bar[kBarWidth + 1];
+        for (int i = 0; i < kBarWidth; ++i)
+            bar[i] = i < filled ? '#' : '-';
+        bar[kBarWidth] = '\0';
+        std::fprintf(sink, "\r%s [%s] %5.1f%%", barLabel.c_str(), bar,
+                     100.0 * static_cast<double>(capped) /
+                         static_cast<double>(totalUnits));
+    } else {
+        std::fprintf(sink, "\r%s %llu", barLabel.c_str(),
+                     static_cast<unsigned long long>(done_units));
+    }
+    if (final_draw)
+        std::fputc('\n', sink);
+    std::fflush(sink);
+}
+
+} // namespace obs
+} // namespace dynex

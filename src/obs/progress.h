@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A TTY progress bar for long suite sweeps: worker threads report
+ * completed work units (references replayed, legs finished) through an
+ * atomic counter, and redraws are throttled so terminal I/O never
+ * backpressures the sweep. Rendering goes to stderr, keeping stdout's
+ * result tables byte-identical with the bar on or off.
+ */
+
+#ifndef DYNEX_OBS_PROGRESS_H
+#define DYNEX_OBS_PROGRESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace dynex
+{
+namespace obs
+{
+
+class ProgressBar
+{
+  public:
+    /**
+     * @param label prefix drawn before the bar (e.g. the trace name).
+     * @param total work units at 100%; 0 renders a counter only.
+     * @param out sink, stderr by default.
+     */
+    explicit ProgressBar(std::string label, std::uint64_t total,
+                         std::FILE *out = stderr);
+
+    /** Draws the final state (with a newline) if finish() never ran. */
+    ~ProgressBar();
+
+    ProgressBar(const ProgressBar &) = delete;
+    ProgressBar &operator=(const ProgressBar &) = delete;
+
+    /** The installed bar, or nullptr: one relaxed atomic load. */
+    static ProgressBar *active();
+
+    /** Install @p bar (nullptr disables). Caller owns it. */
+    static void setActive(ProgressBar *bar);
+
+    /**
+     * Report @p delta completed units. Thread-safe; only the caller
+     * that observes a permille change (and wins the non-blocking draw
+     * lock) touches the terminal.
+     */
+    void add(std::uint64_t delta);
+
+    /** Draw the final state and terminate the line. Idempotent. */
+    void finish();
+
+    std::uint64_t done() const { return doneUnits.load(); }
+
+  private:
+    void draw(std::uint64_t done_units, bool final_draw);
+
+    std::string barLabel;
+    std::uint64_t totalUnits;
+    std::FILE *sink;
+    std::atomic<std::uint64_t> doneUnits{0};
+    std::atomic<std::uint64_t> lastDrawnPermille{~std::uint64_t{0}};
+    std::atomic<bool> finished{false};
+    std::mutex drawMutex;
+};
+
+/** RAII installer for ProgressBar::setActive. */
+class ScopedProgress
+{
+  public:
+    explicit ScopedProgress(ProgressBar *bar)
+    {
+        ProgressBar::setActive(bar);
+    }
+    ~ScopedProgress() { ProgressBar::setActive(nullptr); }
+    ScopedProgress(const ScopedProgress &) = delete;
+    ScopedProgress &operator=(const ScopedProgress &) = delete;
+};
+
+} // namespace obs
+} // namespace dynex
+
+#endif // DYNEX_OBS_PROGRESS_H

@@ -1,0 +1,216 @@
+#include "obs/trace_events.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/thread_pool.h"
+
+namespace dynex
+{
+namespace obs
+{
+
+namespace
+{
+
+std::atomic<Tracer *> activeTracer{nullptr};
+std::atomic<std::uint64_t> nextTracerId{1};
+
+/** JSON string escaping for span names (RFC 8259 minimal set). */
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+poolJobObserver(std::size_t index,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end)
+{
+    Tracer *const tracer = Tracer::active();
+    if (!tracer)
+        return;
+    const std::uint64_t start_ns = tracer->toNs(start);
+    tracer->complete("job#" + std::to_string(index), "pool", start_ns,
+                     tracer->toNs(end) - start_ns);
+}
+
+} // namespace
+
+Tracer::Tracer()
+    : tracerId(nextTracerId.fetch_add(1)),
+      epoch(std::chrono::steady_clock::now())
+{
+}
+
+Tracer *
+Tracer::active()
+{
+    return activeTracer.load(std::memory_order_relaxed);
+}
+
+void
+Tracer::setActive(Tracer *tracer)
+{
+    activeTracer.store(tracer, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::nowNs() const
+{
+    return toNs(std::chrono::steady_clock::now());
+}
+
+std::uint64_t
+Tracer::toNs(std::chrono::steady_clock::time_point when) const
+{
+    if (when <= epoch)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(when -
+                                                             epoch)
+            .count());
+}
+
+Tracer::ThreadBuffer &
+Tracer::bufferForThisThread()
+{
+    // Same unique-id cache pattern as the metrics shards: uncontended
+    // appends after a thread's first span.
+    thread_local std::uint64_t cachedOwner = 0;
+    thread_local ThreadBuffer *cachedBuffer = nullptr;
+    if (cachedOwner != tracerId) {
+        std::lock_guard<std::mutex> lock(bufferMutex);
+        auto buffer = std::make_unique<ThreadBuffer>();
+        buffer->tid = static_cast<std::uint32_t>(buffers.size() + 1);
+        buffers.push_back(std::move(buffer));
+        cachedBuffer = buffers.back().get();
+        cachedOwner = tracerId;
+    }
+    return *cachedBuffer;
+}
+
+void
+Tracer::complete(std::string name, const char *category,
+                 std::uint64_t start_ns, std::uint64_t dur_ns)
+{
+    ThreadBuffer &buffer = bufferForThisThread();
+    buffer.events.push_back(
+        {std::move(name), category, start_ns, dur_ns, buffer.tid});
+}
+
+std::vector<TraceEvent>
+Tracer::sortedEvents() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(bufferMutex);
+        std::size_t total = 0;
+        for (const auto &buffer : buffers)
+            total += buffer->events.size();
+        events.reserve(total);
+        for (const auto &buffer : buffers)
+            events.insert(events.end(), buffer->events.begin(),
+                          buffer->events.end());
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.startNs != b.startNs)
+                             return a.startNs < b.startNs;
+                         return a.durNs > b.durNs;
+                     });
+    return events;
+}
+
+std::string
+Tracer::toJson() const
+{
+    const auto events = sortedEvents();
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char buf[96];
+    bool first = true;
+    for (const auto &event : events) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "\n{\"name\":\"" + escapeJson(event.name) +
+               "\",\"cat\":\"" + escapeJson(event.category) +
+               "\",\"ph\":\"X\",\"pid\":1";
+        // Microsecond timestamps with ns precision kept as decimals,
+        // the unit chrome://tracing expects.
+        std::snprintf(buf, sizeof(buf),
+                      ",\"tid\":%u,\"ts\":%llu.%03u,\"dur\":%llu.%03u}",
+                      event.tid,
+                      static_cast<unsigned long long>(event.startNs /
+                                                      1000),
+                      static_cast<unsigned>(event.startNs % 1000),
+                      static_cast<unsigned long long>(event.durNs /
+                                                      1000),
+                      static_cast<unsigned>(event.durNs % 1000));
+        out += buf;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+Status
+Tracer::writeJson(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return Status::ioError("cannot open " + path + ": " +
+                               std::strerror(errno));
+    const std::string json = toJson();
+    out.write(json.data(),
+              static_cast<std::streamsize>(json.size()));
+    out.flush();
+    if (!out)
+        return Status::ioError("cannot write " + path + ": " +
+                               std::strerror(errno));
+    return Status();
+}
+
+void
+setPoolJobSpans(bool enable)
+{
+    ThreadPool::setJobObserver(enable ? &poolJobObserver : nullptr);
+}
+
+} // namespace obs
+} // namespace dynex

@@ -1,8 +1,10 @@
 #include "sim/parallel.h"
 
 #include <memory>
+#include <optional>
 #include <sstream>
 
+#include "sim/obs_hooks.h"
 #include "sim/workloads.h"
 #include "trace/next_use.h"
 #include "util/string_utils.h"
@@ -24,15 +26,33 @@ FailedLeg::toString() const
 std::shared_ptr<const Trace>
 loadStream(const std::string &name, Count refs, StreamKind stream)
 {
+    obs::MetricsCollector *const metrics = obs::activeMetrics();
+    obs::Tracer *const tracer = obs::Tracer::active();
+    const std::uint64_t metrics_t0 = metrics ? obs::monotonicNs() : 0;
+    const std::uint64_t tracer_t0 = tracer ? tracer->nowNs() : 0;
+
+    std::shared_ptr<const Trace> trace;
     switch (stream) {
       case StreamKind::Data:
-        return Workloads::data(name, refs);
+        trace = Workloads::data(name, refs);
+        break;
       case StreamKind::Mixed:
-        return Workloads::mixed(name, refs);
+        trace = Workloads::mixed(name, refs);
+        break;
       case StreamKind::Instructions:
+        trace = Workloads::instructions(name, refs);
         break;
     }
-    return Workloads::instructions(name, refs);
+
+    if (metrics) {
+        metrics->add(obs::Counter::TraceLoadNs,
+                     obs::monotonicNs() - metrics_t0);
+        metrics->add(obs::Counter::TraceLoadRefs, trace->size());
+    }
+    if (tracer)
+        tracer->complete("load " + name, "load", tracer_t0,
+                         tracer->nowNs() - tracer_t0);
+    return trace;
 }
 
 void
@@ -51,10 +71,15 @@ sweepSuiteTriads(const std::vector<std::string> &benchmark_names,
 {
     std::vector<std::vector<TriadResult>> grid(benchmark_names.size());
     simParallelFor(benchmark_names.size(), [&](std::size_t b) {
-        const auto trace =
-            loadStream(benchmark_names[b], refs, stream);
+        const std::string &bench = benchmark_names[b];
+        std::optional<obs::ScopedSpan> bench_span;
+        if (obs::Tracer::active())
+            bench_span.emplace("bench", "bench " + bench);
+        const auto trace = loadStream(bench, refs, stream);
+        simobs::IndexBuildTimer index_timer;
         const NextUseIndex index(*trace, line_bytes,
                                  NextUseMode::RunStart);
+        index_timer.finish(bench);
         auto &row = grid[b];
         if (engine == ReplayEngine::Batched) {
             // One pass over the trace feeds every (size, model) leg of
@@ -66,8 +91,8 @@ sweepSuiteTriads(const std::vector<std::string> &benchmark_names,
         }
         row.resize(sizes.size());
         simParallelFor(sizes.size(), [&](std::size_t s) {
-            row[s] = runTriad(*trace, index, sizes[s], line_bytes,
-                              config);
+            row[s] = simobs::runTriadLeg(*trace, index, bench,
+                                         sizes[s], line_bytes, config);
         });
     });
     return grid;
@@ -96,14 +121,19 @@ sweepSuiteTriadsChecked(const std::vector<std::string> &benchmark_names,
     const auto escaped = ThreadPool::global().parallelForCollect(
         benches, [&](std::size_t b) {
             const std::string &bench = benchmark_names[b];
+            std::optional<obs::ScopedSpan> bench_span;
+            if (obs::Tracer::active())
+                bench_span.emplace("bench", "bench " + bench);
             std::shared_ptr<const Trace> trace;
             std::unique_ptr<NextUseIndex> index;
             try {
                 if (const auto &hook = sweepFaultHook())
                     hook(bench, 0);
                 trace = loadStream(bench, refs, stream);
+                simobs::IndexBuildTimer index_timer;
                 index = std::make_unique<NextUseIndex>(
                     *trace, line_bytes, NextUseMode::RunStart);
+                index_timer.finish(bench);
             } catch (...) {
                 per_bench[b].push_back(
                     {bench, 0, "triad",
@@ -126,8 +156,9 @@ sweepSuiteTriadsChecked(const std::vector<std::string> &benchmark_names,
                 try {
                     if (const auto &hook = sweepFaultHook())
                         hook(bench, sizes[s]);
-                    outcome.grid[b][s] = runTriad(
-                        *trace, *index, sizes[s], line_bytes, config);
+                    outcome.grid[b][s] = simobs::runTriadLeg(
+                        *trace, *index, bench, sizes[s], line_bytes,
+                        config);
                     outcome.ok[b][s] = 1;
                 } catch (...) {
                     leg_status[s] = statusFromException(
@@ -165,8 +196,12 @@ sweepSuiteLineTriads(const std::vector<std::string> &benchmark_names,
 {
     std::vector<std::vector<TriadResult>> grid(benchmark_names.size());
     simParallelFor(benchmark_names.size(), [&](std::size_t b) {
-        const auto trace = loadStream(benchmark_names[b], refs,
-                                      StreamKind::Instructions);
+        const std::string &bench = benchmark_names[b];
+        std::optional<obs::ScopedSpan> bench_span;
+        if (obs::Tracer::active())
+            bench_span.emplace("bench", "bench " + bench);
+        const auto trace =
+            loadStream(bench, refs, StreamKind::Instructions);
         auto &row = grid[b];
         row.resize(lines.size());
         if (engine == ReplayEngine::Batched) {
@@ -176,17 +211,21 @@ sweepSuiteLineTriads(const std::vector<std::string> &benchmark_names,
             NextUseScratch scratch;
             const std::vector<std::uint64_t> one_size = {size_bytes};
             for (std::size_t l = 0; l < lines.size(); ++l) {
+                simobs::IndexBuildTimer index_timer;
                 const NextUseIndex index(*trace, lines[l],
                                          NextUseMode::RunStart,
                                          &scratch);
+                index_timer.finish(bench);
                 row[l] = replayTriadBatch(*trace, index, one_size,
                                           lines[l], config)[0];
             }
             return;
         }
         simParallelFor(lines.size(), [&](std::size_t l) {
+            simobs::IndexBuildTimer index_timer;
             const NextUseIndex index(*trace, lines[l],
                                      NextUseMode::RunStart);
+            index_timer.finish(bench);
             row[l] = runTriad(*trace, index, size_bytes, lines[l],
                               config);
         });

@@ -90,6 +90,7 @@ runTriad(const Trace &trace, const NextUseIndex &index,
         [&] {
             DynamicExclusionCache de(geometry, de_config);
             result.de = replayTrace(de, trace);
+            result.deEvents = de.eventCounts();
         },
         [&] {
             OptimalDirectMappedCache opt(geometry, index,

@@ -1,7 +1,9 @@
 #include "sim/sweep.h"
 
 #include <memory>
+#include <optional>
 
+#include "sim/obs_hooks.h"
 #include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/next_use.h"
@@ -61,7 +63,14 @@ sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
            std::uint32_t line_bytes, const DynamicExclusionConfig &config,
            ReplayEngine engine)
 {
+    std::optional<obs::ScopedSpan> sweep_span;
+    if (obs::Tracer::active())
+        sweep_span.emplace("sweep", "sweep " + trace.name());
+
+    simobs::IndexBuildTimer index_timer;
     const NextUseIndex index(trace, line_bytes, NextUseMode::RunStart);
+    index_timer.finish(trace.name());
+
     std::vector<SizeSweepPoint> points(sizes.size());
     if (engine == ReplayEngine::Batched) {
         const auto triads =
@@ -72,8 +81,8 @@ sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
         return points;
     }
     simParallelFor(sizes.size(), [&](std::size_t s) {
-        const TriadResult triad =
-            runTriad(trace, index, sizes[s], line_bytes, config);
+        const TriadResult triad = simobs::runTriadLeg(
+            trace, index, trace.name(), sizes[s], line_bytes, config);
         points[s] = {sizes[s], triad.dmMissPct(), triad.deMissPct(),
                      triad.optMissPct()};
     });
@@ -87,6 +96,10 @@ sweepSizesChecked(const Trace &trace,
                   const DynamicExclusionConfig &config,
                   ReplayEngine engine)
 {
+    std::optional<obs::ScopedSpan> sweep_span;
+    if (obs::Tracer::active())
+        sweep_span.emplace("sweep", "sweep " + trace.name());
+
     SizeSweepOutcome outcome;
     outcome.points.resize(sizes.size());
     outcome.ok.assign(sizes.size(), 0);
@@ -95,8 +108,10 @@ sweepSizesChecked(const Trace &trace,
 
     std::unique_ptr<NextUseIndex> index;
     try {
+        simobs::IndexBuildTimer index_timer;
         index = std::make_unique<NextUseIndex>(trace, line_bytes,
                                                NextUseMode::RunStart);
+        index_timer.finish(trace.name());
     } catch (...) {
         // Without the shared next-use oracle no leg can run.
         const Status status =
@@ -133,8 +148,9 @@ sweepSizesChecked(const Trace &trace,
         try {
             if (const auto &hook = sweepFaultHook())
                 hook(trace.name(), sizes[s]);
-            fillPoint(s, runTriad(trace, *index, sizes[s], line_bytes,
-                                  config));
+            fillPoint(s, simobs::runTriadLeg(trace, *index,
+                                             trace.name(), sizes[s],
+                                             line_bytes, config));
         } catch (...) {
             leg_status[s] =
                 statusFromException(std::current_exception());

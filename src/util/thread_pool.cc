@@ -17,6 +17,29 @@ std::atomic<unsigned> configuredOverride{0};
 std::mutex globalPoolMutex;
 std::unique_ptr<ThreadPool> globalPool;
 
+std::atomic<ThreadPool::JobObserver> jobObserver{nullptr};
+
+/** Run body(i), reporting the interval to the observer if one is
+ * installed — including when the body throws, so a failing leg still
+ * shows up as a span. */
+void
+invokeBody(const std::function<void(std::size_t)> &body, std::size_t i)
+{
+    const auto observer = jobObserver.load(std::memory_order_relaxed);
+    if (!observer) {
+        body(i);
+        return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        body(i);
+    } catch (...) {
+        observer(i, start, std::chrono::steady_clock::now());
+        throw;
+    }
+    observer(i, start, std::chrono::steady_clock::now());
+}
+
 unsigned
 autoWorkers()
 {
@@ -36,6 +59,12 @@ autoWorkers()
 }
 
 } // namespace
+
+void
+ThreadPool::setJobObserver(JobObserver observer)
+{
+    jobObserver.store(observer, std::memory_order_relaxed);
+}
 
 unsigned
 ThreadPool::configuredWorkers()
@@ -108,7 +137,7 @@ ThreadPool::runLoop(Loop &loop)
         if (i >= loop.total)
             return;
         try {
-            (*loop.body)(i);
+            invokeBody(*loop.body, i);
         } catch (...) {
             if (loop.errors) {
                 std::lock_guard<std::mutex> lock(loop.errorsMutex);
@@ -136,7 +165,7 @@ ThreadPool::parallelFor(std::size_t n,
     if (workerTarget <= 1 || n <= 1) {
         // Serial fast path: no shared state, no locking.
         for (std::size_t i = 0; i < n; ++i)
-            body(i);
+            invokeBody(body, i);
         return;
     }
     runShared(n, body, nullptr);
@@ -150,7 +179,7 @@ ThreadPool::parallelForCollect(
     if (workerTarget <= 1 || n <= 1) {
         for (std::size_t i = 0; i < n; ++i) {
             try {
-                body(i);
+                invokeBody(body, i);
             } catch (...) {
                 errors.push_back({i, std::current_exception()});
             }

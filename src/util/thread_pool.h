@@ -21,6 +21,7 @@
 #define DYNEX_UTIL_THREAD_POOL_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -106,6 +107,24 @@ class ThreadPool
 
     /** The process-wide pool, built on first use. */
     static ThreadPool &global();
+
+    /**
+     * Observation callback for loop-index execution: reports the index
+     * and its wall-clock interval after the body returns (or throws).
+     * The observability layer installs one to emit ThreadPool job
+     * spans into a Chrome trace; keep it cheap and thread-safe.
+     */
+    using JobObserver =
+        void (*)(std::size_t index,
+                 std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end);
+
+    /**
+     * Install @p observer for every pool (nullptr disables). Read with
+     * one relaxed atomic load per loop index, so the disabled cost is
+     * a single predictable branch per index — never per reference.
+     */
+    static void setJobObserver(JobObserver observer);
 
   private:
     /** One parallelFor's shared state; helpers pull indices from it. */

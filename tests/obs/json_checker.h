@@ -1,0 +1,279 @@
+/**
+ * @file
+ * A minimal strict JSON parser for the obs tests: enough to validate
+ * that the tracer and report emitters produce well-formed JSON and to
+ * navigate the parsed document (find object members, walk arrays). Not
+ * a general-purpose library — rejects anything RFC 8259 rejects, keeps
+ * numbers as doubles, and ignores \u escapes beyond syntax checking.
+ */
+
+#ifndef DYNEX_TESTS_OBS_JSON_CHECKER_H
+#define DYNEX_TESTS_OBS_JSON_CHECKER_H
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dynex
+{
+namespace testjson
+{
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items; ///< Array elements
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    /** First member named @p key, or nullptr. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &member : members)
+            if (member.first == key)
+                return &member.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    /** Parse @p text as one JSON document; nullopt on any violation
+     * (including trailing garbage). */
+    static std::optional<JsonValue>
+    parse(const std::string &text)
+    {
+        JsonParser parser(text);
+        JsonValue value;
+        if (!parser.parseValue(value))
+            return std::nullopt;
+        parser.skipSpace();
+        if (parser.pos != text.size())
+            return std::nullopt;
+        return value;
+    }
+
+  private:
+    explicit JsonParser(const std::string &text) : src(text) {}
+
+    const std::string &src;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' ||
+                src[pos] == '\n' || src[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos >= src.size() || src[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (src.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipSpace();
+        if (pos >= src.size() || src[pos] != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (pos < src.size()) {
+            const char c = src[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                if (pos + 1 >= src.size())
+                    return false;
+                const char esc = src[pos + 1];
+                pos += 2;
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                  case 'f':
+                  case 'n':
+                  case 'r':
+                  case 't':
+                    out += ' ';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > src.size())
+                        return false;
+                    for (int i = 0; i < 4; ++i)
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                src[pos + i])))
+                            return false;
+                    pos += 4;
+                    out += '?';
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < src.size() && src[pos] == '-')
+            ++pos;
+        if (pos >= src.size() ||
+            !std::isdigit(static_cast<unsigned char>(src[pos])))
+            return false;
+        if (src[pos] == '0') {
+            ++pos;
+        } else {
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos])))
+                ++pos;
+        }
+        if (pos < src.size() && src[pos] == '.') {
+            ++pos;
+            if (pos >= src.size() ||
+                !std::isdigit(static_cast<unsigned char>(src[pos])))
+                return false;
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos])))
+                ++pos;
+        }
+        if (pos < src.size() && (src[pos] == 'e' || src[pos] == 'E')) {
+            ++pos;
+            if (pos < src.size() &&
+                (src[pos] == '+' || src[pos] == '-'))
+                ++pos;
+            if (pos >= src.size() ||
+                !std::isdigit(static_cast<unsigned char>(src[pos])))
+                return false;
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos])))
+                ++pos;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(src.substr(start, pos - start).c_str(),
+                                 nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos >= src.size())
+            return false;
+        const char c = src[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key) || !consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(member));
+                if (consume(','))
+                    continue;
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue item;
+                if (!parseValue(item))
+                    return false;
+                out.items.push_back(std::move(item));
+                if (consume(','))
+                    continue;
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace testjson
+} // namespace dynex
+
+#endif // DYNEX_TESTS_OBS_JSON_CHECKER_H

@@ -8,6 +8,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 
@@ -202,6 +204,128 @@ TEST(CliTool, UsageDocumentsThreads)
     EXPECT_NE(result.output.find("--threads"), std::string::npos);
     EXPECT_NE(result.output.find("DYNEX_THREADS"), std::string::npos);
     EXPECT_NE(result.output.find("sweep"), std::string::npos);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+/** Blank the fields of a full metrics report that legitimately vary
+ * run to run (wall-clock timings, worker count). */
+std::string
+scrubTimings(const std::string &json)
+{
+    static const std::regex varying(
+        "\"(replayNs|dmReplayNs|deReplayNs|optReplayNs|"
+        "trace-load-ns|index-build-ns|workers)\":[0-9]+");
+    return std::regex_replace(json, varying, "\"$1\":0");
+}
+
+TEST(CliTool, UnknownOptionShowsFullUsage)
+{
+    const auto result = runCli("sweep mat300 --frobnicate");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown option '--frobnicate'"),
+              std::string::npos);
+    // The full usage text follows, including the obs flags, so the
+    // fix is on screen rather than behind --help.
+    EXPECT_NE(result.output.find("usage:"), std::string::npos);
+    for (const char *flag :
+         {"--metrics-out", "--csv-out", "--trace-out", "--progress",
+          "--replay", "--threads"})
+        EXPECT_NE(result.output.find(flag), std::string::npos)
+            << flag;
+}
+
+TEST(CliTool, SweepWritesObservabilityOutputs)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string metrics = dir + "/cli_obs_metrics.json";
+    const std::string csv = dir + "/cli_obs_table.csv";
+    const std::string events = dir + "/cli_obs_trace.json";
+
+    const auto plain =
+        runCli("sweep mat300 --line 4 --refs 30000 --threads 2");
+    const auto observed = runCli(
+        "sweep mat300 --line 4 --refs 30000 --threads 2 "
+        "--metrics-out " + metrics + " --csv-out " + csv +
+        " --trace-out " + events + " --progress");
+    ASSERT_EQ(observed.exitCode, 0) << observed.output;
+    // The result tables (stdout) are untouched by observability; the
+    // progress bar precedes them on the merged stream (stderr).
+    EXPECT_NE(observed.output.find(plain.output), std::string::npos);
+    EXPECT_NE(observed.output.find("100.0%"), std::string::npos);
+
+    const std::string report = readFile(metrics);
+    EXPECT_NE(report.find("\"schema\":\"dynex-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(report.find("mat300.ifetch"), std::string::npos);
+    EXPECT_NE(report.find("\"deEvents\""), std::string::npos);
+
+    const std::string table = readFile(csv);
+    EXPECT_NE(table.find("bench,size_bytes,ok"), std::string::npos);
+    EXPECT_NE(table.find("mat300.ifetch,1024,1"), std::string::npos);
+
+    const std::string trace_json = readFile(events);
+    EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace_json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace_json.find("sweep mat300.ifetch"),
+              std::string::npos);
+
+    std::remove(metrics.c_str());
+    std::remove(csv.c_str());
+    std::remove(events.c_str());
+}
+
+TEST(CliTool, MetricsReportStableAcrossThreadCounts)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string one_path = dir + "/cli_obs_m1.json";
+    const std::string four_path = dir + "/cli_obs_m4.json";
+    const auto one =
+        runCli("sweep mat300 --line 4 --refs 30000 --threads 1 "
+               "--metrics-out " + one_path);
+    const auto four =
+        runCli("sweep mat300 --line 4 --refs 30000 --threads 4 "
+               "--metrics-out " + four_path);
+    ASSERT_EQ(one.exitCode, 0) << one.output;
+    ASSERT_EQ(four.exitCode, 0) << four.output;
+    // Everything except wall-clock timings and the worker count is
+    // byte-identical: same legs, same order, same doubles.
+    EXPECT_EQ(scrubTimings(readFile(one_path)),
+              scrubTimings(readFile(four_path)));
+    std::remove(one_path.c_str());
+    std::remove(four_path.c_str());
+}
+
+TEST(CliTool, MetricsReportRecordsInjectedFailures)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/cli_obs_fail.json";
+    const auto result = runCli(
+        "sweep mat300 --line 4 --refs 30000 --threads 2 "
+        "--inject-fault 4KB --metrics-out " + path);
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    const std::string report = readFile(path);
+    EXPECT_NE(report.find("\"sizeBytes\":4096,\"ok\":false"),
+              std::string::npos);
+    EXPECT_NE(report.find("internal: injected fault"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliTool, RejectsUnwritableMetricsPath)
+{
+    const auto result = runCli(
+        "sweep mat300 --line 4 --refs 30000 "
+        "--metrics-out /nonexistent-dir/x/metrics.json");
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.output.find("cannot write"), std::string::npos);
 }
 
 TEST(CliTool, AnalyzeReportsConflictStructure)

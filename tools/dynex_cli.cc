@@ -13,6 +13,8 @@
  *   dynex triad <trace-file|benchmark> [--size S] [--line L] [--refs N]
  *   dynex sweep <trace-file|benchmark> [--line L] [--refs N]
  *             [--threads N] [--replay batched|per-leg]
+ *             [--metrics-out F] [--csv-out F] [--trace-out F]
+ *             [--progress]
  *   dynex analyze <trace-file|benchmark> [--size S] [--line L]
  *             [--refs N] [--stream KIND]
  *
@@ -36,6 +38,10 @@
 #include "cache/factory.h"
 #include "cache/optimal.h"
 #include "cache/victim.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/run_report.h"
+#include "obs/trace_events.h"
 #include "sim/analysis.h"
 #include "sim/sweep.h"
 #include "sim/runner.h"
@@ -66,6 +72,10 @@ struct Options
     unsigned threads = 0; // 0 = DYNEX_THREADS / hardware default
     ReplayEngine replay = ReplayEngine::Batched;
     std::uint64_t injectFaultSize = 0; // 0 = no injection
+    std::string metricsOut;  // --metrics-out: JSON run report
+    std::string csvOut;      // --csv-out: sweep table as CSV
+    std::string traceOut;    // --trace-out: Chrome trace events
+    bool progress = false;   // --progress: stderr progress bar
 };
 
 /** Apply --threads to the simulation pool before any sweep runs. */
@@ -103,7 +113,17 @@ usage()
         "                      replays per leg; identical output\n"
         "         --inject-fault S  (testing) fail the sweep leg at\n"
         "                      cache size S; other legs still complete\n"
-        "                      and the failure is reported\n");
+        "                      and the failure is reported\n"
+        "         --metrics-out F  sweep: write a JSON run report\n"
+        "                      (per-leg stats, FSM event counts,\n"
+        "                      timings, failures) to F\n"
+        "         --csv-out F  sweep: write the sweep table (one row\n"
+        "                      per leg, with FSM event counts) to F\n"
+        "         --trace-out F  sweep: write Chrome trace-event JSON\n"
+        "                      to F; load in chrome://tracing or\n"
+        "                      Perfetto\n"
+        "         --progress   sweep: draw a progress bar on stderr\n"
+        "                      (stdout tables are unaffected)\n");
     return 2;
 }
 
@@ -182,6 +202,19 @@ parseOptions(int argc, char **argv, int first, Options &options)
         };
         if (flag == "--lastline") {
             options.lastLine = true;
+        } else if (flag == "--progress") {
+            options.progress = true;
+        } else if (flag == "--metrics-out" || flag == "--csv-out" ||
+                   flag == "--trace-out") {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (flag == "--metrics-out")
+                options.metricsOut = v;
+            else if (flag == "--csv-out")
+                options.csvOut = v;
+            else
+                options.traceOut = v;
         } else if (flag == "--cache") {
             const char *v = value();
             if (!v)
@@ -247,8 +280,11 @@ parseOptions(int argc, char **argv, int first, Options &options)
             else
                 options.refs = parsed;
         } else {
+            // Show the full usage text so the correct spelling (and
+            // the newer flags) are one error away, not a docs hunt.
             std::fprintf(stderr, "dynex: unknown option '%s'\n",
                          flag.c_str());
+            usage();
             return false;
         }
     }
@@ -383,6 +419,116 @@ cmdTriad(const std::string &target, const Options &options)
     return 0;
 }
 
+/** Install the requested obs sinks for cmdSweep's run and write their
+ * outputs when it ends. Everything is scoped to the sweep call: the
+ * global obs pointers are cleared before any file is written. */
+class SweepObservation
+{
+  public:
+    SweepObservation(const Options &options, const Trace &trace)
+        : opts(options), traceName(trace.name())
+    {
+        if (!opts.metricsOut.empty() || !opts.csvOut.empty()) {
+            collector = std::make_unique<obs::MetricsCollector>();
+            // Serial registration in size order: this fixes the leg
+            // order every report emits, independent of scheduling.
+            for (const std::uint64_t size : paperCacheSizes())
+                collector->addLeg(traceName, size);
+            obs::setActiveMetrics(collector.get());
+        }
+        if (!opts.traceOut.empty()) {
+            tracer = std::make_unique<obs::Tracer>();
+            obs::Tracer::setActive(tracer.get());
+            obs::setPoolJobSpans(true);
+        }
+        if (opts.progress) {
+            // Work units are references replayed: the batched engine
+            // streams the trace once for all legs, the per-leg engine
+            // once per leg.
+            const auto total =
+                static_cast<std::uint64_t>(trace.size()) *
+                (opts.replay == ReplayEngine::Batched
+                     ? 1
+                     : paperCacheSizes().size());
+            bar = std::make_unique<obs::ProgressBar>(traceName, total);
+            obs::ProgressBar::setActive(bar.get());
+        }
+    }
+
+    ~SweepObservation()
+    {
+        obs::ProgressBar::setActive(nullptr);
+        obs::setPoolJobSpans(false);
+        obs::Tracer::setActive(nullptr);
+        obs::setActiveMetrics(nullptr);
+    }
+
+    SweepObservation(const SweepObservation &) = delete;
+    SweepObservation &operator=(const SweepObservation &) = delete;
+
+    /** Uninstall the sinks and write the requested files.
+     * @return 0, or 1 when any file could not be written. */
+    int
+    finish(const SizeSweepOutcome &outcome, Count refs)
+    {
+        obs::ProgressBar::setActive(nullptr);
+        obs::setPoolJobSpans(false);
+        obs::Tracer::setActive(nullptr);
+        obs::setActiveMetrics(nullptr);
+        if (bar)
+            bar->finish();
+
+        int rc = 0;
+        if (tracer)
+            rc |= writeOrComplain(opts.traceOut,
+                                  tracer->writeJson(opts.traceOut));
+        if (!collector)
+            return rc;
+
+        obs::RunInfo info;
+        info.trace = traceName;
+        info.refs = refs;
+        info.lineBytes = opts.lineBytes;
+        info.engine = opts.replay == ReplayEngine::Batched
+                          ? "batched"
+                          : "per-leg";
+        info.workers = ThreadPool::global().workers();
+        std::vector<obs::ReportFailure> failures;
+        for (const auto &failure : outcome.failures)
+            failures.push_back({failure.bench, failure.sizeBytes,
+                                failure.model,
+                                failure.status.toString()});
+        const obs::RunReport report = obs::RunReport::build(
+            info, *collector, std::move(failures));
+        if (!opts.metricsOut.empty())
+            rc |= writeOrComplain(
+                opts.metricsOut,
+                obs::writeTextFile(opts.metricsOut, report.toJson()));
+        if (!opts.csvOut.empty())
+            rc |= writeOrComplain(
+                opts.csvOut,
+                obs::writeTextFile(opts.csvOut, report.toCsv()));
+        return rc;
+    }
+
+  private:
+    static int
+    writeOrComplain(const std::string &path, const Status &status)
+    {
+        if (status.ok())
+            return 0;
+        std::fprintf(stderr, "dynex: cannot write %s: %s\n",
+                     path.c_str(), status.toString().c_str());
+        return 1;
+    }
+
+    const Options &opts;
+    const std::string traceName;
+    std::unique_ptr<obs::MetricsCollector> collector;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::unique_ptr<obs::ProgressBar> bar;
+};
+
 int
 cmdSweep(const std::string &target, const Options &options)
 {
@@ -403,9 +549,12 @@ cmdSweep(const std::string &target, const Options &options)
     DynamicExclusionConfig config;
     config.stickyMax = options.stickyMax;
     config.useLastLine = options.lineBytes > 4;
+    SweepObservation observation(options, *trace);
     const auto outcome = sweepSizesChecked(*trace, paperCacheSizes(),
                                            options.lineBytes, config,
                                            options.replay);
+    const int obs_rc =
+        observation.finish(outcome, trace->size());
 
     Table table;
     table.setHeader({"size", "dm miss %", "dynex miss %", "opt miss %",
@@ -442,7 +591,7 @@ cmdSweep(const std::string &target, const Options &options)
                     failed.toText().c_str());
         return 1;
     }
-    return 0;
+    return obs_rc;
 }
 
 int
