@@ -53,6 +53,22 @@ counterName(Counter counter)
         return "index-builds";
       case Counter::ReplayChunks:
         return "replay-chunks";
+      case Counter::SrvRequests:
+        return "srv-requests";
+      case Counter::SrvErrors:
+        return "srv-errors";
+      case Counter::SrvBusy:
+        return "srv-busy";
+      case Counter::SrvBytesIn:
+        return "srv-bytes-in";
+      case Counter::SrvBytesOut:
+        return "srv-bytes-out";
+      case Counter::StoreHits:
+        return "store-hits";
+      case Counter::StoreMisses:
+        return "store-misses";
+      case Counter::StoreEvictions:
+        return "store-evictions";
     }
     return "unknown";
 }

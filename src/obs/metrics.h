@@ -43,7 +43,12 @@ namespace obs
 /** Monotonic nanoseconds for interval math (steady_clock based). */
 std::uint64_t monotonicNs();
 
-/** Process-wide integer totals a sweep accumulates off the leg grid. */
+/** Process-wide integer totals a sweep accumulates off the leg grid.
+ * The Srv/Store groups are written by the serving subsystem
+ * (src/server): requests handled, wire bytes moved, and the
+ * TraceStore's hit/miss/eviction tallies all flow through the same
+ * sharded counters as the sweep engines' totals, so one collector
+ * covers a whole server lifetime. */
 enum class Counter : std::uint8_t
 {
     TraceLoadNs,   ///< wall time spent loading/generating traces
@@ -51,9 +56,17 @@ enum class Counter : std::uint8_t
     IndexBuildNs,  ///< wall time spent building next-use indexes
     IndexBuilds,   ///< next-use indexes built
     ReplayChunks,  ///< batched replay chunks processed
+    SrvRequests,   ///< server requests answered (any outcome)
+    SrvErrors,     ///< server requests answered with an ERROR frame
+    SrvBusy,       ///< connections rejected with a BUSY frame
+    SrvBytesIn,    ///< request bytes read off the wire
+    SrvBytesOut,   ///< response bytes written to the wire
+    StoreHits,     ///< TraceStore lookups served from memory
+    StoreMisses,   ///< TraceStore lookups that triggered a load
+    StoreEvictions,///< TraceStore entries evicted for the byte budget
 };
 
-inline constexpr std::size_t kCounterCount = 5;
+inline constexpr std::size_t kCounterCount = 13;
 
 /** Stable lowercase name for @p counter (JSON keys, tables). */
 const char *counterName(Counter counter);

@@ -92,9 +92,13 @@ const std::array<FsmEvent, 5> kAllFsmEvents = {
     FsmEvent::ReplaceHitLast, FsmEvent::Bypass};
 
 const std::array<Counter, kCounterCount> kAllCounters = {
-    Counter::TraceLoadNs, Counter::TraceLoadRefs,
+    Counter::TraceLoadNs,  Counter::TraceLoadRefs,
     Counter::IndexBuildNs, Counter::IndexBuilds,
-    Counter::ReplayChunks};
+    Counter::ReplayChunks, Counter::SrvRequests,
+    Counter::SrvErrors,    Counter::SrvBusy,
+    Counter::SrvBytesIn,   Counter::SrvBytesOut,
+    Counter::StoreHits,    Counter::StoreMisses,
+    Counter::StoreEvictions};
 
 /** Wall-clock counters are excluded at Deterministic detail. */
 bool
@@ -163,6 +167,18 @@ RunReport::toJson(ReportDetail detail) const
             jsonU64(counters[static_cast<std::size_t>(counter)]);
     }
     out += "},\n";
+
+    if (!extra.empty()) {
+        out += "\"server\":{";
+        for (std::size_t e = 0; e < extra.size(); ++e) {
+            if (e)
+                out += ',';
+            out += '"';
+            out += extra[e].first;
+            out += "\":" + jsonU64(extra[e].second);
+        }
+        out += "},\n";
+    }
 
     out += "\"legs\":[";
     for (std::size_t i = 0; i < legs.size(); ++i) {

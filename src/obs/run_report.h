@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -65,6 +66,13 @@ class RunReport
     std::vector<ReportFailure> failures;
     /** Counter totals, indexed by Counter. */
     std::array<std::uint64_t, kCounterCount> counters{};
+    /**
+     * Extra named totals with no Counter slot (the server's
+     * per-request-type tallies, queue high-water, TraceStore resident
+     * bytes). Emitted as a "server" JSON object, in insertion order,
+     * when non-empty; sweeps leave it empty.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> extra;
 
     /**
      * Assemble a report: legs are copied from @p collector in slot

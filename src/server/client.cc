@@ -1,0 +1,109 @@
+#include "server/client.h"
+
+#include "server/net.h"
+
+namespace dynex
+{
+namespace server
+{
+
+Client::~Client() { close(); }
+
+Status Client::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    Result<int> sock = connectTcp(host, port);
+    if (!sock.ok())
+        return sock.status().withContext("dynex client");
+    fd = sock.value();
+    return Status();
+}
+
+void Client::close()
+{
+    closeSocket(fd);
+    fd = -1;
+}
+
+Result<std::string> Client::call(MsgType type, std::string_view payload,
+                                 MsgType expected)
+{
+    if (fd < 0)
+        return Status::ioError("not connected");
+    Status status = writeFrame(fd, type, payload);
+    if (!status.ok())
+        return status;
+
+    bool cleanEof = false;
+    Result<Frame> frame = readFrame(fd, cleanEof);
+    if (!frame.ok())
+        return frame.status();
+    if (cleanEof)
+        return Status::ioError("server closed the connection");
+
+    const Frame &response = frame.value();
+    if (response.type == MsgType::BusyResponse)
+        return Status::resourceLimit("server busy; retry later");
+    if (response.type == MsgType::ErrorResponse)
+    {
+        Result<ErrorInfo> error = parseErrorResponse(response.payload);
+        if (!error.ok())
+            return error.status().withContext("undecodable error frame");
+        return statusFromWire(error.value());
+    }
+    if (response.type != expected)
+        return Status::corruptInput(
+            std::string("expected ") + msgTypeName(expected) +
+            " response, got " + msgTypeName(response.type));
+    return response.payload;
+}
+
+Result<PingInfo> Client::ping()
+{
+    Result<std::string> payload =
+        call(MsgType::PingRequest, {}, MsgType::PingResponse);
+    if (!payload.ok())
+        return payload.status();
+    return parsePingResponse(payload.value());
+}
+
+Result<std::vector<TraceListEntry>> Client::list()
+{
+    Result<std::string> payload =
+        call(MsgType::ListRequest, {}, MsgType::ListResponse);
+    if (!payload.ok())
+        return payload.status();
+    return parseListResponse(payload.value());
+}
+
+Result<ReplayResult> Client::replay(const ReplayRequest &request)
+{
+    Result<std::string> payload =
+        call(MsgType::ReplayRequest, encodeReplayRequest(request),
+             MsgType::ReplayResponse);
+    if (!payload.ok())
+        return payload.status();
+    return parseReplayResponse(payload.value());
+}
+
+Result<SweepResult> Client::sweep(const SweepRequest &request)
+{
+    Result<std::string> payload =
+        call(MsgType::SweepRequest, encodeSweepRequest(request),
+             MsgType::SweepResponse);
+    if (!payload.ok())
+        return payload.status();
+    return parseSweepResponse(payload.value());
+}
+
+Result<StatsResult> Client::stats()
+{
+    Result<std::string> payload =
+        call(MsgType::StatsRequest, {}, MsgType::StatsResponse);
+    if (!payload.ok())
+        return payload.status();
+    return parseStatsResponse(payload.value());
+}
+
+} // namespace server
+} // namespace dynex

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DXP1 client: a small blocking connection to a dynex simulation
+ * server. One Client wraps one TCP connection; calls are synchronous
+ * request/response pairs. An ERROR frame from the server comes back
+ * as the Status it carries; a BUSY frame comes back as ResourceLimit
+ * ("server busy") so callers can retry with backoff.
+ */
+
+#ifndef DYNEX_SERVER_CLIENT_H
+#define DYNEX_SERVER_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace dynex
+{
+namespace server
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    Client(Client &&other) noexcept : fd(other.fd) { other.fd = -1; }
+    Client &operator=(Client &&other) noexcept
+    {
+        if (this != &other)
+        {
+            close();
+            fd = other.fd;
+            other.fd = -1;
+        }
+        return *this;
+    }
+
+    /** Connect to a server (loopback dotted-quad host). */
+    Status connect(const std::string &host, std::uint16_t port);
+
+    bool connected() const { return fd >= 0; }
+    void close();
+
+    Result<PingInfo> ping();
+    Result<std::vector<TraceListEntry>> list();
+    Result<ReplayResult> replay(const ReplayRequest &request);
+    Result<SweepResult> sweep(const SweepRequest &request);
+    Result<StatsResult> stats();
+
+  private:
+    /** Send @p payload as @p type, read one frame back, and unwrap
+     * ERROR / BUSY; the result is the raw payload of @p expected. */
+    Result<std::string> call(MsgType type, std::string_view payload,
+                             MsgType expected);
+
+    int fd = -1;
+};
+
+} // namespace server
+} // namespace dynex
+
+#endif // DYNEX_SERVER_CLIENT_H

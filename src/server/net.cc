@@ -1,0 +1,211 @@
+#include "server/net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace dynex
+{
+namespace server
+{
+
+namespace
+{
+
+Status errnoStatus(const char *what)
+{
+    return Status::ioError(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+} // namespace
+
+void closeSocket(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Result<int> listenTcp(std::uint16_t port, std::uint16_t &bound_port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoStatus("socket");
+
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0)
+    {
+        const Status status = errnoStatus("bind");
+        closeSocket(fd);
+        return status;
+    }
+    if (::listen(fd, 64) < 0)
+    {
+        const Status status = errnoStatus("listen");
+        closeSocket(fd);
+        return status;
+    }
+
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&actual), &len) < 0)
+    {
+        const Status status = errnoStatus("getsockname");
+        closeSocket(fd);
+        return status;
+    }
+    bound_port = ntohs(actual.sin_port);
+    return fd;
+}
+
+Result<int> connectTcp(const std::string &host, std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        return Status::ioError("bad host address '" + host + "'");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoStatus("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0)
+    {
+        const Status status = errnoStatus("connect");
+        closeSocket(fd);
+        return status;
+    }
+    return fd;
+}
+
+Status setRecvTimeoutMs(int fd, std::uint32_t ms)
+{
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<long>(ms % 1000) * 1000;
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0)
+        return errnoStatus("setsockopt(SO_RCVTIMEO)");
+    return Status();
+}
+
+Status writeAll(int fd, const void *data, std::size_t len)
+{
+    const char *at = static_cast<const char *>(data);
+    while (len > 0)
+    {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not SIGPIPE.
+        const ssize_t wrote = ::send(fd, at, len, MSG_NOSIGNAL);
+        if (wrote < 0)
+        {
+            if (errno == EINTR)
+                continue;
+            return errnoStatus("send");
+        }
+        at += wrote;
+        len -= static_cast<std::size_t>(wrote);
+    }
+    return Status();
+}
+
+Status readExact(int fd, void *into, std::size_t len, bool &clean_eof,
+                 const std::atomic<bool> *stop)
+{
+    clean_eof = false;
+    char *at = static_cast<char *>(into);
+    std::size_t got = 0;
+    while (got < len)
+    {
+        const ssize_t n = ::recv(fd, at + got, len - got, 0);
+        if (n == 0)
+        {
+            if (got == 0)
+            {
+                clean_eof = true;
+                return Status();
+            }
+            return Status::corruptInput("truncated frame: peer closed "
+                                        "mid-message");
+        }
+        if (n < 0)
+        {
+            if (errno == EINTR)
+                continue;
+            if ((errno == EAGAIN || errno == EWOULDBLOCK))
+            {
+                if (stop && stop->load(std::memory_order_relaxed))
+                    return Status::ioError("shutting down");
+                continue; // periodic SO_RCVTIMEO wakeup
+            }
+            return errnoStatus("recv");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return Status();
+}
+
+Status writeFrame(int fd, MsgType type, std::string_view payload)
+{
+    const std::string frame = encodeFrame(type, payload);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+Result<Frame> readFrame(int fd, bool &clean_eof,
+                        const std::atomic<bool> *stop)
+{
+    char headerBytes[kFrameHeaderBytes];
+    Status status =
+        readExact(fd, headerBytes, sizeof(headerBytes), clean_eof, stop);
+    if (!status.ok())
+        return status;
+    if (clean_eof)
+        return Frame{};
+
+    Result<FrameHeader> header = decodeFrameHeader(headerBytes);
+    if (!header.ok())
+        return header.status();
+
+    std::string body(header.value().payloadBytes + kFrameTrailerBytes,
+                     '\0');
+    bool midEof = false;
+    status = readExact(fd, body.data(), body.size(), midEof, stop);
+    if (!status.ok())
+        return status;
+    if (midEof)
+        return Status::corruptInput("truncated frame: missing payload");
+
+    // The trailer travels little-endian; decode it the same way the
+    // in-memory decoder does.
+    const unsigned char *raw = reinterpret_cast<const unsigned char *>(
+        body.data() + header.value().payloadBytes);
+    const std::uint32_t trailer =
+        static_cast<std::uint32_t>(raw[0]) |
+              (static_cast<std::uint32_t>(raw[1]) << 8) |
+              (static_cast<std::uint32_t>(raw[2]) << 16) |
+              (static_cast<std::uint32_t>(raw[3]) << 24);
+    body.resize(header.value().payloadBytes);
+
+    status = verifyFramePayload(body, trailer);
+    if (!status.ok())
+        return status;
+
+    Frame frame;
+    frame.type = header.value().type;
+    frame.payload = std::move(body);
+    return frame;
+}
+
+} // namespace server
+} // namespace dynex

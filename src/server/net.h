@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal POSIX TCP plumbing shared by the dynex server and client:
+ * connect/listen helpers and blocking whole-frame I/O over a socket.
+ * Everything returns Status/Result; errno text is folded into IoError
+ * messages. No third-party dependencies — plain sockets only.
+ */
+
+#ifndef DYNEX_SERVER_NET_H
+#define DYNEX_SERVER_NET_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace dynex
+{
+namespace server
+{
+
+/** Close @p fd if valid (idempotent; ignores errors). */
+void closeSocket(int fd);
+
+/**
+ * Open a loopback TCP listener on @p port (0 picks an ephemeral
+ * port). @return the listening fd; @p bound_port receives the actual
+ * port.
+ */
+Result<int> listenTcp(std::uint16_t port, std::uint16_t &bound_port);
+
+/** Connect to @p host:@p port. @return a blocking connected fd. */
+Result<int> connectTcp(const std::string &host, std::uint16_t port);
+
+/** Set a receive timeout so blocking reads wake up periodically. */
+Status setRecvTimeoutMs(int fd, std::uint32_t ms);
+
+/** Write all @p len bytes (retrying short writes / EINTR). */
+Status writeAll(int fd, const void *data, std::size_t len);
+
+/**
+ * Read exactly @p len bytes. A clean close before the first byte sets
+ * @p clean_eof and returns Ok with nothing read; a close mid-buffer is
+ * CorruptInput ("truncated frame"). When @p stop is non-null, a
+ * receive timeout checks it and gives up with IoError once it is set.
+ */
+Status readExact(int fd, void *into, std::size_t len, bool &clean_eof,
+                 const std::atomic<bool> *stop = nullptr);
+
+/** Encode and send one frame. */
+Status writeFrame(int fd, MsgType type, std::string_view payload);
+
+/**
+ * Read one complete frame: header (validated before its length is
+ * trusted), payload, CRC trailer. A clean close at a frame boundary
+ * sets @p clean_eof and returns a default frame.
+ */
+Result<Frame> readFrame(int fd, bool &clean_eof,
+                        const std::atomic<bool> *stop = nullptr);
+
+} // namespace server
+} // namespace dynex
+
+#endif // DYNEX_SERVER_NET_H

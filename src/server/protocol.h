@@ -1,0 +1,292 @@
+/**
+ * @file
+ * DXP1: the dynex serving protocol. A small length-prefixed binary
+ * framing (CRC-32-checked, reusing util/crc32) plus the request and
+ * response message bodies the simulation server speaks.
+ *
+ * Frame layout (little-endian):
+ *
+ *   magic        "DXP1"                        4 bytes
+ *   type         u16   message type            2 bytes
+ *   flags        u16   reserved, must be 0     2 bytes
+ *   payload_len  u32   payload byte count      4 bytes
+ *   header_crc   u32   CRC-32 of bytes 0..11   4 bytes
+ *   payload      payload_len bytes
+ *   payload_crc  u32   CRC-32 of the payload   4 bytes
+ *
+ * The header CRC lets a receiver reject a corrupt length *before*
+ * trusting it, and payload_len is additionally capped at
+ * kMaxPayloadBytes, so a hostile frame can never trigger an unbounded
+ * read or allocation. Any violation decodes to a structured Status
+ * (CorruptInput / ResourceLimit), never a crash — the frame decoder
+ * runs under the same corruption-fuzzer contract as the trace readers.
+ *
+ * Message bodies are encoded with WireWriter/WireReader: fixed-width
+ * little-endian integers, IEEE-754 doubles bit-cast to u64 (so
+ * simulation results survive the wire bit-exactly), and u32
+ * length-prefixed strings.
+ */
+
+#ifndef DYNEX_SERVER_PROTOCOL_H
+#define DYNEX_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cache/stats.h"
+#include "util/status.h"
+
+namespace dynex
+{
+namespace server
+{
+
+/** Frame magic: "DXP1". */
+inline constexpr char kFrameMagic[4] = {'D', 'X', 'P', '1'};
+
+/** Fixed byte counts around the payload. */
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kFrameTrailerBytes = 4;
+
+/** Hard cap on a frame payload; larger lengths are ResourceLimit. */
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024 * 1024;
+
+/** Hard cap on any single wire string (names, messages). */
+inline constexpr std::uint32_t kMaxWireStringBytes = 1u * 1024 * 1024;
+
+/** DXP1 message types. Requests have the top bit clear, responses set. */
+enum class MsgType : std::uint16_t
+{
+    PingRequest = 0x0001,   ///< liveness + server version (DXVER)
+    ListRequest = 0x0002,   ///< enumerate served traces
+    ReplayRequest = 0x0003, ///< one (trace, model, geometry) replay
+    SweepRequest = 0x0004,  ///< full paper-size-axis triad sweep
+    StatsRequest = 0x0005,  ///< server + TraceStore counters
+
+    PingResponse = 0x8001,
+    ListResponse = 0x8002,
+    ReplayResponse = 0x8003,
+    SweepResponse = 0x8004,
+    StatsResponse = 0x8005,
+    ErrorResponse = 0x80fe, ///< structured Status for a failed request
+    BusyResponse = 0x80ff,  ///< backpressure: queue full, retry later
+};
+
+/** Stable lowercase name ("ping", "sweep", "error", ...). */
+const char *msgTypeName(MsgType type);
+
+/** @return true when @p type is one of the five request types. */
+bool isRequestType(MsgType type);
+
+/** A decoded frame: its type and its (CRC-verified) payload. */
+struct Frame
+{
+    MsgType type = MsgType::ErrorResponse;
+    std::string payload;
+};
+
+/** The validated fixed-size frame header. */
+struct FrameHeader
+{
+    MsgType type = MsgType::ErrorResponse;
+    std::uint32_t payloadBytes = 0;
+};
+
+/** Serialize one complete frame (header + payload + trailer). */
+std::string encodeFrame(MsgType type, std::string_view payload);
+
+/**
+ * Validate the first kFrameHeaderBytes bytes at @p data: magic, zero
+ * flags, header CRC, known type, payload cap. Socket readers call this
+ * before trusting payloadBytes.
+ */
+Result<FrameHeader> decodeFrameHeader(const void *data);
+
+/** Check the payload CRC carried in @p trailer_crc. */
+Status verifyFramePayload(std::string_view payload,
+                          std::uint32_t trailer_crc);
+
+/**
+ * Decode exactly one frame from @p bytes. Truncated input, trailing
+ * garbage, bad magic, and CRC mismatches all yield CorruptInput; an
+ * over-cap length yields ResourceLimit. This is the entry point the
+ * frame fuzzer hammers.
+ */
+Result<Frame> decodeFrame(std::string_view bytes);
+
+/** Little-endian body serializer. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** Bit-exact: the double's IEEE-754 image as a u64. */
+    void f64(double v);
+    /** u32 length prefix + bytes. */
+    void str(std::string_view v);
+
+    const std::string &bytes() const { return out; }
+    std::string take() { return std::move(out); }
+
+  private:
+    std::string out;
+};
+
+/**
+ * Little-endian body parser over a borrowed buffer. Every read is
+ * bounds-checked: reading past the end yields CorruptInput, a string
+ * length over kMaxWireStringBytes yields ResourceLimit. done() checks
+ * the body was consumed exactly.
+ */
+class WireReader
+{
+  public:
+    explicit WireReader(std::string_view bytes) : data(bytes) {}
+
+    Status u8(std::uint8_t &v);
+    Status u16(std::uint16_t &v);
+    Status u32(std::uint32_t &v);
+    Status u64(std::uint64_t &v);
+    Status f64(double &v);
+    Status str(std::string &v);
+
+    /** Ok iff the whole body has been consumed. */
+    Status done() const;
+
+    std::size_t remaining() const { return data.size() - at; }
+
+  private:
+    Status take(void *into, std::size_t n, const char *what);
+
+    std::string_view data;
+    std::size_t at = 0;
+};
+
+// ---------------------------------------------------------------------
+// Message bodies.
+
+/** PingResponse: the server's identity. */
+struct PingInfo
+{
+    std::string version;   ///< DXVER: versionString() of the server
+    std::uint64_t traces = 0; ///< number of served traces
+};
+
+/** One served trace in a ListResponse. */
+struct TraceListEntry
+{
+    std::string name;          ///< request key for replay/sweep
+    std::uint64_t fileBytes = 0;
+    std::uint8_t resident = 0; ///< 1 when warm in the TraceStore
+};
+
+/** ReplayRequest: one model over one served trace. */
+struct ReplayRequest
+{
+    std::string trace;
+    std::string model = "dm";       ///< factory kind, or "opt"
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 16;
+    std::uint8_t stickyMax = 1;
+    std::uint8_t lastLine = 0;
+    std::uint32_t victimEntries = 0;
+    std::uint32_t deadlineMs = 0;   ///< 0 = no deadline
+};
+
+/** ReplayResponse: the model's stats. */
+struct ReplayResult
+{
+    std::string model; ///< resolved model name
+    std::uint64_t refs = 0;
+    CacheStats stats;
+};
+
+/** SweepRequest: the paper's size axis over one served trace. */
+struct SweepRequest
+{
+    std::string trace;
+    std::uint32_t lineBytes = 4;
+    std::uint8_t engine = 0;      ///< 0 = batched, 1 = per-leg
+    std::uint8_t stickyMax = 1;
+    std::uint32_t deadlineMs = 0; ///< 0 = no deadline
+};
+
+/** One sweep point on the wire; doubles travel bit-exactly. */
+struct SweepPointWire
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint8_t ok = 0;
+    double dmMissPct = 0.0;
+    double deMissPct = 0.0;
+    double optMissPct = 0.0;
+};
+
+/** One failed leg on the wire. */
+struct SweepFailureWire
+{
+    std::string bench;
+    std::uint64_t sizeBytes = 0;
+    std::string model;
+    std::uint8_t code = 0; ///< StatusCode numeric
+    std::string message;
+};
+
+/** SweepResponse: the whole outcome. */
+struct SweepResult
+{
+    std::string trace;      ///< the trace's stored name
+    std::uint64_t refs = 0; ///< references per replay
+    std::vector<SweepPointWire> points;
+    std::vector<SweepFailureWire> failures;
+};
+
+/** StatsResponse: ordered (name, value) counters. */
+struct StatsResult
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/** ErrorResponse: a Status on the wire. */
+struct ErrorInfo
+{
+    std::uint8_t code = 0; ///< StatusCode numeric
+    std::string message;
+};
+
+std::string encodePingResponse(const PingInfo &info);
+Result<PingInfo> parsePingResponse(std::string_view payload);
+
+std::string encodeListResponse(const std::vector<TraceListEntry> &traces);
+Result<std::vector<TraceListEntry>>
+parseListResponse(std::string_view payload);
+
+std::string encodeReplayRequest(const ReplayRequest &request);
+Result<ReplayRequest> parseReplayRequest(std::string_view payload);
+
+std::string encodeReplayResponse(const ReplayResult &result);
+Result<ReplayResult> parseReplayResponse(std::string_view payload);
+
+std::string encodeSweepRequest(const SweepRequest &request);
+Result<SweepRequest> parseSweepRequest(std::string_view payload);
+
+std::string encodeSweepResponse(const SweepResult &result);
+Result<SweepResult> parseSweepResponse(std::string_view payload);
+
+std::string encodeStatsResponse(const StatsResult &stats);
+Result<StatsResult> parseStatsResponse(std::string_view payload);
+
+std::string encodeErrorResponse(const Status &status);
+Result<ErrorInfo> parseErrorResponse(std::string_view payload);
+
+/** Rebuild a Status from a wire error (unknown codes map to Internal). */
+Status statusFromWire(const ErrorInfo &error);
+
+} // namespace server
+} // namespace dynex
+
+#endif // DYNEX_SERVER_PROTOCOL_H

@@ -1,0 +1,567 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "cache/factory.h"
+#include "cache/optimal.h"
+#include "cache/victim.h"
+#include "obs/metrics.h"
+#include "server/net.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
+#include "sim/workloads.h"
+#include "trace/text_io.h"
+#include "trace/trace_io.h"
+#include "tracegen/spec.h"
+#include "util/bitops.h"
+#include "util/string_utils.h"
+#include "util/thread_pool.h"
+#include "util/version.h"
+
+namespace dynex
+{
+namespace server
+{
+
+namespace
+{
+
+/** Poll interval for the listener / worker wakeup checks. */
+constexpr std::uint32_t kWakeupMs = 200;
+
+bool isDinPath(const std::string &path)
+{
+    return path.size() >= 4 &&
+           iequals(path.substr(path.size() - 4), ".din");
+}
+
+bool validModel(const std::string &model)
+{
+    return iequals(model, "dm") || iequals(model, "dynex") ||
+           iequals(model, "2way") || iequals(model, "4way") ||
+           iequals(model, "8way") || iequals(model, "fa") ||
+           iequals(model, "opt");
+}
+
+Status validGeometry(std::uint64_t size_bytes, std::uint32_t line_bytes)
+{
+    if (size_bytes == 0 || !isPowerOfTwo(size_bytes))
+        return Status::corruptInput("cache size must be a power of two");
+    if (line_bytes == 0 || !isPowerOfTwo(line_bytes))
+        return Status::corruptInput("line size must be a power of two");
+    if (line_bytes > size_bytes)
+        return Status::corruptInput("line larger than cache");
+    return Status();
+}
+
+void chargeActive(obs::Counter counter, std::uint64_t delta)
+{
+    if (obs::MetricsCollector *metrics = obs::activeMetrics())
+        metrics->add(counter, delta);
+}
+
+} // namespace
+
+Server::Server(ServerConfig server_config)
+    : config(std::move(server_config)),
+      traceStore(
+          [this](const std::string &name) -> Result<Trace> {
+              const ServedTrace *served = findServed(name);
+              if (!served)
+                  return Status::corruptInput("unknown trace '" + name +
+                                              "'");
+              if (served->path.empty())
+              {
+                  const Count refs = config.refs
+                                         ? config.refs
+                                         : Workloads::defaultRefs();
+                  return Trace(*Workloads::instructions(name, refs));
+              }
+              return isDinPath(served->path)
+                         ? readDinTraceFile(served->path)
+                         : readTraceFile(served->path);
+          },
+          config.storeBudgetBytes)
+{
+    if (config.workers == 0)
+        config.workers = 1;
+    if (config.queueCapacity == 0)
+        config.queueCapacity = 1;
+}
+
+Server::~Server() { stop(); }
+
+const ServedTrace *Server::findServed(const std::string &name) const
+{
+    for (const ServedTrace &served : config.traces)
+        if (served.name == name)
+            return &served;
+    return nullptr;
+}
+
+Status Server::start()
+{
+    Result<int> fd = listenTcp(config.port, boundPort);
+    if (!fd.ok())
+        return fd.status().withContext("dynex server");
+    listenFd = fd.value();
+
+    started = true;
+    listener = std::thread([this] { listenerMain(); });
+    workers.reserve(config.workers);
+    for (unsigned w = 0; w < config.workers; ++w)
+        workers.emplace_back([this] { workerMain(); });
+    return Status();
+}
+
+void Server::stop()
+{
+    if (!started)
+        return;
+    stopping.store(true, std::memory_order_relaxed);
+    queueCv.notify_all();
+    if (listener.joinable())
+        listener.join();
+    for (std::thread &worker : workers)
+        if (worker.joinable())
+            worker.join();
+    workers.clear();
+
+    // Connections still queued were accepted but never served; close
+    // them now that no worker will pick them up.
+    std::lock_guard<std::mutex> lock(queueMutex);
+    for (const int fd : pending)
+        closeSocket(fd);
+    pending.clear();
+
+    closeSocket(listenFd);
+    listenFd = -1;
+    started = false;
+}
+
+void Server::listenerMain()
+{
+    while (!stopping.load(std::memory_order_relaxed))
+    {
+        pollfd waiter{};
+        waiter.fd = listenFd;
+        waiter.events = POLLIN;
+        const int readable = ::poll(&waiter, 1, kWakeupMs);
+        if (readable <= 0)
+            continue;
+
+        const int client = ::accept(listenFd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        // Blocking reads on this socket wake up every kWakeupMs so a
+        // draining worker can notice the stop flag.
+        (void)setRecvTimeoutMs(client, kWakeupMs);
+
+        std::unique_lock<std::mutex> lock(queueMutex);
+        if (pending.size() >= config.queueCapacity)
+        {
+            lock.unlock();
+            // Explicit backpressure: tell the client, don't make it
+            // diagnose a silent close.
+            (void)writeFrame(client, MsgType::BusyResponse, {});
+            closeSocket(client);
+            std::lock_guard<std::mutex> tally(countersMutex);
+            ++tallies.busy;
+            chargeActive(obs::Counter::SrvBusy, 1);
+            continue;
+        }
+        pending.push_back(client);
+        const std::uint64_t depth = pending.size();
+        lock.unlock();
+        queueCv.notify_one();
+
+        std::lock_guard<std::mutex> tally(countersMutex);
+        ++tallies.connections;
+        if (depth > tallies.queueHighWater)
+            tallies.queueHighWater = depth;
+    }
+}
+
+void Server::workerMain()
+{
+    for (;;)
+    {
+        int client = -1;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueCv.wait(lock, [this] {
+                return !pending.empty() ||
+                       stopping.load(std::memory_order_relaxed);
+            });
+            if (pending.empty())
+                return; // stopping and drained
+            client = pending.front();
+            pending.pop_front();
+        }
+        serveConnection(client);
+        closeSocket(client);
+    }
+}
+
+void Server::serveConnection(int fd)
+{
+    while (!stopping.load(std::memory_order_relaxed))
+    {
+        bool cleanEof = false;
+        Result<Frame> frame = readFrame(fd, cleanEof, &stopping);
+        if (cleanEof)
+            return;
+        if (!frame.ok())
+        {
+            // Framing is lost (bad header, bad CRC, truncation):
+            // answer with a structured error, then close — the next
+            // byte boundary is unknowable.
+            const std::string error = errorFrame(frame.status());
+            (void)writeAll(fd, error.data(), error.size());
+            std::lock_guard<std::mutex> tally(countersMutex);
+            tallies.bytesOut += error.size();
+            chargeActive(obs::Counter::SrvBytesOut, error.size());
+            return;
+        }
+
+        const std::uint64_t arrivalNs = obs::monotonicNs();
+        const std::uint64_t frameBytes = kFrameHeaderBytes +
+                                         frame.value().payload.size() +
+                                         kFrameTrailerBytes;
+        {
+            std::lock_guard<std::mutex> tally(countersMutex);
+            tallies.bytesIn += frameBytes;
+            ++tallies.requests;
+        }
+        chargeActive(obs::Counter::SrvBytesIn, frameBytes);
+        chargeActive(obs::Counter::SrvRequests, 1);
+
+        const std::string response =
+            handleRequest(frame.value(), arrivalNs);
+        {
+            std::lock_guard<std::mutex> tally(countersMutex);
+            tallies.bytesOut += response.size();
+        }
+        chargeActive(obs::Counter::SrvBytesOut, response.size());
+        if (!writeAll(fd, response.data(), response.size()).ok())
+            return;
+    }
+}
+
+std::string Server::errorFrame(const Status &status)
+{
+    {
+        std::lock_guard<std::mutex> tally(countersMutex);
+        ++tallies.errors;
+        if (status.code() == StatusCode::ResourceLimit &&
+            status.message().find("deadline") != std::string::npos)
+            ++tallies.deadlineExpirations;
+    }
+    chargeActive(obs::Counter::SrvErrors, 1);
+    return encodeFrame(MsgType::ErrorResponse,
+                       encodeErrorResponse(status));
+}
+
+Status Server::checkDeadline(std::uint64_t arrival_ns,
+                             std::uint32_t deadline_ms)
+{
+    if (deadline_ms == 0)
+        return Status();
+    const std::uint64_t elapsedMs =
+        (obs::monotonicNs() - arrival_ns) / 1000000;
+    if (elapsedMs <= deadline_ms)
+        return Status();
+    return Status::resourceLimit("deadline of " +
+                                 std::to_string(deadline_ms) +
+                                 "ms exceeded");
+}
+
+std::string Server::handleRequest(const Frame &request,
+                                  std::uint64_t arrival_ns)
+{
+    if (!isRequestType(request.type))
+        return errorFrame(Status::corruptInput(
+            std::string("frame type '") + msgTypeName(request.type) +
+            "' is not a request"));
+
+    if (config.testDelayBeforeExecuteMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            config.testDelayBeforeExecuteMs));
+
+    switch (request.type)
+    {
+    case MsgType::PingRequest:
+    {
+        if (!request.payload.empty())
+            return errorFrame(
+                Status::corruptInput("ping carries no payload"));
+        std::lock_guard<std::mutex> tally(countersMutex);
+        ++tallies.pings;
+        break;
+    }
+    case MsgType::ListRequest:
+    {
+        if (!request.payload.empty())
+            return errorFrame(
+                Status::corruptInput("list carries no payload"));
+        std::lock_guard<std::mutex> tally(countersMutex);
+        ++tallies.lists;
+        break;
+    }
+    case MsgType::StatsRequest:
+    {
+        if (!request.payload.empty())
+            return errorFrame(
+                Status::corruptInput("stats carries no payload"));
+        std::lock_guard<std::mutex> tally(countersMutex);
+        ++tallies.stats;
+        break;
+    }
+    default:
+        break;
+    }
+
+    switch (request.type)
+    {
+    case MsgType::PingRequest:
+        return handlePing();
+    case MsgType::ListRequest:
+        return handleList();
+    case MsgType::StatsRequest:
+        return handleStats();
+    case MsgType::ReplayRequest:
+    {
+        Result<ReplayRequest> parsed =
+            parseReplayRequest(request.payload);
+        if (!parsed.ok())
+            return errorFrame(
+                parsed.status().withContext("replay request"));
+        {
+            std::lock_guard<std::mutex> tally(countersMutex);
+            ++tallies.replays;
+        }
+        return handleReplay(parsed.value(), arrival_ns);
+    }
+    case MsgType::SweepRequest:
+    {
+        Result<SweepRequest> parsed = parseSweepRequest(request.payload);
+        if (!parsed.ok())
+            return errorFrame(
+                parsed.status().withContext("sweep request"));
+        {
+            std::lock_guard<std::mutex> tally(countersMutex);
+            ++tallies.sweeps;
+        }
+        return handleSweep(parsed.value(), arrival_ns);
+    }
+    default:
+        return errorFrame(Status::internal("unhandled request type"));
+    }
+}
+
+std::string Server::handlePing()
+{
+    PingInfo info;
+    info.version = versionString();
+    info.traces = config.traces.size();
+    return encodeFrame(MsgType::PingResponse, encodePingResponse(info));
+}
+
+std::string Server::handleList()
+{
+    std::vector<TraceListEntry> entries;
+    entries.reserve(config.traces.size());
+    for (const ServedTrace &served : config.traces)
+    {
+        TraceListEntry entry;
+        entry.name = served.name;
+        entry.fileBytes = served.fileBytes;
+        entry.resident = traceStore.resident(served.name) ? 1 : 0;
+        entries.push_back(std::move(entry));
+    }
+    return encodeFrame(MsgType::ListResponse,
+                       encodeListResponse(entries));
+}
+
+std::string Server::handleStats()
+{
+    return encodeFrame(MsgType::StatsResponse,
+                       encodeStatsResponse(StatsResult{statsRows()}));
+}
+
+std::string Server::handleReplay(const ReplayRequest &request,
+                                 std::uint64_t arrival_ns)
+{
+    if (!validModel(request.model))
+        return errorFrame(Status::corruptInput("unknown model '" +
+                                               request.model + "'"));
+    const Status geometry =
+        validGeometry(request.sizeBytes, request.lineBytes);
+    if (!geometry.ok())
+        return errorFrame(geometry);
+    Status deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    if (!deadline.ok())
+        return errorFrame(deadline);
+
+    const bool wantsOptimal = iequals(request.model, "opt");
+    std::shared_ptr<const Trace> trace;
+    std::shared_ptr<const NextUseIndex> index;
+    if (wantsOptimal)
+    {
+        Result<IndexedTrace> warm =
+            traceStore.indexed(request.trace, request.lineBytes);
+        if (!warm.ok())
+            return errorFrame(warm.status());
+        trace = warm.value().trace;
+        index = warm.value().index;
+    }
+    else
+    {
+        Result<std::shared_ptr<const Trace>> loaded =
+            traceStore.trace(request.trace);
+        if (!loaded.ok())
+            return errorFrame(loaded.status());
+        trace = loaded.value();
+    }
+
+    // The load may have been the slow part; a replay that starts is
+    // never aborted, so this is the last checkpoint.
+    deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    if (!deadline.ok())
+        return errorFrame(deadline);
+
+    const auto geo = CacheGeometry::directMapped(request.sizeBytes,
+                                                 request.lineBytes);
+    std::unique_ptr<CacheModel> cache;
+    if (wantsOptimal)
+    {
+        cache = std::make_unique<OptimalDirectMappedCache>(geo, *index,
+                                                           true);
+    }
+    else if (request.victimEntries > 0 && iequals(request.model, "dm"))
+    {
+        cache =
+            std::make_unique<VictimCache>(geo, request.victimEntries);
+    }
+    else
+    {
+        DynamicExclusionConfig modelConfig;
+        modelConfig.stickyMax = request.stickyMax;
+        modelConfig.useLastLine = request.lastLine != 0;
+        cache = makeCache(request.model, geo, modelConfig);
+    }
+
+    ReplayResult result;
+    result.stats = runTrace(*cache, *trace);
+    result.model = cache->name();
+    result.refs = trace->size();
+    return encodeFrame(MsgType::ReplayResponse,
+                       encodeReplayResponse(result));
+}
+
+std::string Server::handleSweep(const SweepRequest &request,
+                                std::uint64_t arrival_ns)
+{
+    const Status geometry = validGeometry(
+        paperCacheSizes().back(), request.lineBytes);
+    if (!geometry.ok())
+        return errorFrame(geometry);
+    if (request.engine > 1)
+        return errorFrame(
+            Status::corruptInput("unknown replay engine"));
+    Status deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    if (!deadline.ok())
+        return errorFrame(deadline);
+
+    Result<IndexedTrace> warm =
+        traceStore.indexed(request.trace, request.lineBytes);
+    if (!warm.ok())
+        return errorFrame(warm.status());
+
+    deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    if (!deadline.ok())
+        return errorFrame(deadline);
+
+    // Mirror the CLI's sweep configuration exactly: responses must be
+    // byte-identical to a local `dynex sweep` of the same trace.
+    DynamicExclusionConfig sweepConfig;
+    sweepConfig.stickyMax = request.stickyMax;
+    sweepConfig.useLastLine = request.lineBytes > 4;
+    const ReplayEngine engine = request.engine == 0
+                                    ? ReplayEngine::Batched
+                                    : ReplayEngine::PerLeg;
+    const SizeSweepOutcome outcome = sweepSizesChecked(
+        *warm.value().trace, *warm.value().index, paperCacheSizes(),
+        request.lineBytes, sweepConfig, engine);
+
+    SweepResult result;
+    result.trace = warm.value().trace->name();
+    result.refs = warm.value().trace->size();
+    result.points.reserve(outcome.points.size());
+    for (std::size_t s = 0; s < outcome.points.size(); ++s)
+    {
+        SweepPointWire point;
+        point.sizeBytes = outcome.points[s].sizeBytes;
+        point.ok = outcome.ok[s];
+        point.dmMissPct = outcome.points[s].dmMissPct;
+        point.deMissPct = outcome.points[s].deMissPct;
+        point.optMissPct = outcome.points[s].optMissPct;
+        result.points.push_back(point);
+    }
+    for (const FailedLeg &failure : outcome.failures)
+    {
+        SweepFailureWire wire;
+        wire.bench = failure.bench;
+        wire.sizeBytes = failure.sizeBytes;
+        wire.model = failure.model;
+        wire.code = static_cast<std::uint8_t>(failure.status.code());
+        wire.message = failure.status.message();
+        result.failures.push_back(std::move(wire));
+    }
+    return encodeFrame(MsgType::SweepResponse,
+                       encodeSweepResponse(result));
+}
+
+ServerCounters Server::counters() const
+{
+    std::lock_guard<std::mutex> lock(countersMutex);
+    return tallies;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Server::statsRows() const
+{
+    const ServerCounters server = counters();
+    const TraceStore::Counters store = traceStore.counters();
+    return {
+        {"requests", server.requests},
+        {"errors", server.errors},
+        {"busy", server.busy},
+        {"bytes-in", server.bytesIn},
+        {"bytes-out", server.bytesOut},
+        {"connections", server.connections},
+        {"queue-high-water", server.queueHighWater},
+        {"pings", server.pings},
+        {"lists", server.lists},
+        {"replays", server.replays},
+        {"sweeps", server.sweeps},
+        {"deadline-expirations", server.deadlineExpirations},
+        {"store-trace-hits", store.traceHits},
+        {"store-trace-misses", store.traceMisses},
+        {"store-trace-loads", store.traceLoads},
+        {"store-load-failures", store.loadFailures},
+        {"store-index-hits", store.indexHits},
+        {"store-index-builds", store.indexBuilds},
+        {"store-single-flight-waits", store.singleFlightWaits},
+        {"store-evictions", store.evictions},
+        {"store-resident-bytes", store.residentBytes},
+        {"store-entries", store.entries},
+    };
+}
+
+} // namespace server
+} // namespace dynex

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The dynex simulation server: a concurrent TCP service that answers
+ * DXP1 requests (ping / list / replay / sweep / stats) over a set of
+ * served traces, so one warm process can serve many sweeps without
+ * re-reading or re-indexing anything.
+ *
+ * Architecture:
+ *   - one listener thread accepts connections and pushes them onto a
+ *     bounded queue; when the queue is full the connection is answered
+ *     with a BUSY frame and closed immediately (explicit backpressure,
+ *     never an unbounded backlog);
+ *   - N connection workers pop sockets and answer requests until the
+ *     peer closes. Simulation work inside a request additionally fans
+ *     out on the process-wide ThreadPool, so sweep responses are
+ *     bit-identical to local runs at any worker count;
+ *   - traces and their next-use indices live in a byte-budgeted LRU
+ *     TraceStore shared by all workers (single-flight loading).
+ *
+ * Failure policy: a malformed, truncated, or CRC-corrupt frame is
+ * answered with a structured ERROR frame (then the connection closes,
+ * since framing is lost); a well-framed but invalid request gets an
+ * ERROR frame and the connection stays open. The server process never
+ * crashes on bad input.
+ *
+ * Deadlines: a request carrying deadlineMs > 0 is checked at cheap
+ * checkpoints (after parse, after the trace is loaded); an expired
+ * deadline yields ERROR(ResourceLimit). A replay that already started
+ * is never aborted mid-flight.
+ *
+ * Shutdown: stop() (or the serve tool's SIGINT/SIGTERM handler) stops
+ * accepting, lets each worker finish the request in flight, then
+ * closes every connection and joins.
+ */
+
+#ifndef DYNEX_SERVER_SERVER_H
+#define DYNEX_SERVER_SERVER_H
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/trace_store.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace dynex
+{
+namespace server
+{
+
+/** One trace the server is willing to simulate. */
+struct ServedTrace
+{
+    std::string name; ///< request key (benchmark or file stem)
+    std::string path; ///< empty = synthetic suite benchmark
+    std::uint64_t fileBytes = 0; ///< on-disk size (0 for synthetic)
+};
+
+struct ServerConfig
+{
+    std::uint16_t port = 0; ///< 0 = pick an ephemeral port
+    unsigned workers = 1;   ///< connection worker threads
+    std::size_t queueCapacity = 16; ///< accepted-connection backlog
+    std::uint64_t storeBudgetBytes = 1ull << 30; ///< TraceStore budget
+    Count refs = 0; ///< synthetic refs per benchmark (0 = default)
+    std::vector<ServedTrace> traces;
+    /** Test hook: sleep this long after parsing each request, so a
+     * deadline test can expire a deadline deterministically. */
+    std::uint32_t testDelayBeforeExecuteMs = 0;
+};
+
+/** Aggregated server activity, for STATS responses and run reports. */
+struct ServerCounters
+{
+    std::uint64_t requests = 0; ///< well-framed requests answered
+    std::uint64_t errors = 0;   ///< ERROR frames sent
+    std::uint64_t busy = 0;     ///< BUSY rejections
+    std::uint64_t bytesIn = 0;
+    std::uint64_t bytesOut = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t queueHighWater = 0;
+    std::uint64_t pings = 0;
+    std::uint64_t lists = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t sweeps = 0;
+    std::uint64_t stats = 0;
+    std::uint64_t deadlineExpirations = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start the listener + worker threads. */
+    Status start();
+
+    /** Graceful drain: stop accepting, finish in-flight requests,
+     * close and join. Safe to call twice. */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const { return boundPort; }
+
+    ServerCounters counters() const;
+    const TraceStore &store() const { return traceStore; }
+
+    /** The (name, value) rows a STATS response carries — server
+     * counters first, then TraceStore counters. */
+    std::vector<std::pair<std::string, std::uint64_t>> statsRows() const;
+
+  private:
+    void listenerMain();
+    void workerMain();
+    void serveConnection(int fd);
+
+    /** Handle one well-framed request; @return the response frame
+     * bytes (already encoded). */
+    std::string handleRequest(const Frame &request,
+                              std::uint64_t arrival_ns);
+
+    std::string handlePing();
+    std::string handleList();
+    std::string handleReplay(const ReplayRequest &request,
+                             std::uint64_t arrival_ns);
+    std::string handleSweep(const SweepRequest &request,
+                            std::uint64_t arrival_ns);
+    std::string handleStats();
+
+    /** Ok, or ResourceLimit once @p deadline_ms has passed. */
+    Status checkDeadline(std::uint64_t arrival_ns,
+                         std::uint32_t deadline_ms);
+
+    std::string errorFrame(const Status &status);
+    const ServedTrace *findServed(const std::string &name) const;
+
+    ServerConfig config;
+    TraceStore traceStore;
+    std::uint16_t boundPort = 0;
+    int listenFd = -1;
+
+    std::atomic<bool> stopping{false};
+    bool started = false;
+
+    std::thread listener;
+    std::vector<std::thread> workers;
+
+    mutable std::mutex queueMutex;
+    std::condition_variable queueCv;
+    std::deque<int> pending; ///< accepted fds awaiting a worker
+
+    mutable std::mutex countersMutex;
+    ServerCounters tallies;
+};
+
+} // namespace server
+} // namespace dynex
+
+#endif // DYNEX_SERVER_SERVER_H

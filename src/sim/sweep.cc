@@ -58,19 +58,19 @@ const
     return percentReduction(dmMissPct, optMissPct);
 }
 
-std::vector<SizeSweepPoint>
-sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
-           std::uint32_t line_bytes, const DynamicExclusionConfig &config,
-           ReplayEngine engine)
+namespace
 {
-    std::optional<obs::ScopedSpan> sweep_span;
-    if (obs::Tracer::active())
-        sweep_span.emplace("sweep", "sweep " + trace.name());
 
-    simobs::IndexBuildTimer index_timer;
-    const NextUseIndex index(trace, line_bytes, NextUseMode::RunStart);
-    index_timer.finish(trace.name());
-
+/** The shared sweep body; the caller owns the sweep span. */
+std::vector<SizeSweepPoint>
+sweepSizesImpl(const Trace &trace, const NextUseIndex &index,
+               const std::vector<std::uint64_t> &sizes,
+               std::uint32_t line_bytes,
+               const DynamicExclusionConfig &config, ReplayEngine engine)
+{
+    DYNEX_ASSERT(index.blockSize() == line_bytes &&
+                     index.mode() == NextUseMode::RunStart,
+                 "sweepSizes needs a RunStart index at line granularity");
     std::vector<SizeSweepPoint> points(sizes.size());
     if (engine == ReplayEngine::Batched) {
         const auto triads =
@@ -89,39 +89,58 @@ sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
     return points;
 }
 
-SizeSweepOutcome
-sweepSizesChecked(const Trace &trace,
-                  const std::vector<std::uint64_t> &sizes,
-                  std::uint32_t line_bytes,
-                  const DynamicExclusionConfig &config,
-                  ReplayEngine engine)
+} // namespace
+
+std::vector<SizeSweepPoint>
+sweepSizes(const Trace &trace, const std::vector<std::uint64_t> &sizes,
+           std::uint32_t line_bytes, const DynamicExclusionConfig &config,
+           ReplayEngine engine)
 {
     std::optional<obs::ScopedSpan> sweep_span;
     if (obs::Tracer::active())
         sweep_span.emplace("sweep", "sweep " + trace.name());
 
+    simobs::IndexBuildTimer index_timer;
+    const NextUseIndex index(trace, line_bytes, NextUseMode::RunStart);
+    index_timer.finish(trace.name());
+    return sweepSizesImpl(trace, index, sizes, line_bytes, config,
+                          engine);
+}
+
+std::vector<SizeSweepPoint>
+sweepSizes(const Trace &trace, const NextUseIndex &index,
+           const std::vector<std::uint64_t> &sizes,
+           std::uint32_t line_bytes, const DynamicExclusionConfig &config,
+           ReplayEngine engine)
+{
+    std::optional<obs::ScopedSpan> sweep_span;
+    if (obs::Tracer::active())
+        sweep_span.emplace("sweep", "sweep " + trace.name());
+    return sweepSizesImpl(trace, index, sizes, line_bytes, config,
+                          engine);
+}
+
+namespace
+{
+
+/** The shared checked-sweep body; the caller owns the sweep span and
+ * has already built (or fetched) the index. */
+SizeSweepOutcome
+sweepSizesCheckedImpl(const Trace &trace, const NextUseIndex &index,
+                      const std::vector<std::uint64_t> &sizes,
+                      std::uint32_t line_bytes,
+                      const DynamicExclusionConfig &config,
+                      ReplayEngine engine)
+{
+    DYNEX_ASSERT(index.blockSize() == line_bytes &&
+                     index.mode() == NextUseMode::RunStart,
+                 "sweepSizesChecked needs a RunStart index at line "
+                 "granularity");
     SizeSweepOutcome outcome;
     outcome.points.resize(sizes.size());
     outcome.ok.assign(sizes.size(), 0);
     for (std::size_t s = 0; s < sizes.size(); ++s)
         outcome.points[s].sizeBytes = sizes[s];
-
-    std::unique_ptr<NextUseIndex> index;
-    try {
-        simobs::IndexBuildTimer index_timer;
-        index = std::make_unique<NextUseIndex>(trace, line_bytes,
-                                               NextUseMode::RunStart);
-        index_timer.finish(trace.name());
-    } catch (...) {
-        // Without the shared next-use oracle no leg can run.
-        const Status status =
-            statusFromException(std::current_exception())
-                .withContext("next-use index");
-        for (const std::uint64_t size : sizes)
-            outcome.failures.push_back(
-                {trace.name(), size, "triad", status});
-        return outcome;
-    }
 
     auto fillPoint = [&](std::size_t s, const TriadResult &triad) {
         outcome.points[s] = {sizes[s], triad.dmMissPct(),
@@ -130,7 +149,7 @@ sweepSizesChecked(const Trace &trace,
     };
 
     if (engine == ReplayEngine::Batched) {
-        auto batch = replayTriadBatchChecked(trace, *index, sizes,
+        auto batch = replayTriadBatchChecked(trace, index, sizes,
                                              line_bytes, config);
         for (std::size_t s = 0; s < sizes.size(); ++s)
             if (batch.ok[s])
@@ -148,7 +167,7 @@ sweepSizesChecked(const Trace &trace,
         try {
             if (const auto &hook = sweepFaultHook())
                 hook(trace.name(), sizes[s]);
-            fillPoint(s, simobs::runTriadLeg(trace, *index,
+            fillPoint(s, simobs::runTriadLeg(trace, index,
                                              trace.name(), sizes[s],
                                              line_bytes, config));
         } catch (...) {
@@ -161,6 +180,58 @@ sweepSizesChecked(const Trace &trace,
             outcome.failures.push_back(
                 {trace.name(), sizes[s], "triad", leg_status[s]});
     return outcome;
+}
+
+} // namespace
+
+SizeSweepOutcome
+sweepSizesChecked(const Trace &trace,
+                  const std::vector<std::uint64_t> &sizes,
+                  std::uint32_t line_bytes,
+                  const DynamicExclusionConfig &config,
+                  ReplayEngine engine)
+{
+    std::optional<obs::ScopedSpan> sweep_span;
+    if (obs::Tracer::active())
+        sweep_span.emplace("sweep", "sweep " + trace.name());
+
+    std::unique_ptr<NextUseIndex> index;
+    try {
+        simobs::IndexBuildTimer index_timer;
+        index = std::make_unique<NextUseIndex>(trace, line_bytes,
+                                               NextUseMode::RunStart);
+        index_timer.finish(trace.name());
+    } catch (...) {
+        // Without the shared next-use oracle no leg can run.
+        const Status status =
+            statusFromException(std::current_exception())
+                .withContext("next-use index");
+        SizeSweepOutcome outcome;
+        outcome.points.resize(sizes.size());
+        outcome.ok.assign(sizes.size(), 0);
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            outcome.points[s].sizeBytes = sizes[s];
+            outcome.failures.push_back(
+                {trace.name(), sizes[s], "triad", status});
+        }
+        return outcome;
+    }
+    return sweepSizesCheckedImpl(trace, *index, sizes, line_bytes,
+                                 config, engine);
+}
+
+SizeSweepOutcome
+sweepSizesChecked(const Trace &trace, const NextUseIndex &index,
+                  const std::vector<std::uint64_t> &sizes,
+                  std::uint32_t line_bytes,
+                  const DynamicExclusionConfig &config,
+                  ReplayEngine engine)
+{
+    std::optional<obs::ScopedSpan> sweep_span;
+    if (obs::Tracer::active())
+        sweep_span.emplace("sweep", "sweep " + trace.name());
+    return sweepSizesCheckedImpl(trace, index, sizes, line_bytes,
+                                 config, engine);
 }
 
 std::vector<SizeSweepPoint>

@@ -50,6 +50,19 @@ std::vector<SizeSweepPoint> sweepSizes(
     ReplayEngine engine = ReplayEngine::Batched);
 
 /**
+ * sweepSizes with a caller-supplied next-use oracle: @p index must be
+ * a RunStart index over @p trace at @p line_bytes granularity. The
+ * serving subsystem passes the TraceStore's cached index here so a
+ * warm request skips the build entirely; results are bit-identical to
+ * the index-building overload.
+ */
+std::vector<SizeSweepPoint> sweepSizes(
+    const Trace &trace, const NextUseIndex &index,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &config = {},
+    ReplayEngine engine = ReplayEngine::Batched);
+
+/**
  * A fault-tolerant size sweep's result: every requested size has a
  * point (with its sizeBytes filled in), but points[s] carries real
  * miss rates only when ok[s]; the statuses of failed legs are listed
@@ -73,6 +86,14 @@ struct SizeSweepOutcome
 SizeSweepOutcome sweepSizesChecked(
     const Trace &trace, const std::vector<std::uint64_t> &sizes,
     std::uint32_t line_bytes, const DynamicExclusionConfig &config = {},
+    ReplayEngine engine = ReplayEngine::Batched);
+
+/** sweepSizesChecked with a caller-supplied RunStart index at
+ * @p line_bytes granularity (see the sweepSizes overload). */
+SizeSweepOutcome sweepSizesChecked(
+    const Trace &trace, const NextUseIndex &index,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &config = {},
     ReplayEngine engine = ReplayEngine::Batched);
 
 /**

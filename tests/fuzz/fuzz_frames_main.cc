@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Standalone corruption fuzzer over the DXP1 frame decoder.
+ *
+ *     dynex_fuzz_frames [seed] [iterations]
+ *
+ * Mirrors dynex_fuzz_corruption: the same deterministic mutation
+ * engine, aimed at the server's wire protocol instead of the trace
+ * readers. Exits nonzero when any mutation crashes the process or
+ * produces an Internal error. Registered in ctest as
+ * `fuzz_frames_smoke` with a fixed seed; useful standalone under the
+ * sanitizer preset for longer campaigns.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "../robustness/frame_fuzzer.h"
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1992;
+    std::uint64_t iterations = 20000;
+    if (argc > 1)
+        seed = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        iterations = std::strtoull(argv[2], nullptr, 10);
+
+    const auto report = dynex::test::runFrameFuzzer(seed, iterations);
+    std::cout << "frame fuzzer: seed " << seed << ", "
+              << report.iterations << " iterations, "
+              << report.cleanSuccesses << " clean, "
+              << report.structuredErrors << " structured errors, "
+              << report.violations.size() << " violations\n";
+    for (const auto &violation : report.violations)
+        std::cerr << "VIOLATION: " << violation << "\n";
+    return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * DXP1 protocol tests: frame round-trips for every message type
+ * (doubles bit-exact), rejection of every framing violation (bad
+ * magic, nonzero flags, corrupt header CRC, corrupt payload CRC,
+ * truncation, trailing garbage, over-cap payload lengths), wire-body
+ * bounds checks, and a short deterministic run of the frame fuzzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/crc32.h"
+
+#include "../robustness/frame_fuzzer.h"
+
+namespace dynex::server
+{
+namespace
+{
+
+Frame
+mustDecode(const std::string &bytes)
+{
+    Result<Frame> frame = decodeFrame(bytes);
+    EXPECT_TRUE(frame.ok()) << frame.status().toString();
+    return frame.ok() ? std::move(frame.value()) : Frame{};
+}
+
+TEST(Dxp1Frame, EmptyPayloadRoundTrips)
+{
+    const std::string wire = encodeFrame(MsgType::PingRequest, {});
+    EXPECT_EQ(wire.size(), kFrameHeaderBytes + kFrameTrailerBytes);
+    const Frame frame = mustDecode(wire);
+    EXPECT_EQ(frame.type, MsgType::PingRequest);
+    EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Dxp1Frame, PayloadRoundTripsIncludingNulBytes)
+{
+    std::string payload = "abc";
+    payload.push_back('\0');
+    payload += "def";
+    const Frame frame =
+        mustDecode(encodeFrame(MsgType::SweepRequest, payload));
+    EXPECT_EQ(frame.type, MsgType::SweepRequest);
+    EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Dxp1Frame, RejectsBadMagic)
+{
+    std::string wire = encodeFrame(MsgType::PingRequest, {});
+    wire[0] = 'X';
+    const auto decoded = decodeFrame(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Frame, RejectsHeaderCorruption)
+{
+    // Flip one bit in the length field: the header CRC must catch it
+    // before the bogus length is trusted.
+    std::string wire = encodeFrame(MsgType::ListRequest, "payload");
+    wire[8] = static_cast<char>(wire[8] ^ 0x40);
+    const auto decoded = decodeFrame(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Frame, RejectsPayloadCorruption)
+{
+    std::string wire = encodeFrame(MsgType::ListRequest, "payload");
+    wire[kFrameHeaderBytes + 2] =
+        static_cast<char>(wire[kFrameHeaderBytes + 2] ^ 0x01);
+    const auto decoded = decodeFrame(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Frame, RejectsEveryTruncationLength)
+{
+    const std::string wire =
+        encodeFrame(MsgType::ReplayRequest, "0123456789");
+    for (std::size_t keep = 0; keep < wire.size(); ++keep)
+    {
+        const auto decoded = decodeFrame(wire.substr(0, keep));
+        ASSERT_FALSE(decoded.ok()) << "kept " << keep << " bytes";
+        EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+    }
+}
+
+TEST(Dxp1Frame, RejectsTrailingGarbage)
+{
+    std::string wire = encodeFrame(MsgType::PingRequest, {});
+    wire += "extra";
+    const auto decoded = decodeFrame(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Frame, RejectsOverCapLengthWithValidCrcAsResourceLimit)
+{
+    // Forge a header whose CRC is *valid* but whose length is over the
+    // cap: the decoder must report ResourceLimit without attempting the
+    // 4GB read.
+    std::string header(kFrameHeaderBytes, '\0');
+    std::memcpy(header.data(), kFrameMagic, 4);
+    const std::uint16_t type =
+        static_cast<std::uint16_t>(MsgType::SweepRequest);
+    std::memcpy(header.data() + 4, &type, 2);
+    const std::uint32_t hugeLen = kMaxPayloadBytes + 1;
+    std::memcpy(header.data() + 8, &hugeLen, 4);
+    const std::uint32_t crc = crc32Final(
+        crc32Update(crc32Init(), header.data(), 12));
+    std::memcpy(header.data() + 12, &crc, 4);
+
+    const auto decoded = decodeFrameHeader(header.data());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::ResourceLimit);
+}
+
+TEST(Dxp1Frame, RejectsUnknownMessageType)
+{
+    std::string header(kFrameHeaderBytes, '\0');
+    std::memcpy(header.data(), kFrameMagic, 4);
+    const std::uint16_t type = 0x7777;
+    std::memcpy(header.data() + 4, &type, 2);
+    const std::uint32_t crc = crc32Final(
+        crc32Update(crc32Init(), header.data(), 12));
+    std::memcpy(header.data() + 12, &crc, 4);
+
+    const auto decoded = decodeFrameHeader(header.data());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Wire, StringOverCapIsResourceLimit)
+{
+    WireWriter writer;
+    writer.u32(kMaxWireStringBytes + 1);
+    writer.u64(0);
+    WireReader reader(writer.bytes());
+    std::string out;
+    const Status status = reader.str(out);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::ResourceLimit);
+}
+
+TEST(Dxp1Wire, ReadPastEndIsCorruptInput)
+{
+    WireWriter writer;
+    writer.u16(7);
+    WireReader reader(writer.bytes());
+    std::uint64_t wide = 0;
+    const Status status = reader.u64(wide);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Bodies, PingRoundTrips)
+{
+    PingInfo info;
+    info.version = "9.9.9-test";
+    info.traces = 17;
+    const auto parsed = parsePingResponse(encodePingResponse(info));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().version, info.version);
+    EXPECT_EQ(parsed.value().traces, info.traces);
+}
+
+TEST(Dxp1Bodies, ListRoundTrips)
+{
+    std::vector<TraceListEntry> listing;
+    listing.push_back({"espresso", 0, 1});
+    listing.push_back({"trace.dxt", 987654321, 0});
+    const auto parsed = parseListResponse(encodeListResponse(listing));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    ASSERT_EQ(parsed.value().size(), listing.size());
+    for (std::size_t i = 0; i < listing.size(); ++i)
+    {
+        EXPECT_EQ(parsed.value()[i].name, listing[i].name);
+        EXPECT_EQ(parsed.value()[i].fileBytes, listing[i].fileBytes);
+        EXPECT_EQ(parsed.value()[i].resident, listing[i].resident);
+    }
+}
+
+TEST(Dxp1Bodies, ReplayRequestRoundTrips)
+{
+    ReplayRequest request;
+    request.trace = "gcc";
+    request.model = "opt";
+    request.sizeBytes = 1ull << 20;
+    request.lineBytes = 64;
+    request.stickyMax = 3;
+    request.lastLine = 1;
+    request.victimEntries = 8;
+    request.deadlineMs = 1500;
+    const auto parsed =
+        parseReplayRequest(encodeReplayRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().trace, request.trace);
+    EXPECT_EQ(parsed.value().model, request.model);
+    EXPECT_EQ(parsed.value().sizeBytes, request.sizeBytes);
+    EXPECT_EQ(parsed.value().lineBytes, request.lineBytes);
+    EXPECT_EQ(parsed.value().stickyMax, request.stickyMax);
+    EXPECT_EQ(parsed.value().lastLine, request.lastLine);
+    EXPECT_EQ(parsed.value().victimEntries, request.victimEntries);
+    EXPECT_EQ(parsed.value().deadlineMs, request.deadlineMs);
+}
+
+TEST(Dxp1Bodies, ReplayResponseRoundTrips)
+{
+    ReplayResult result;
+    result.model = "dynex";
+    result.refs = 1000000;
+    result.stats.accesses = 1000000;
+    result.stats.hits = 800000;
+    result.stats.misses = 200000;
+    result.stats.coldMisses = 1024;
+    result.stats.fills = 150000;
+    result.stats.bypasses = 50000;
+    result.stats.evictions = 140000;
+    const auto parsed =
+        parseReplayResponse(encodeReplayResponse(result));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().model, result.model);
+    EXPECT_EQ(parsed.value().refs, result.refs);
+    EXPECT_EQ(parsed.value().stats.accesses, result.stats.accesses);
+    EXPECT_EQ(parsed.value().stats.hits, result.stats.hits);
+    EXPECT_EQ(parsed.value().stats.misses, result.stats.misses);
+    EXPECT_EQ(parsed.value().stats.coldMisses, result.stats.coldMisses);
+    EXPECT_EQ(parsed.value().stats.fills, result.stats.fills);
+    EXPECT_EQ(parsed.value().stats.bypasses, result.stats.bypasses);
+    EXPECT_EQ(parsed.value().stats.evictions, result.stats.evictions);
+}
+
+TEST(Dxp1Bodies, SweepResponseDoublesAreBitExact)
+{
+    SweepResult result;
+    result.trace = "tomcatv";
+    result.refs = 3'000'000;
+    // Values chosen to have non-terminating binary expansions: a
+    // text-formatting round-trip would lose bits, the wire must not.
+    result.points.push_back(
+        {2048, 1, 100.0 / 3.0, 10.0 / 7.0, 1.0 / 9.0});
+    result.points.push_back({1u << 20, 0, 0.0, -0.0, 5e-324});
+    result.failures.push_back({"tomcatv", 4096, "dm", 4, "injected"});
+
+    const auto parsed =
+        parseSweepResponse(encodeSweepResponse(result));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    ASSERT_EQ(parsed.value().points.size(), result.points.size());
+    for (std::size_t i = 0; i < result.points.size(); ++i)
+    {
+        const auto &sent = result.points[i];
+        const auto &got = parsed.value().points[i];
+        EXPECT_EQ(got.sizeBytes, sent.sizeBytes);
+        EXPECT_EQ(got.ok, sent.ok);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got.dmMissPct),
+                  std::bit_cast<std::uint64_t>(sent.dmMissPct));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got.deMissPct),
+                  std::bit_cast<std::uint64_t>(sent.deMissPct));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got.optMissPct),
+                  std::bit_cast<std::uint64_t>(sent.optMissPct));
+    }
+    ASSERT_EQ(parsed.value().failures.size(), 1u);
+    EXPECT_EQ(parsed.value().failures[0].bench, "tomcatv");
+    EXPECT_EQ(parsed.value().failures[0].sizeBytes, 4096u);
+    EXPECT_EQ(parsed.value().failures[0].model, "dm");
+    EXPECT_EQ(parsed.value().failures[0].code, 4);
+    EXPECT_EQ(parsed.value().failures[0].message, "injected");
+}
+
+TEST(Dxp1Bodies, StatsRoundTrips)
+{
+    StatsResult stats;
+    stats.counters.push_back({"requests", 12});
+    stats.counters.push_back({"store-resident-bytes", 1ull << 33});
+    const auto parsed = parseStatsResponse(encodeStatsResponse(stats));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    ASSERT_EQ(parsed.value().counters.size(), 2u);
+    EXPECT_EQ(parsed.value().counters[0].first, "requests");
+    EXPECT_EQ(parsed.value().counters[0].second, 12u);
+    EXPECT_EQ(parsed.value().counters[1].second, 1ull << 33);
+}
+
+TEST(Dxp1Bodies, ErrorRoundTripsThroughStatusFromWire)
+{
+    const Status sent = Status::resourceLimit("deadline expired");
+    const auto parsed =
+        parseErrorResponse(encodeErrorResponse(sent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const Status rebuilt = statusFromWire(parsed.value());
+    EXPECT_EQ(rebuilt.code(), StatusCode::ResourceLimit);
+    EXPECT_NE(rebuilt.toString().find("deadline expired"),
+              std::string::npos);
+}
+
+TEST(Dxp1Bodies, UnknownWireCodeMapsToInternal)
+{
+    ErrorInfo error;
+    error.code = 200;
+    error.message = "from the future";
+    EXPECT_EQ(statusFromWire(error).code(), StatusCode::Internal);
+}
+
+TEST(Dxp1Fuzz, ShortDeterministicCampaignFindsNoViolations)
+{
+    const auto report = dynex::test::runFrameFuzzer(1992, 2000);
+    EXPECT_EQ(report.iterations, 2000u);
+    EXPECT_TRUE(report.ok()) << report.violations.front();
+    // The corpus mutants must actually exercise the error paths.
+    EXPECT_GT(report.structuredErrors, 0u);
+}
+
+} // namespace
+} // namespace dynex::server

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * End-to-end server tests: an in-process Server plus Client pairs
+ * exercising the whole DXP1 surface — ping/list/replay/sweep/stats —
+ * with the acceptance contracts attached: sweep responses bit-identical
+ * to local sweepSizesChecked at any worker count and either engine, a
+ * warm TraceStore serving the second sweep with zero new loads or
+ * index builds, explicit BUSY backpressure on a full queue, deadline
+ * expiry as a structured ResourceLimit, hostile frames answered with
+ * ERROR frames (never a crash), and a graceful drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "cache/factory.h"
+#include "server/client.h"
+#include "server/net.h"
+#include "server/server.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
+#include "sim/workloads.h"
+#include "trace/next_use.h"
+#include "util/thread_pool.h"
+#include "util/version.h"
+
+namespace dynex::server
+{
+namespace
+{
+
+constexpr const char *kHost = "127.0.0.1";
+constexpr Count kRefs = 20000;
+
+/** Restores the automatic thread configuration when a test exits. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { ThreadPool::setConfiguredWorkers(0); }
+};
+
+ServerConfig
+benchServer(const std::string &bench, unsigned workers = 1)
+{
+    ServerConfig config;
+    config.workers = workers;
+    config.refs = kRefs;
+    config.traces.push_back({bench, "", 0});
+    return config;
+}
+
+Client
+mustConnect(const Server &server)
+{
+    Client client;
+    const Status status = client.connect(kHost, server.port());
+    EXPECT_TRUE(status.ok()) << status.toString();
+    return client;
+}
+
+std::map<std::string, std::uint64_t>
+statsMap(Client &client)
+{
+    auto stats = client.stats();
+    EXPECT_TRUE(stats.ok()) << stats.status().toString();
+    std::map<std::string, std::uint64_t> rows;
+    if (stats.ok())
+        for (const auto &[name, value] : stats.value().counters)
+            rows[name] = value;
+    return rows;
+}
+
+TEST(ServerEndToEnd, PingReportsVersionAndTraceCount)
+{
+    Server server(benchServer("espresso"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    const auto info = client.ping();
+    ASSERT_TRUE(info.ok()) << info.status().toString();
+    EXPECT_EQ(info.value().version, versionString());
+    EXPECT_EQ(info.value().traces, 1u);
+}
+
+TEST(ServerEndToEnd, ListReportsResidencyAfterFirstUse)
+{
+    Server server(benchServer("mat300"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    auto cold = client.list();
+    ASSERT_TRUE(cold.ok()) << cold.status().toString();
+    ASSERT_EQ(cold.value().size(), 1u);
+    EXPECT_EQ(cold.value()[0].name, "mat300");
+    EXPECT_EQ(cold.value()[0].resident, 0);
+
+    ReplayRequest replay;
+    replay.trace = "mat300";
+    replay.model = "dm";
+    ASSERT_TRUE(client.replay(replay).ok());
+
+    auto warm = client.list();
+    ASSERT_TRUE(warm.ok()) << warm.status().toString();
+    EXPECT_EQ(warm.value()[0].resident, 1);
+}
+
+TEST(ServerEndToEnd, ReplayMatchesALocalSimulationExactly)
+{
+    Server server(benchServer("li"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    ReplayRequest request;
+    request.trace = "li";
+    request.model = "dynex";
+    request.sizeBytes = 16 * 1024;
+    request.lineBytes = 16;
+    request.stickyMax = 2;
+    request.lastLine = 1;
+    const auto remote = client.replay(request);
+    ASSERT_TRUE(remote.ok()) << remote.status().toString();
+
+    const Trace local(*Workloads::instructions("li", kRefs));
+    DynamicExclusionConfig config;
+    config.stickyMax = 2;
+    config.useLastLine = true;
+    const auto geo = CacheGeometry::directMapped(request.sizeBytes,
+                                                 request.lineBytes);
+    const auto cache = makeCache("dynex", geo, config);
+    const CacheStats expected = runTrace(*cache, local);
+
+    EXPECT_EQ(remote.value().refs, local.size());
+    EXPECT_EQ(remote.value().model, cache->name());
+    EXPECT_EQ(remote.value().stats.accesses, expected.accesses);
+    EXPECT_EQ(remote.value().stats.hits, expected.hits);
+    EXPECT_EQ(remote.value().stats.misses, expected.misses);
+    EXPECT_EQ(remote.value().stats.coldMisses, expected.coldMisses);
+    EXPECT_EQ(remote.value().stats.fills, expected.fills);
+    EXPECT_EQ(remote.value().stats.bypasses, expected.bypasses);
+    EXPECT_EQ(remote.value().stats.evictions, expected.evictions);
+}
+
+TEST(ServerEndToEnd, SweepsAreBitIdenticalToLocalAtAnyWorkerCount)
+{
+    ThreadCountGuard guard;
+    constexpr std::uint32_t kLine = 16;
+
+    // The local truth, computed serially with the same trace, index
+    // granularity, and sweep configuration the server uses.
+    ThreadPool::setConfiguredWorkers(1);
+    const Trace local(*Workloads::instructions("espresso", kRefs));
+    const NextUseIndex index(local, kLine, NextUseMode::RunStart);
+    DynamicExclusionConfig config;
+    config.useLastLine = kLine > 4;
+
+    for (const std::uint8_t wireEngine : {0, 1})
+    {
+        const ReplayEngine engine = wireEngine == 0
+                                        ? ReplayEngine::Batched
+                                        : ReplayEngine::PerLeg;
+        ThreadPool::setConfiguredWorkers(1);
+        const SizeSweepOutcome expected = sweepSizesChecked(
+            local, index, paperCacheSizes(), kLine, config, engine);
+        ASSERT_TRUE(expected.allOk());
+
+        for (const unsigned workers : {1u, 2u, 8u})
+        {
+            ThreadPool::setConfiguredWorkers(workers);
+            Server server(benchServer("espresso", workers));
+            ASSERT_TRUE(server.start().ok());
+            Client client = mustConnect(server);
+
+            SweepRequest request;
+            request.trace = "espresso";
+            request.lineBytes = kLine;
+            request.engine = wireEngine;
+            const auto remote = client.sweep(request);
+            ASSERT_TRUE(remote.ok()) << remote.status().toString();
+
+            EXPECT_EQ(remote.value().trace, local.name());
+            EXPECT_EQ(remote.value().refs, local.size());
+            EXPECT_TRUE(remote.value().failures.empty());
+            ASSERT_EQ(remote.value().points.size(),
+                      expected.points.size());
+            for (std::size_t s = 0; s < expected.points.size(); ++s)
+            {
+                const auto &got = remote.value().points[s];
+                const auto &want = expected.points[s];
+                EXPECT_EQ(got.sizeBytes, want.sizeBytes);
+                EXPECT_EQ(got.ok, 1);
+                // Bit-identical, not approximately equal: the wire
+                // carries the exact doubles the engine produced.
+                EXPECT_EQ(std::bit_cast<std::uint64_t>(got.dmMissPct),
+                          std::bit_cast<std::uint64_t>(want.dmMissPct))
+                    << "engine " << int(wireEngine) << " workers "
+                    << workers << " size " << want.sizeBytes;
+                EXPECT_EQ(std::bit_cast<std::uint64_t>(got.deMissPct),
+                          std::bit_cast<std::uint64_t>(want.deMissPct));
+                EXPECT_EQ(std::bit_cast<std::uint64_t>(got.optMissPct),
+                          std::bit_cast<std::uint64_t>(want.optMissPct));
+            }
+        }
+    }
+}
+
+TEST(ServerEndToEnd, WarmStoreServesTheSecondSweepWithoutReloading)
+{
+    Server server(benchServer("tomcatv"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    SweepRequest request;
+    request.trace = "tomcatv";
+    request.lineBytes = 4;
+    ASSERT_TRUE(client.sweep(request).ok());
+
+    const auto cold = statsMap(client);
+    EXPECT_EQ(cold.at("store-trace-loads"), 1u);
+    EXPECT_EQ(cold.at("store-index-builds"), 1u);
+    EXPECT_EQ(cold.at("store-trace-misses"), 1u);
+
+    ASSERT_TRUE(client.sweep(request).ok());
+
+    // The acceptance contract: the warm request performs zero trace
+    // loads and zero index builds — it is pure cache hits.
+    const auto warm = statsMap(client);
+    EXPECT_EQ(warm.at("store-trace-loads"), 1u);
+    EXPECT_EQ(warm.at("store-index-builds"), 1u);
+    EXPECT_GT(warm.at("store-trace-hits"), cold.at("store-trace-hits"));
+    EXPECT_GT(warm.at("store-index-hits"), cold.at("store-index-hits"));
+    EXPECT_EQ(warm.at("sweeps"), 2u);
+}
+
+TEST(ServerEndToEnd, FullQueueAnswersBusyInsteadOfQueueingUnbounded)
+{
+    // One worker, queue capacity one. The worker is parked on the
+    // first connection, the second fills the queue, so the third must
+    // be turned away with an explicit BUSY frame.
+    ServerConfig config = benchServer("gcc");
+    config.queueCapacity = 1;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    Client holder = mustConnect(server);
+    ASSERT_TRUE(holder.ping().ok()); // worker now owns this connection
+    Client queued = mustConnect(server);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    // Read the rejection without sending anything: BUSY is pushed at
+    // accept time, before any request.
+    const auto rejected = connectTcp(kHost, server.port());
+    ASSERT_TRUE(rejected.ok()) << rejected.status().toString();
+    bool cleanEof = false;
+    const auto reply = readFrame(rejected.value(), cleanEof);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().type, MsgType::BusyResponse);
+    closeSocket(rejected.value());
+
+    // The listener tallies the rejection after sending the frame, so
+    // give it a moment on small machines.
+    for (int spin = 0; spin < 100 && server.counters().busy == 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(server.counters().busy, 1u);
+    EXPECT_GE(server.counters().queueHighWater, 1u);
+}
+
+TEST(ServerEndToEnd, ClientSurfacesBusyAsARetryableResourceLimit)
+{
+    // A hand-rolled acceptor that answers every connection with BUSY
+    // but leaves the socket open, so the client's read is determinate.
+    std::uint16_t port = 0;
+    const auto listener = listenTcp(0, port);
+    ASSERT_TRUE(listener.ok()) << listener.status().toString();
+    std::atomic<int> accepted{-1};
+    std::thread acceptor([&] {
+        const int fd = ::accept(listener.value(), nullptr, nullptr);
+        if (fd >= 0)
+            (void)writeFrame(fd, MsgType::BusyResponse, {});
+        accepted.store(fd);
+    });
+
+    Client client;
+    ASSERT_TRUE(client.connect(kHost, port).ok());
+    const auto outcome = client.ping();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::ResourceLimit);
+    EXPECT_NE(outcome.status().toString().find("busy"),
+              std::string::npos);
+
+    acceptor.join();
+    closeSocket(accepted.load());
+    closeSocket(listener.value());
+}
+
+TEST(ServerEndToEnd, ExpiredDeadlineIsAStructuredResourceLimit)
+{
+    ServerConfig config = benchServer("spice");
+    config.testDelayBeforeExecuteMs = 60;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    SweepRequest request;
+    request.trace = "spice";
+    request.deadlineMs = 1; // expires during the injected stall
+    const auto outcome = client.sweep(request);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::ResourceLimit);
+    EXPECT_NE(outcome.status().toString().find("deadline"),
+              std::string::npos);
+    EXPECT_EQ(server.counters().deadlineExpirations, 1u);
+
+    // The connection survives a well-framed failure.
+    EXPECT_TRUE(client.ping().ok());
+}
+
+TEST(ServerEndToEnd, MalformedFrameDrawsAnErrorFrameNotACrash)
+{
+    Server server(benchServer("doduc"));
+    ASSERT_TRUE(server.start().ok());
+
+    const auto fd = connectTcp(kHost, server.port());
+    ASSERT_TRUE(fd.ok()) << fd.status().toString();
+    const std::string garbage = "this is not a DXP1 frame at all....";
+    ASSERT_TRUE(writeAll(fd.value(), garbage.data(), garbage.size()).ok());
+
+    bool cleanEof = false;
+    const auto reply = readFrame(fd.value(), cleanEof);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().type, MsgType::ErrorResponse);
+    const auto error = parseErrorResponse(reply.value().payload);
+    ASSERT_TRUE(error.ok());
+    EXPECT_EQ(statusFromWire(error.value()).code(),
+              StatusCode::CorruptInput);
+    closeSocket(fd.value());
+
+    // The server is still fully alive afterwards.
+    Client client = mustConnect(server);
+    EXPECT_TRUE(client.ping().ok());
+    EXPECT_GE(server.counters().errors, 1u);
+}
+
+TEST(ServerEndToEnd, TruncatedFrameDrawsAnErrorFrame)
+{
+    Server server(benchServer("doduc"));
+    ASSERT_TRUE(server.start().ok());
+
+    const auto fd = connectTcp(kHost, server.port());
+    ASSERT_TRUE(fd.ok()) << fd.status().toString();
+    // A valid prefix cut mid-payload, then a half-close: the server
+    // sees EOF inside the frame.
+    const std::string wire = encodeFrame(MsgType::PingRequest, {});
+    ASSERT_TRUE(writeAll(fd.value(), wire.data(), wire.size() - 2).ok());
+    ::shutdown(fd.value(), SHUT_WR);
+
+    bool cleanEof = false;
+    const auto reply = readFrame(fd.value(), cleanEof);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().type, MsgType::ErrorResponse);
+    closeSocket(fd.value());
+}
+
+TEST(ServerEndToEnd, CorruptCrcDrawsAnErrorFrame)
+{
+    Server server(benchServer("doduc"));
+    ASSERT_TRUE(server.start().ok());
+
+    const auto fd = connectTcp(kHost, server.port());
+    ASSERT_TRUE(fd.ok()) << fd.status().toString();
+    std::string wire =
+        encodeFrame(MsgType::SweepRequest,
+                    encodeSweepRequest(SweepRequest{"doduc"}));
+    wire[kFrameHeaderBytes] ^= 0x10; // corrupt the payload
+    ASSERT_TRUE(writeAll(fd.value(), wire.data(), wire.size()).ok());
+
+    bool cleanEof = false;
+    const auto reply = readFrame(fd.value(), cleanEof);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().type, MsgType::ErrorResponse);
+    const auto error = parseErrorResponse(reply.value().payload);
+    ASSERT_TRUE(error.ok());
+    EXPECT_EQ(statusFromWire(error.value()).code(),
+              StatusCode::CorruptInput);
+    closeSocket(fd.value());
+}
+
+TEST(ServerEndToEnd, InvalidRequestsKeepTheConnectionOpen)
+{
+    Server server(benchServer("nasa7"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    SweepRequest unknown;
+    unknown.trace = "nonesuch";
+    const auto noTrace = client.sweep(unknown);
+    ASSERT_FALSE(noTrace.ok());
+    EXPECT_EQ(noTrace.status().code(), StatusCode::CorruptInput);
+
+    ReplayRequest badModel;
+    badModel.trace = "nasa7";
+    badModel.model = "quantum";
+    ASSERT_EQ(client.replay(badModel).status().code(),
+              StatusCode::CorruptInput);
+
+    ReplayRequest badGeometry;
+    badGeometry.trace = "nasa7";
+    badGeometry.sizeBytes = 3000; // not a power of two
+    ASSERT_EQ(client.replay(badGeometry).status().code(),
+              StatusCode::CorruptInput);
+
+    // After three rejected requests the same connection still works.
+    EXPECT_TRUE(client.ping().ok());
+    EXPECT_EQ(server.counters().errors, 3u);
+}
+
+TEST(ServerEndToEnd, ResponseTypedFrameIsRejectedAsARequest)
+{
+    Server server(benchServer("fpppp"));
+    ASSERT_TRUE(server.start().ok());
+
+    const auto fd = connectTcp(kHost, server.port());
+    ASSERT_TRUE(fd.ok()) << fd.status().toString();
+    ASSERT_TRUE(writeFrame(fd.value(), MsgType::BusyResponse, {}).ok());
+
+    bool cleanEof = false;
+    const auto reply = readFrame(fd.value(), cleanEof);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply.value().type, MsgType::ErrorResponse);
+    closeSocket(fd.value());
+}
+
+TEST(ServerEndToEnd, StopDrainsAndRefusesNewWork)
+{
+    Server server(benchServer("eqntott"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+    ASSERT_TRUE(client.ping().ok());
+
+    server.stop();
+
+    // The old connection is closed and a fresh request cannot be
+    // served any more (connect may still succeed in the kernel
+    // backlog, but no reply ever comes).
+    Client late;
+    if (late.connect(kHost, server.port()).ok())
+    {
+        EXPECT_FALSE(late.ping().ok());
+    }
+
+    const ServerCounters counters = server.counters();
+    EXPECT_GE(counters.requests, 1u);
+    EXPECT_GE(counters.connections, 1u);
+
+    server.stop(); // idempotent
+}
+
+} // namespace
+} // namespace dynex::server

@@ -152,7 +152,7 @@ TEST(CliTool, SweepWithInjectedFaultReportsPartialResults)
     const auto result = runCli(
         "sweep mat300 --line 4 --refs 30000 --threads 2 "
         "--inject-fault 4KB");
-    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_EQ(result.exitCode, 5) << result.output;
     EXPECT_NE(result.output.find("1 of 8 legs failed"),
               std::string::npos);
     EXPECT_NE(result.output.find("results above are partial"),
@@ -179,7 +179,7 @@ TEST(CliTool, SweepWithInjectedFaultKeepsOtherRowsIdentical)
         "sweep mat300 --line 4 --refs 30000 --threads 2 "
         "--inject-fault 8KB");
     ASSERT_EQ(clean.exitCode, 0) << clean.output;
-    ASSERT_EQ(faulted.exitCode, 1) << faulted.output;
+    ASSERT_EQ(faulted.exitCode, 5) << faulted.output;
     // Every row except 8KB must be byte-identical to the clean run.
     std::istringstream clean_lines(clean.output);
     std::string line;
@@ -310,7 +310,7 @@ TEST(CliTool, MetricsReportRecordsInjectedFailures)
     const auto result = runCli(
         "sweep mat300 --line 4 --refs 30000 --threads 2 "
         "--inject-fault 4KB --metrics-out " + path);
-    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_EQ(result.exitCode, 5) << result.output;
     const std::string report = readFile(path);
     EXPECT_NE(report.find("\"sizeBytes\":4096,\"ok\":false"),
               std::string::npos);
@@ -324,7 +324,7 @@ TEST(CliTool, RejectsUnwritableMetricsPath)
     const auto result = runCli(
         "sweep mat300 --line 4 --refs 30000 "
         "--metrics-out /nonexistent-dir/x/metrics.json");
-    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_EQ(result.exitCode, 3);
     EXPECT_NE(result.output.find("cannot write"), std::string::npos);
 }
 
@@ -347,9 +347,67 @@ TEST(CliTool, RejectsBadSize)
 TEST(CliTool, RejectsUnknownBenchmark)
 {
     const auto result = runCli("sim nosuchthing --refs 1000");
-    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_EQ(result.exitCode, 2);
     EXPECT_NE(result.output.find("neither a file nor a benchmark"),
               std::string::npos);
+}
+
+TEST(CliTool, VersionFlagPrintsTheVersion)
+{
+    const auto dashed = runCli("--version");
+    EXPECT_EQ(dashed.exitCode, 0);
+    EXPECT_NE(dashed.output.find("dynex "), std::string::npos);
+    // A version has at least major.minor digits.
+    EXPECT_NE(dashed.output.find('.'), std::string::npos);
+
+    const auto word = runCli("version");
+    EXPECT_EQ(word.exitCode, 0);
+    EXPECT_EQ(word.output, dashed.output);
+}
+
+TEST(CliTool, UsageDocumentsExitCodes)
+{
+    const auto result = runCli("");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("exit codes:"), std::string::npos);
+    EXPECT_NE(result.output.find("2 usage error"), std::string::npos);
+    EXPECT_NE(result.output.find("3 i/o error"), std::string::npos);
+    EXPECT_NE(result.output.find("4 data error"), std::string::npos);
+    EXPECT_NE(result.output.find("5 internal error"),
+              std::string::npos);
+}
+
+TEST(CliTool, CorruptTraceFileIsADataError)
+{
+    const std::string path = ::testing::TempDir() + "/cli_garbage.dxt";
+    std::ofstream(path) << "this is not a trace file";
+    const auto result = runCli("info " + path);
+    EXPECT_EQ(result.exitCode, 4) << result.output;
+    EXPECT_NE(result.output.find("cannot read"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliTool, MissingTraceFileIsAnIoError)
+{
+    const auto result = runCli("info /nonexistent-dir/nothing.dxt");
+    EXPECT_EQ(result.exitCode, 3) << result.output;
+}
+
+TEST(CliTool, RemoteCommandsNeedAPort)
+{
+    const auto ls = runCli("remote-ls");
+    EXPECT_EQ(ls.exitCode, 2) << ls.output;
+    EXPECT_NE(ls.output.find("--port"), std::string::npos);
+
+    const auto sweep = runCli("remote-sweep espresso");
+    EXPECT_EQ(sweep.exitCode, 2) << sweep.output;
+}
+
+TEST(CliTool, RemoteLsAgainstADeadServerIsAnIoError)
+{
+    // Port 1 on loopback: reserved, nothing listens there.
+    const auto result = runCli("remote-ls --port 1");
+    EXPECT_EQ(result.exitCode, 3) << result.output;
 }
 
 } // namespace

@@ -28,6 +28,7 @@
  * at any thread count.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -38,6 +39,7 @@
 #include "cache/factory.h"
 #include "cache/optimal.h"
 #include "cache/victim.h"
+#include "server/client.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/run_report.h"
@@ -52,6 +54,7 @@
 #include "util/string_utils.h"
 #include "util/thread_pool.h"
 #include "util/table.h"
+#include "util/version.h"
 
 namespace
 {
@@ -72,6 +75,9 @@ struct Options
     unsigned threads = 0; // 0 = DYNEX_THREADS / hardware default
     ReplayEngine replay = ReplayEngine::Batched;
     std::uint64_t injectFaultSize = 0; // 0 = no injection
+    std::string host = "127.0.0.1"; // --host: remote server address
+    std::uint16_t port = 0;         // --port: remote server port
+    std::uint32_t deadlineMs = 0;   // --deadline-ms: remote deadline
     std::string metricsOut;  // --metrics-out: JSON run report
     std::string csvOut;      // --csv-out: sweep table as CSV
     std::string traceOut;    // --trace-out: Chrome trace events
@@ -84,6 +90,35 @@ applyThreads(const Options &options)
 {
     if (options.threads > 0)
         ThreadPool::setConfiguredWorkers(options.threads);
+}
+
+// Exit codes, mirroring util/status categories (documented in --help):
+//   0 success
+//   2 usage error (bad command line, unknown benchmark)
+//   3 I/O error (unreadable trace, unwritable output, dead server)
+//   4 data error (corrupt trace file, implausible sizes)
+//   5 internal error (failed sweep legs, library bugs)
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitData = 4;
+constexpr int kExitInternal = 5;
+
+int
+exitCodeFor(const Status &status)
+{
+    switch (status.code()) {
+    case StatusCode::Ok:
+        return kExitOk;
+    case StatusCode::IoError:
+        return kExitIo;
+    case StatusCode::CorruptInput:
+    case StatusCode::ResourceLimit:
+        return kExitData;
+    case StatusCode::Internal:
+        break;
+    }
+    return kExitInternal;
 }
 
 int
@@ -101,6 +136,11 @@ usage()
         "  sweep <trace|benchmark> [options]     triad over the paper's\n"
         "                                        cache-size axis\n"
         "  analyze <trace|benchmark> [options]   conflict structure\n"
+        "  remote-ls --port P [--host H]         list a dynex_serve\n"
+        "                                        server's traces\n"
+        "  remote-sweep <trace> --port P [opts]  run the size sweep on\n"
+        "                                        a dynex_serve server\n"
+        "  version | --version                   print the version\n"
         "options: --cache K --size S --line L --sticky N --lastline\n"
         "         --victim N --refs N --stream mixed|ifetch|data\n"
         "         --threads N  simulation worker threads for triad and\n"
@@ -123,8 +163,15 @@ usage()
         "                      to F; load in chrome://tracing or\n"
         "                      Perfetto\n"
         "         --progress   sweep: draw a progress bar on stderr\n"
-        "                      (stdout tables are unaffected)\n");
-    return 2;
+        "                      (stdout tables are unaffected)\n"
+        "         --host H --port P  remote-*: dynex_serve address\n"
+        "                      (default host 127.0.0.1)\n"
+        "         --deadline-ms N  remote-*: per-request deadline; an\n"
+        "                      expired deadline is a data error\n"
+        "exit codes: 0 ok, 2 usage error, 3 i/o error, 4 data error\n"
+        "            (corrupt/implausible input), 5 internal error\n"
+        "            (failed sweep legs, library bugs)\n");
+    return kExitUsage;
 }
 
 bool
@@ -141,20 +188,24 @@ isDinPath(const std::string &path)
            iequals(path.substr(path.size() - 4), ".din");
 }
 
+/** Load a trace file; on failure print the reason and set
+ * @p exit_code (3 for I/O, 4 for corrupt/oversized data). */
 std::optional<Trace>
-loadTraceFile(const std::string &path)
+loadTraceFile(const std::string &path, int &exit_code)
 {
     Result<Trace> trace = isDinPath(path) ? readDinTraceFile(path)
                                           : readTraceFile(path);
     if (!trace.ok()) {
         std::fprintf(stderr, "dynex: cannot read %s: %s\n", path.c_str(),
                      trace.status().toString().c_str());
+        exit_code = exitCodeFor(trace.status());
         return std::nullopt;
     }
     return std::move(trace).value();
 }
 
-bool
+/** @return the exit code of writing @p trace to @p path (0 ok). */
+int
 storeTraceFile(const Trace &trace, const std::string &path)
 {
     const Status status = isDinPath(path)
@@ -163,19 +214,22 @@ storeTraceFile(const Trace &trace, const std::string &path)
     if (!status.ok())
         std::fprintf(stderr, "dynex: cannot write %s: %s\n",
                      path.c_str(), status.toString().c_str());
-    return status.ok();
+    return exitCodeFor(status);
 }
 
-/** Resolve a positional trace argument: a file path or a benchmark. */
+/** Resolve a positional trace argument: a file path or a benchmark.
+ * On failure, @p exit_code carries the mapped exit code. */
 std::optional<Trace>
-resolveTrace(const std::string &arg, const Options &options)
+resolveTrace(const std::string &arg, const Options &options,
+             int &exit_code)
 {
     if (looksLikeFile(arg))
-        return loadTraceFile(arg);
+        return loadTraceFile(arg, exit_code);
     if (!isSpecBenchmark(arg)) {
         std::fprintf(stderr,
                      "dynex: '%s' is neither a file nor a benchmark\n",
                      arg.c_str());
+        exit_code = kExitUsage;
         return std::nullopt;
     }
     const Count refs =
@@ -259,6 +313,25 @@ parseOptions(int argc, char **argv, int first, Options &options)
             else
                 options.lineBytes =
                     static_cast<std::uint32_t>(*parsed);
+        } else if (flag == "--host") {
+            const char *v = value();
+            if (!v)
+                return false;
+            options.host = v;
+        } else if (flag == "--port" || flag == "--deadline-ms") {
+            const char *v = value();
+            if (!v)
+                return false;
+            const auto parsed = std::strtoull(v, nullptr, 10);
+            if (flag == "--port") {
+                if (parsed == 0 || parsed > 65535) {
+                    std::fprintf(stderr, "dynex: bad --port '%s'\n", v);
+                    return false;
+                }
+                options.port = static_cast<std::uint16_t>(parsed);
+            } else {
+                options.deadlineMs = static_cast<std::uint32_t>(parsed);
+            }
         } else if (flag == "--sticky" || flag == "--victim" ||
                    flag == "--refs" || flag == "--threads") {
             const char *v = value();
@@ -309,22 +382,27 @@ cmdGen(const std::string &benchmark, const std::string &out_path,
     if (!isSpecBenchmark(benchmark)) {
         std::fprintf(stderr, "dynex: unknown benchmark '%s'\n",
                      benchmark.c_str());
-        return 1;
+        return kExitUsage;
     }
-    const auto trace = resolveTrace(benchmark, options);
-    if (!trace || !storeTraceFile(*trace, out_path))
-        return 1;
+    int rc = kExitInternal;
+    const auto trace = resolveTrace(benchmark, options, rc);
+    if (!trace)
+        return rc;
+    rc = storeTraceFile(*trace, out_path);
+    if (rc != kExitOk)
+        return rc;
     std::printf("wrote %zu references to %s\n", trace->size(),
                 out_path.c_str());
-    return 0;
+    return kExitOk;
 }
 
 int
 cmdInfo(const std::string &path)
 {
-    const auto trace = loadTraceFile(path);
+    int rc = kExitInternal;
+    const auto trace = loadTraceFile(path, rc);
     if (!trace)
-        return 1;
+        return rc;
     const TraceSummary summary = trace->summarize();
     std::printf("name:    %s\n", trace->name().c_str());
     std::printf("refs:    %s\n", summary.toString().c_str());
@@ -337,20 +415,25 @@ cmdInfo(const std::string &path)
 int
 cmdConvert(const std::string &in_path, const std::string &out_path)
 {
-    const auto trace = loadTraceFile(in_path);
-    if (!trace || !storeTraceFile(*trace, out_path))
-        return 1;
+    int rc = kExitInternal;
+    const auto trace = loadTraceFile(in_path, rc);
+    if (!trace)
+        return rc;
+    rc = storeTraceFile(*trace, out_path);
+    if (rc != kExitOk)
+        return rc;
     std::printf("converted %zu references: %s -> %s\n", trace->size(),
                 in_path.c_str(), out_path.c_str());
-    return 0;
+    return kExitOk;
 }
 
 int
 cmdSim(const std::string &target, const Options &options)
 {
-    const auto trace = resolveTrace(target, options);
+    int rc = kExitInternal;
+    const auto trace = resolveTrace(target, options, rc);
     if (!trace)
-        return 1;
+        return rc;
 
     const auto geometry =
         CacheGeometry::directMapped(options.sizeBytes, options.lineBytes);
@@ -386,9 +469,10 @@ int
 cmdTriad(const std::string &target, const Options &options)
 {
     applyThreads(options);
-    const auto trace = resolveTrace(target, options);
+    int rc = kExitInternal;
+    const auto trace = resolveTrace(target, options, rc);
     if (!trace)
-        return 1;
+        return rc;
 
     const NextUseIndex index(*trace, options.lineBytes,
                              NextUseMode::RunStart);
@@ -467,7 +551,8 @@ class SweepObservation
     SweepObservation &operator=(const SweepObservation &) = delete;
 
     /** Uninstall the sinks and write the requested files.
-     * @return 0, or 1 when any file could not be written. */
+     * @return 0, or the I/O exit code when a file could not be
+     * written. */
     int
     finish(const SizeSweepOutcome &outcome, Count refs)
     {
@@ -478,10 +563,11 @@ class SweepObservation
         if (bar)
             bar->finish();
 
-        int rc = 0;
+        int rc = kExitOk;
         if (tracer)
-            rc |= writeOrComplain(opts.traceOut,
-                                  tracer->writeJson(opts.traceOut));
+            rc = std::max(rc,
+                          writeOrComplain(opts.traceOut,
+                                          tracer->writeJson(opts.traceOut)));
         if (!collector)
             return rc;
 
@@ -501,13 +587,15 @@ class SweepObservation
         const obs::RunReport report = obs::RunReport::build(
             info, *collector, std::move(failures));
         if (!opts.metricsOut.empty())
-            rc |= writeOrComplain(
-                opts.metricsOut,
-                obs::writeTextFile(opts.metricsOut, report.toJson()));
+            rc = std::max(
+                rc, writeOrComplain(opts.metricsOut,
+                                    obs::writeTextFile(opts.metricsOut,
+                                                       report.toJson())));
         if (!opts.csvOut.empty())
-            rc |= writeOrComplain(
-                opts.csvOut,
-                obs::writeTextFile(opts.csvOut, report.toCsv()));
+            rc = std::max(
+                rc, writeOrComplain(opts.csvOut,
+                                    obs::writeTextFile(opts.csvOut,
+                                                       report.toCsv())));
         return rc;
     }
 
@@ -516,10 +604,10 @@ class SweepObservation
     writeOrComplain(const std::string &path, const Status &status)
     {
         if (status.ok())
-            return 0;
+            return kExitOk;
         std::fprintf(stderr, "dynex: cannot write %s: %s\n",
                      path.c_str(), status.toString().c_str());
-        return 1;
+        return exitCodeFor(status);
     }
 
     const Options &opts;
@@ -533,9 +621,10 @@ int
 cmdSweep(const std::string &target, const Options &options)
 {
     applyThreads(options);
-    const auto trace = resolveTrace(target, options);
+    int rc = kExitInternal;
+    const auto trace = resolveTrace(target, options, rc);
     if (!trace)
-        return 1;
+        return rc;
 
     if (options.injectFaultSize > 0) {
         const std::uint64_t fault_size = options.injectFaultSize;
@@ -581,15 +670,18 @@ cmdSweep(const std::string &target, const Options &options)
     if (!outcome.failures.empty()) {
         Table failed;
         failed.setHeader({"failed leg", "status"});
-        for (const auto &failure : outcome.failures)
+        int worst = kExitOk;
+        for (const auto &failure : outcome.failures) {
             failed.addRow({failure.bench + " @ " +
                                formatSize(failure.sizeBytes),
                            failure.status.toString()});
+            worst = std::max(worst, exitCodeFor(failure.status));
+        }
         std::printf("\n%zu of %zu legs failed; results above are "
                     "partial\n\n%s",
                     outcome.failures.size(), outcome.points.size(),
                     failed.toText().c_str());
-        return 1;
+        return worst;
     }
     return obs_rc;
 }
@@ -597,9 +689,10 @@ cmdSweep(const std::string &target, const Options &options)
 int
 cmdAnalyze(const std::string &target, const Options &options)
 {
-    const auto trace = resolveTrace(target, options);
+    int rc = kExitInternal;
+    const auto trace = resolveTrace(target, options, rc);
     if (!trace)
-        return 1;
+        return rc;
 
     const auto geometry =
         CacheGeometry::directMapped(options.sizeBytes, options.lineBytes);
@@ -624,6 +717,136 @@ cmdAnalyze(const std::string &target, const Options &options)
     return 0;
 }
 
+/** Connect to the dynex_serve instance named by --host/--port. */
+std::optional<server::Client>
+connectRemote(const Options &options, int &exit_code)
+{
+    if (options.port == 0) {
+        std::fprintf(stderr,
+                     "dynex: remote commands need --port (see "
+                     "dynex_serve --port-file)\n");
+        exit_code = kExitUsage;
+        return std::nullopt;
+    }
+    server::Client client;
+    const Status status = client.connect(options.host, options.port);
+    if (!status.ok()) {
+        std::fprintf(stderr, "dynex: %s\n", status.toString().c_str());
+        exit_code = exitCodeFor(status);
+        return std::nullopt;
+    }
+    return client;
+}
+
+int
+cmdRemoteLs(const Options &options)
+{
+    int rc = kExitInternal;
+    auto client = connectRemote(options, rc);
+    if (!client)
+        return rc;
+
+    const Result<server::PingInfo> info = client->ping();
+    if (!info.ok()) {
+        std::fprintf(stderr, "dynex: ping failed: %s\n",
+                     info.status().toString().c_str());
+        return exitCodeFor(info.status());
+    }
+    const auto traces = client->list();
+    if (!traces.ok()) {
+        std::fprintf(stderr, "dynex: list failed: %s\n",
+                     traces.status().toString().c_str());
+        return exitCodeFor(traces.status());
+    }
+
+    std::printf("server %s at %s:%u, %llu trace(s)\n\n",
+                info.value().version.c_str(), options.host.c_str(),
+                options.port,
+                static_cast<unsigned long long>(info.value().traces));
+    Table table;
+    table.setHeader({"trace", "source", "resident"});
+    for (const auto &entry : traces.value())
+        table.addRow({entry.name,
+                      entry.fileBytes ? formatSize(entry.fileBytes)
+                                      : "synthetic",
+                      entry.resident ? "yes" : "no"});
+    std::printf("%s", table.toText().c_str());
+    return kExitOk;
+}
+
+int
+cmdRemoteSweep(const std::string &target, const Options &options)
+{
+    int rc = kExitInternal;
+    auto client = connectRemote(options, rc);
+    if (!client)
+        return rc;
+
+    server::SweepRequest request;
+    request.trace = target;
+    request.lineBytes = options.lineBytes;
+    request.engine =
+        options.replay == ReplayEngine::Batched ? 0 : 1;
+    request.stickyMax = options.stickyMax;
+    request.deadlineMs = options.deadlineMs;
+    const Result<server::SweepResult> swept = client->sweep(request);
+    if (!swept.ok()) {
+        std::fprintf(stderr, "dynex: remote sweep failed: %s\n",
+                     swept.status().toString().c_str());
+        return exitCodeFor(swept.status());
+    }
+    const server::SweepResult &result = swept.value();
+
+    // The table below is built exactly like cmdSweep's: miss rates
+    // travel bit-exactly, so the rendered rows are byte-identical to
+    // a local sweep of the same trace.
+    Table table;
+    table.setHeader({"size", "dm miss %", "dynex miss %", "opt miss %",
+                     "dynex gain %"});
+    for (const auto &point : result.points) {
+        if (!point.ok) {
+            table.addRow({formatSize(point.sizeBytes), "-", "-", "-",
+                          "-"});
+            continue;
+        }
+        SizeSweepPoint local;
+        local.dmMissPct = point.dmMissPct;
+        local.deMissPct = point.deMissPct;
+        local.optMissPct = point.optMissPct;
+        table.addRow({formatSize(point.sizeBytes),
+                      Table::fmt(point.dmMissPct, 3),
+                      Table::fmt(point.deMissPct, 3),
+                      Table::fmt(point.optMissPct, 3),
+                      Table::fmt(local.deImprovementPct(), 1)});
+    }
+    std::printf("trace: %s (%llu refs), %s lines, served by %s:%u\n\n",
+                result.trace.c_str(),
+                static_cast<unsigned long long>(result.refs),
+                formatSize(options.lineBytes).c_str(),
+                options.host.c_str(), options.port);
+    std::printf("%s", table.toText().c_str());
+
+    if (!result.failures.empty()) {
+        Table failed;
+        failed.setHeader({"failed leg", "status"});
+        int worst = kExitOk;
+        for (const auto &failure : result.failures) {
+            const Status status = server::statusFromWire(
+                {failure.code, failure.message});
+            failed.addRow({failure.bench + " @ " +
+                               formatSize(failure.sizeBytes),
+                           status.toString()});
+            worst = std::max(worst, exitCodeFor(status));
+        }
+        std::printf("\n%zu of %zu legs failed; results above are "
+                    "partial\n\n%s",
+                    result.failures.size(), result.points.size(),
+                    failed.toText().c_str());
+        return worst;
+    }
+    return kExitOk;
+}
+
 } // namespace
 
 int
@@ -633,8 +856,27 @@ main(int argc, char **argv)
         return usage();
     const std::string command = argv[1];
 
+    if (command == "version" || command == "--version") {
+        std::printf("dynex %s\n", versionString());
+        return 0;
+    }
     if (command == "list")
         return cmdList();
+
+    if (command == "remote-ls") {
+        Options options;
+        if (!parseOptions(argc, argv, 2, options))
+            return kExitUsage;
+        return cmdRemoteLs(options);
+    }
+    if (command == "remote-sweep") {
+        if (argc < 3)
+            return usage();
+        Options options;
+        if (!parseOptions(argc, argv, 3, options))
+            return kExitUsage;
+        return cmdRemoteSweep(argv[2], options);
+    }
 
     if (command == "gen") {
         if (argc < 4)
