@@ -9,6 +9,8 @@
 
 #include <memory>
 #include <optional>
+#include <sstream>
+#include <string>
 
 #include "cache/direct_mapped.h"
 #include "cache/dynamic_exclusion.h"
@@ -19,6 +21,7 @@
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "trace/next_use.h"
+#include "trace/trace_io.h"
 #include "tracegen/spec.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -269,6 +272,66 @@ BM_SweepBatchedMetricsOn(benchmark::State &state)
 }
 BENCHMARK(BM_SweepBatchedMetricsOn)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void
+BM_SweepKernel(benchmark::State &state)
+{
+    // SoA kernel: branchless table-driven FSM transitions over packed
+    // tag/sticky/next-use lanes, stats derived from tallies at the end
+    // of the pass instead of recorded per reference.
+    runSuiteSweepBenchmark(state, ReplayEngine::Kernel);
+}
+BENCHMARK(BM_SweepKernel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/** One encoded image of the shared trace in @p format. */
+const std::string &
+encodedSharedTrace(TraceFormat format)
+{
+    static const std::string dxt2 = [] {
+        std::ostringstream out;
+        writeTrace(sharedTrace(), out, TraceFormat::Dxt2);
+        return out.str();
+    }();
+    static const std::string dxt3 = [] {
+        std::ostringstream out;
+        writeTrace(sharedTrace(), out, TraceFormat::Dxt3);
+        return out.str();
+    }();
+    return format == TraceFormat::Dxt3 ? dxt3 : dxt2;
+}
+
+void
+runDecodeBenchmark(benchmark::State &state, TraceFormat format)
+{
+    const std::string &image = encodedSharedTrace(format);
+    for (auto _ : state) {
+        std::istringstream in(image);
+        auto trace = readTrace(in);
+        benchmark::DoNotOptimize(trace.value().size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * sharedTrace().size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * image.size()));
+    state.counters["bytes_per_ref"] = benchmark::Counter(
+        static_cast<double>(image.size()) /
+        static_cast<double>(sharedTrace().size()));
+}
+
+void
+BM_Dxt2Decode(benchmark::State &state)
+{
+    runDecodeBenchmark(state, TraceFormat::Dxt2);
+}
+BENCHMARK(BM_Dxt2Decode)->Unit(benchmark::kMillisecond);
+
+void
+BM_Dxt3Decode(benchmark::State &state)
+{
+    runDecodeBenchmark(state, TraceFormat::Dxt3);
+}
+BENCHMARK(BM_Dxt3Decode)->Unit(benchmark::kMillisecond);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -2,7 +2,8 @@
 #
 # Starts the server on an ephemeral port (discovered via --port-file),
 # runs `dynex remote-sweep` against it at 1, 2, and 8 server workers
-# under both replay engines, and requires the rendered sweep table to
+# under all three replay engines, and requires the rendered sweep table
+# to
 # be byte-identical to a local `dynex sweep` of the same benchmark —
 # only the header line (which names the serving address / worker
 # count) may differ. A second remote sweep against the warm server
@@ -34,7 +35,7 @@ function(strip_header text out_var)
 endfunction()
 
 # The local goldens, one per engine.
-foreach(engine per-leg batched)
+foreach(engine per-leg batched kernel)
     execute_process(
         COMMAND ${DYNEX_CLI} sweep ${bench} --line ${line}
                 --refs ${refs} --replay ${engine}
@@ -88,7 +89,7 @@ foreach(workers 1 2 8)
         message(FATAL_ERROR "server never published a port (${workers})")
     endif()
 
-    foreach(engine per-leg batched)
+    foreach(engine per-leg batched kernel)
         # Twice per engine: the second request runs against the warm
         # TraceStore and must produce the identical table.
         foreach(round cold warm)

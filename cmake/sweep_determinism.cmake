@@ -1,5 +1,6 @@
-# Determinism check: the batched replay engine must produce CLI sweep
-# output byte-identical to the per-leg engine at every worker count.
+# Determinism check: every replay engine (per-leg, batched, kernel)
+# must produce CLI sweep output byte-identical to the others at every
+# worker count.
 #
 # Usage: cmake -DDYNEX_CLI=<path-to-dynex> -P sweep_determinism.cmake
 
@@ -20,20 +21,26 @@ foreach(threads 1 2 8)
             "per-leg sweep failed (threads=${threads}, rc=${per_leg_rc})")
     endif()
 
-    execute_process(
-        COMMAND ${DYNEX_CLI} ${common} --threads ${threads}
-                --replay batched
-        OUTPUT_VARIABLE batched
-        RESULT_VARIABLE batched_rc)
-    if(NOT batched_rc EQUAL 0)
-        message(FATAL_ERROR
-            "batched sweep failed (threads=${threads}, rc=${batched_rc})")
-    endif()
+    foreach(engine batched kernel)
+        execute_process(
+            COMMAND ${DYNEX_CLI} ${common} --threads ${threads}
+                    --replay ${engine}
+            OUTPUT_VARIABLE candidate
+            RESULT_VARIABLE candidate_rc)
+        if(NOT candidate_rc EQUAL 0)
+            message(FATAL_ERROR
+                "${engine} sweep failed (threads=${threads}, "
+                "rc=${candidate_rc})")
+        endif()
 
-    if(NOT per_leg STREQUAL batched)
-        message(FATAL_ERROR
-            "sweep output differs between engines at threads=${threads}\n"
-            "--- per-leg ---\n${per_leg}\n--- batched ---\n${batched}")
-    endif()
-    message(STATUS "threads=${threads}: engines byte-identical")
+        if(NOT per_leg STREQUAL candidate)
+            message(FATAL_ERROR
+                "sweep output differs between engines at "
+                "threads=${threads}\n"
+                "--- per-leg ---\n${per_leg}\n"
+                "--- ${engine} ---\n${candidate}")
+        endif()
+        message(STATUS
+            "threads=${threads}: ${engine} byte-identical to per-leg")
+    endforeach()
 endforeach()

@@ -69,6 +69,10 @@ counterName(Counter counter)
         return "store-misses";
       case Counter::StoreEvictions:
         return "store-evictions";
+      case Counter::StoreBytesSaved:
+        return "store-bytes-saved";
+      case Counter::StoreEncodedHits:
+        return "store-encoded-hits";
     }
     return "unknown";
 }

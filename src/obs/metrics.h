@@ -64,9 +64,11 @@ enum class Counter : std::uint8_t
     StoreHits,     ///< TraceStore lookups served from memory
     StoreMisses,   ///< TraceStore lookups that triggered a load
     StoreEvictions,///< TraceStore entries evicted for the byte budget
+    StoreBytesSaved,  ///< budget saved by encoded-size residency charges
+    StoreEncodedHits, ///< TraceStore loads charged at encoded size
 };
 
-inline constexpr std::size_t kCounterCount = 13;
+inline constexpr std::size_t kCounterCount = 15;
 
 /** Stable lowercase name for @p counter (JSON keys, tables). */
 const char *counterName(Counter counter);

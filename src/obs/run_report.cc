@@ -98,7 +98,8 @@ const std::array<Counter, kCounterCount> kAllCounters = {
     Counter::SrvErrors,    Counter::SrvBusy,
     Counter::SrvBytesIn,   Counter::SrvBytesOut,
     Counter::StoreHits,    Counter::StoreMisses,
-    Counter::StoreEvictions};
+    Counter::StoreEvictions, Counter::StoreBytesSaved,
+    Counter::StoreEncodedHits};
 
 /** Wall-clock counters are excluded at Deterministic detail. */
 bool

@@ -505,7 +505,7 @@ parseSweepRequest(std::string_view payload)
         return s;
     if (Status s = r.done(); !s.ok())
         return s;
-    if (request.engine > 1)
+    if (request.engine > 2)
         return Status::corruptInput("DXP1: bad replay engine " +
                                     std::to_string(request.engine));
     return request;

@@ -14,6 +14,7 @@
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "sim/workloads.h"
+#include "trace/mmap_io.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
 #include "tracegen/spec.h"
@@ -83,9 +84,17 @@ Server::Server(ServerConfig server_config)
               }
               return isDinPath(served->path)
                          ? readDinTraceFile(served->path)
-                         : readTraceFile(served->path);
+                         : readTraceFileFast(served->path);
           },
-          config.storeBudgetBytes)
+          config.storeBudgetBytes,
+          [this](const std::string &name) -> std::uint64_t {
+              // Encoded residency charge: the on-disk footprint of a
+              // file-backed trace (DXT3 files make the --store-budget
+              // go several times further). Synthetic traces have no
+              // encoded form and charge decoded.
+              const ServedTrace *served = findServed(name);
+              return served ? served->fileBytes : 0;
+          })
 {
     if (config.workers == 0)
         config.workers = 1;
@@ -470,7 +479,7 @@ std::string Server::handleSweep(const SweepRequest &request,
         paperCacheSizes().back(), request.lineBytes);
     if (!geometry.ok())
         return errorFrame(geometry);
-    if (request.engine > 1)
+    if (request.engine > 2)
         return errorFrame(
             Status::corruptInput("unknown replay engine"));
     Status deadline = checkDeadline(arrival_ns, request.deadlineMs);
@@ -493,7 +502,9 @@ std::string Server::handleSweep(const SweepRequest &request,
     sweepConfig.useLastLine = request.lineBytes > 4;
     const ReplayEngine engine = request.engine == 0
                                     ? ReplayEngine::Batched
-                                    : ReplayEngine::PerLeg;
+                                : request.engine == 1
+                                    ? ReplayEngine::PerLeg
+                                    : ReplayEngine::Kernel;
     const SizeSweepOutcome outcome = sweepSizesChecked(
         *warm.value().trace, *warm.value().index, paperCacheSizes(),
         request.lineBytes, sweepConfig, engine);
@@ -560,6 +571,8 @@ Server::statsRows() const
         {"store-evictions", store.evictions},
         {"store-resident-bytes", store.residentBytes},
         {"store-entries", store.entries},
+        {"store-encoded-hits", store.encodedHits},
+        {"store-bytes-saved", store.bytesSaved},
     };
 }
 

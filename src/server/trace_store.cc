@@ -75,10 +75,25 @@ struct TraceStore::Entry
     }
 };
 
-TraceStore::TraceStore(Loader trace_loader, std::uint64_t budget_bytes)
-    : loader(std::move(trace_loader)), budget(budget_bytes)
+TraceStore::TraceStore(Loader trace_loader, std::uint64_t budget_bytes,
+                       SizeProbe size_probe)
+    : loader(std::move(trace_loader)), sizeProbe(std::move(size_probe)),
+      budget(budget_bytes)
 {
     DYNEX_ASSERT(loader != nullptr, "TraceStore needs a loader");
+}
+
+std::uint64_t TraceStore::chargeForLocked(const Trace &trace,
+                                          std::uint64_t encoded_bytes)
+{
+    const std::uint64_t decoded = traceBytes(trace);
+    if (encoded_bytes == 0 || encoded_bytes >= decoded)
+        return decoded;
+    ++tallies.encodedHits;
+    tallies.bytesSaved += decoded - encoded_bytes;
+    chargeActive(obs::Counter::StoreEncodedHits, 1);
+    chargeActive(obs::Counter::StoreBytesSaved, decoded - encoded_bytes);
+    return encoded_bytes;
 }
 
 Result<std::shared_ptr<const Trace>> TraceStore::trace(const std::string &name)
@@ -131,6 +146,18 @@ Result<std::shared_ptr<const Trace>> TraceStore::trace(const std::string &name)
         }
     }();
     const std::uint64_t elapsedNs = obs::monotonicNs() - startNs;
+    std::uint64_t encoded = 0;
+    if (sizeProbe && loaded.ok())
+    {
+        try
+        {
+            encoded = sizeProbe(name);
+        }
+        catch (...)
+        {
+            encoded = 0; // an unknown size just charges decoded
+        }
+    }
     lock.lock();
 
     if (!loaded.ok())
@@ -144,7 +171,7 @@ Result<std::shared_ptr<const Trace>> TraceStore::trace(const std::string &name)
     }
 
     entry->trace = std::make_shared<const Trace>(std::move(loaded.value()));
-    entry->bytes = traceBytes(*entry->trace);
+    entry->bytes = chargeForLocked(*entry->trace, encoded);
     entry->state = Entry::State::Ready;
     entry->lastUse = ++useClock;
     tallies.residentBytes += entry->bytes;
@@ -179,7 +206,19 @@ Result<IndexedTrace> TraceStore::indexed(const std::string &name,
         entry = std::make_shared<Entry>();
         entry->name = name;
         entry->trace = base.value();
-        entry->bytes = traceBytes(*entry->trace);
+        std::uint64_t encoded = 0;
+        if (sizeProbe)
+        {
+            try
+            {
+                encoded = sizeProbe(name);
+            }
+            catch (...)
+            {
+                encoded = 0;
+            }
+        }
+        entry->bytes = chargeForLocked(*entry->trace, encoded);
         entry->state = Entry::State::Ready;
         entries.emplace(name, entry);
         tallies.residentBytes += entry->bytes;

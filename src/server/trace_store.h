@@ -11,7 +11,10 @@
  *     load/build; the loader runs exactly once per miss, never once
  *     per waiter.
  *   - LRU byte budget: entries are charged their trace + artifact
- *     footprint; when the resident total exceeds the budget, the
+ *     footprint (the trace part drops to its encoded on-disk size when
+ *     a SizeProbe is installed and reports a smaller figure, so a
+ *     DXT3-backed store holds more references per budget byte); when
+ *     the resident total exceeds the budget, the
  *     least-recently-used ready entries are evicted (in strict LRU
  *     order) until it fits. In-flight entries and the entry being
  *     returned are never evicted; callers hold shared_ptrs, so an
@@ -62,6 +65,17 @@ class TraceStore
      * most once per concurrent miss. */
     using Loader = std::function<Result<Trace>(const std::string &name)>;
 
+    /**
+     * Optional probe for a trace's *encoded* byte size (its on-disk
+     * DXT2/DXT3 footprint); 0 means unknown. When installed and the
+     * encoded size is smaller than the decoded in-memory charge, the
+     * entry is charged the encoded size against the byte budget — the
+     * budget then expresses "bytes of trace files served warm", so a
+     * compressed store holds proportionally more references. Invoked
+     * off-lock next to the loader, at most once per completed load.
+     */
+    using SizeProbe = std::function<std::uint64_t(const std::string &name)>;
+
     /** Point-in-time counter values (monotonic except residentBytes
      * and entries). */
     struct Counters
@@ -76,9 +90,12 @@ class TraceStore
         std::uint64_t evictions = 0;
         std::uint64_t residentBytes = 0;
         std::uint64_t entries = 0;
+        std::uint64_t encodedHits = 0; ///< loads charged at encoded size
+        std::uint64_t bytesSaved = 0;  ///< decoded minus charged bytes
     };
 
-    TraceStore(Loader loader, std::uint64_t budget_bytes);
+    TraceStore(Loader loader, std::uint64_t budget_bytes,
+               SizeProbe size_probe = {});
 
     TraceStore(const TraceStore &) = delete;
     TraceStore &operator=(const TraceStore &) = delete;
@@ -108,7 +125,13 @@ class TraceStore
      * entry being returned and is never evicted. */
     void evictIfNeededLocked(const Entry *keep);
 
+    /** Charge for @p trace under the probe; bumps the saved-bytes
+     * tallies when the encoded size wins. Caller holds the lock. */
+    std::uint64_t chargeForLocked(const Trace &trace,
+                                  std::uint64_t encoded_bytes);
+
     Loader loader;
+    SizeProbe sizeProbe;
     const std::uint64_t budget;
 
     mutable std::mutex storeMutex;

@@ -41,6 +41,9 @@ enum class ReplayEngine
     /** One trace pass per leg (PR 1's engine); kept as the reference
      * for equivalence and determinism checks. */
     PerLeg,
+    /** The SoA kernel (kernel.h): one pass, branchless table-driven
+     * transitions, tally-derived stats; bit-identical to Batched. */
+    Kernel,
 };
 
 namespace detail

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The SoA replay kernel: the batched engine's successor for raw
+ * replay speed.
+ *
+ * The batched engine (batch.h) already streams the trace once for all
+ * (size, model) legs, but each reference still walks a per-model
+ * object: an AccessOutcome is materialized, recordOutcome folds six
+ * counters, the DM model probes a vector<bool>, and the DE model calls
+ * through the hit-last store for every transition. The kernel keeps
+ * the one-pass chunked structure and strips the per-reference
+ * machinery:
+ *
+ *  - model state lives in struct-of-arrays lanes (flat tag, next-use,
+ *    and sticky arrays indexed by set; a flat bitmap for hit-last
+ *    bits) with sentinel tags instead of validity sidecars;
+ *  - McFarling's Figure 1 FSM is applied as a branchless transition
+ *    index (the 5 arcs of exclusion_fsm.h precomputed into select
+ *    chains) with per-arc event tallies;
+ *  - statistics are derived from the event tallies once per pass
+ *    instead of six counter adds per reference per model;
+ *  - the run-boundary lane shared by the last-line models is
+ *    precomputed per chunk, with an AVX2 path behind runtime dispatch
+ *    (scalar fallback bit-identical).
+ *
+ * Results are bit-identical to the batched engine (and therefore to
+ * the per-leg engine): same CacheStats, same FSM event counts, at any
+ * worker count.
+ */
+
+#ifndef DYNEX_SIM_KERNEL_H
+#define DYNEX_SIM_KERNEL_H
+
+#include <vector>
+
+#include "sim/batch.h"
+
+namespace dynex
+{
+
+/** Which instruction set the kernel's dispatched helpers use. */
+enum class KernelIsa
+{
+    Scalar, ///< portable C++ (compiled at the build's baseline ISA)
+    Avx2,   ///< explicit 256-bit lanes for the chunk precomputes
+};
+
+/** @return a short lowercase name for @p isa ("scalar", "avx2"). */
+const char *kernelIsaName(KernelIsa isa);
+
+/**
+ * The ISA the kernel will use for the next pass: Avx2 when the CPU
+ * supports it and no override is active, Scalar otherwise. Overrides:
+ * setKernelForceScalar(true), or the DYNEX_KERNEL_FORCE_SCALAR
+ * environment variable (any non-empty value other than "0").
+ */
+KernelIsa kernelDispatchIsa();
+
+/** Force the scalar path regardless of CPU support (test hook; the
+ * dispatch unit test uses it to compare both paths on one machine). */
+void setKernelForceScalar(bool force);
+
+/** @return true when the scalar override is active. */
+bool kernelForceScalar();
+
+/**
+ * Kernel equivalent of replayTriadBatch: one pass over @p trace
+ * replays all |sizes| x {conventional, dynamic-exclusion, optimal}
+ * legs through the SoA lanes. result[s] is bit-identical to
+ * runTriad(trace, index, sizes[s], line_bytes, de_config).
+ *
+ * @param index a RunStart next-use oracle for @p trace at
+ *        @p line_bytes granularity, shared by every optimal leg.
+ */
+std::vector<TriadResult> replayTriadKernel(
+    const Trace &trace, const NextUseIndex &index,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &de_config = {});
+
+/**
+ * Fault-tolerant form, mirroring replayTriadBatchChecked: a leg whose
+ * setup throws (or an injected fault via the sweep fault hook) is
+ * recorded as a TriadLegFailure and skipped; surviving legs complete
+ * with results bit-identical to an unfaulted run.
+ *
+ * @param bench the benchmark label passed to the sweep fault hook;
+ *        empty means "use trace.name()".
+ */
+TriadBatchOutcome replayTriadKernelChecked(
+    const Trace &trace, const NextUseIndex &index,
+    const std::vector<std::uint64_t> &sizes, std::uint32_t line_bytes,
+    const DynamicExclusionConfig &de_config = {},
+    const std::string &bench = {});
+
+} // namespace dynex
+
+#endif // DYNEX_SIM_KERNEL_H

@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "sim/kernel.h"
 #include "sim/obs_hooks.h"
 #include "sim/workloads.h"
 #include "trace/next_use.h"
@@ -76,17 +77,23 @@ sweepSuiteTriads(const std::vector<std::string> &benchmark_names,
         if (obs::Tracer::active())
             bench_span.emplace("bench", "bench " + bench);
         const auto trace = loadStream(bench, refs, stream);
+        // Per-worker scratch: consecutive benchmarks on one pool
+        // thread reuse the backward-pass table allocation.
+        thread_local NextUseScratch scratch;
         simobs::IndexBuildTimer index_timer;
         const NextUseIndex index(*trace, line_bytes,
-                                 NextUseMode::RunStart);
+                                 NextUseMode::RunStart, &scratch);
         index_timer.finish(bench);
         auto &row = grid[b];
-        if (engine == ReplayEngine::Batched) {
+        if (engine != ReplayEngine::PerLeg) {
             // One pass over the trace feeds every (size, model) leg of
             // this benchmark; parallelism comes from the benchmark
             // fan-out above.
-            row = replayTriadBatch(*trace, index, sizes, line_bytes,
-                                   config);
+            row = engine == ReplayEngine::Kernel
+                      ? replayTriadKernel(*trace, index, sizes,
+                                          line_bytes, config)
+                      : replayTriadBatch(*trace, index, sizes,
+                                         line_bytes, config);
             return;
         }
         row.resize(sizes.size());
@@ -130,9 +137,11 @@ sweepSuiteTriadsChecked(const std::vector<std::string> &benchmark_names,
                 if (const auto &hook = sweepFaultHook())
                     hook(bench, 0);
                 trace = loadStream(bench, refs, stream);
+                thread_local NextUseScratch scratch;
                 simobs::IndexBuildTimer index_timer;
                 index = std::make_unique<NextUseIndex>(
-                    *trace, line_bytes, NextUseMode::RunStart);
+                    *trace, line_bytes, NextUseMode::RunStart,
+                    &scratch);
                 index_timer.finish(bench);
             } catch (...) {
                 per_bench[b].push_back(
@@ -140,9 +149,15 @@ sweepSuiteTriadsChecked(const std::vector<std::string> &benchmark_names,
                      statusFromException(std::current_exception())});
                 return;
             }
-            if (engine == ReplayEngine::Batched) {
-                auto batch = replayTriadBatchChecked(
-                    *trace, *index, sizes, line_bytes, config, bench);
+            if (engine != ReplayEngine::PerLeg) {
+                auto batch =
+                    engine == ReplayEngine::Kernel
+                        ? replayTriadKernelChecked(*trace, *index,
+                                                   sizes, line_bytes,
+                                                   config, bench)
+                        : replayTriadBatchChecked(*trace, *index,
+                                                  sizes, line_bytes,
+                                                  config, bench);
                 outcome.grid[b] = std::move(batch.triads);
                 outcome.ok[b] = std::move(batch.ok);
                 for (auto &failure : batch.failures)
@@ -204,7 +219,7 @@ sweepSuiteLineTriads(const std::vector<std::string> &benchmark_names,
             loadStream(bench, refs, StreamKind::Instructions);
         auto &row = grid[b];
         row.resize(lines.size());
-        if (engine == ReplayEngine::Batched) {
+        if (engine != ReplayEngine::PerLeg) {
             // Serial over line sizes so every index build of this
             // benchmark reuses one scratch table; each line point's
             // three models replay in a single trace pass.
@@ -216,8 +231,13 @@ sweepSuiteLineTriads(const std::vector<std::string> &benchmark_names,
                                          NextUseMode::RunStart,
                                          &scratch);
                 index_timer.finish(bench);
-                row[l] = replayTriadBatch(*trace, index, one_size,
-                                          lines[l], config)[0];
+                row[l] = engine == ReplayEngine::Kernel
+                             ? replayTriadKernel(*trace, index,
+                                                 one_size, lines[l],
+                                                 config)[0]
+                             : replayTriadBatch(*trace, index,
+                                                one_size, lines[l],
+                                                config)[0];
             }
             return;
         }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <optional>
 
+#include "sim/kernel.h"
 #include "sim/obs_hooks.h"
 #include "sim/parallel.h"
 #include "sim/workloads.h"
@@ -72,9 +73,13 @@ sweepSizesImpl(const Trace &trace, const NextUseIndex &index,
                      index.mode() == NextUseMode::RunStart,
                  "sweepSizes needs a RunStart index at line granularity");
     std::vector<SizeSweepPoint> points(sizes.size());
-    if (engine == ReplayEngine::Batched) {
+    if (engine != ReplayEngine::PerLeg) {
         const auto triads =
-            replayTriadBatch(trace, index, sizes, line_bytes, config);
+            engine == ReplayEngine::Kernel
+                ? replayTriadKernel(trace, index, sizes, line_bytes,
+                                    config)
+                : replayTriadBatch(trace, index, sizes, line_bytes,
+                                   config);
         for (std::size_t s = 0; s < sizes.size(); ++s)
             points[s] = {sizes[s], triads[s].dmMissPct(),
                          triads[s].deMissPct(), triads[s].optMissPct()};
@@ -148,9 +153,13 @@ sweepSizesCheckedImpl(const Trace &trace, const NextUseIndex &index,
         outcome.ok[s] = 1;
     };
 
-    if (engine == ReplayEngine::Batched) {
-        auto batch = replayTriadBatchChecked(trace, index, sizes,
-                                             line_bytes, config);
+    if (engine != ReplayEngine::PerLeg) {
+        auto batch =
+            engine == ReplayEngine::Kernel
+                ? replayTriadKernelChecked(trace, index, sizes,
+                                           line_bytes, config)
+                : replayTriadBatchChecked(trace, index, sizes,
+                                          line_bytes, config);
         for (std::size_t s = 0; s < sizes.size(); ++s)
             if (batch.ok[s])
                 fillPoint(s, batch.triads[s]);

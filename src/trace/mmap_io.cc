@@ -1,0 +1,152 @@
+#include "trace/mmap_io.h"
+
+#include <cstring>
+#include <optional>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DYNEX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DYNEX_HAVE_MMAP 0
+#endif
+
+#include "trace/trace_io.h"
+#include "util/crc32.h"
+
+namespace dynex
+{
+
+namespace
+{
+
+#if DYNEX_HAVE_MMAP
+
+constexpr std::size_t kDxt2HeaderBytes = 20; // magic..header_crc
+constexpr std::size_t kDxt2RecordBytes = 10;
+constexpr std::uint64_t kMaxNameBytes = 1 << 20;
+constexpr std::uint64_t kMaxRecords = std::uint64_t{1} << 33;
+
+/** A read-only mapping of a whole regular file. */
+class MappedFile
+{
+  public:
+    /** @return false when the file cannot be mapped (not an error —
+     * the caller falls back to streaming). */
+    bool
+    open(const std::string &path)
+    {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            return false;
+        struct stat st{};
+        if (fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) ||
+            st.st_size <= 0) {
+            ::close(fd);
+            return false;
+        }
+        bytes = static_cast<std::size_t>(st.st_size);
+        void *mapping = mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE,
+                             fd, 0);
+        ::close(fd);
+        if (mapping == MAP_FAILED)
+            return false;
+        base = static_cast<const unsigned char *>(mapping);
+        return true;
+    }
+
+    ~MappedFile()
+    {
+        if (base)
+            munmap(const_cast<unsigned char *>(base), bytes);
+    }
+
+    const unsigned char *data() const { return base; }
+    std::size_t size() const { return bytes; }
+
+  private:
+    const unsigned char *base = nullptr;
+    std::size_t bytes = 0;
+};
+
+std::uint64_t
+getUint(const unsigned char *p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/**
+ * Decode a complete DXT2 image in place. Returns an empty optional
+ * when the image is not a well-formed DXT2 file of exactly this size —
+ * truncated, oversized, corrupt, or a different magic — in which case
+ * the caller re-reads through the streaming path so the reported
+ * Status matches the canonical reader's.
+ */
+std::optional<Trace>
+decodeDxt2Mapped(const unsigned char *data, std::size_t size)
+{
+    if (size < kDxt2HeaderBytes + 4 ||
+        std::memcmp(data, "DXT2", 4) != 0)
+        return std::nullopt;
+    if (crc32Of(data, 16) !=
+        static_cast<std::uint32_t>(getUint(data + 16, 4)))
+        return std::nullopt;
+    const std::uint64_t name_len = getUint(data + 4, 4);
+    const std::uint64_t count = getUint(data + 8, 8);
+    if (name_len > kMaxNameBytes || count > kMaxRecords)
+        return std::nullopt;
+    const std::uint64_t payload = name_len + count * kDxt2RecordBytes;
+    if (kDxt2HeaderBytes + payload + 4 != size)
+        return std::nullopt;
+
+    const unsigned char *p = data + kDxt2HeaderBytes;
+    if (crc32Of(p, static_cast<std::size_t>(payload)) !=
+        static_cast<std::uint32_t>(
+            getUint(p + payload, 4)))
+        return std::nullopt;
+
+    Trace trace(std::string(reinterpret_cast<const char *>(p),
+                            static_cast<std::size_t>(name_len)));
+    trace.reserve(static_cast<std::size_t>(count));
+    const unsigned char *rec = p + name_len;
+    for (std::uint64_t i = 0; i < count; ++i, rec += kDxt2RecordBytes) {
+        const unsigned char type = rec[8];
+        if (type > static_cast<unsigned char>(RefType::Store))
+            return std::nullopt;
+        MemRef ref;
+        ref.addr = getUint(rec, 8);
+        ref.type = static_cast<RefType>(type);
+        ref.size = rec[9];
+        trace.append(ref);
+    }
+    return trace;
+}
+
+#endif // DYNEX_HAVE_MMAP
+
+} // namespace
+
+Result<Trace>
+readTraceFileFast(const std::string &path, TraceReadPath *read_path)
+{
+    if (read_path)
+        *read_path = TraceReadPath::Streamed;
+#if DYNEX_HAVE_MMAP
+    MappedFile file;
+    if (file.open(path)) {
+        if (auto trace = decodeDxt2Mapped(file.data(), file.size())) {
+            if (read_path)
+                *read_path = TraceReadPath::Mapped;
+            return std::move(*trace);
+        }
+    }
+#endif
+    return readTraceFile(path);
+}
+
+} // namespace dynex

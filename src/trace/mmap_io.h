@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Zero-copy trace loading: map a DXT2 file read-only and decode the
+ * fixed-width records straight out of the page cache — no stream
+ * buffering, no chunked read syscalls, and the same CRC validation as
+ * the streaming reader.
+ *
+ * The mapped path is an optimization, never a requirement: anything it
+ * cannot serve — a non-regular file (pipe, device), an mmap failure, a
+ * compressed or legacy magic (DXT1/DXT3), or an image whose header
+ * claims more bytes than were actually mapped (truncation) — falls
+ * back to the streaming readTraceFile, whose Status vocabulary is the
+ * contract callers already handle. A corrupt file therefore yields the
+ * identical CorruptInput/ResourceLimit a cold streaming read would,
+ * just discovered cheaper.
+ */
+
+#ifndef DYNEX_TRACE_MMAP_IO_H
+#define DYNEX_TRACE_MMAP_IO_H
+
+#include <string>
+
+#include "trace/trace.h"
+#include "util/status.h"
+
+namespace dynex
+{
+
+/** How readTraceFileFast satisfied a read (for tests and counters). */
+enum class TraceReadPath
+{
+    Mapped,   ///< decoded from an mmap'd image
+    Streamed, ///< fell back to the streaming reader
+};
+
+/**
+ * Load a trace from @p path, preferring the mmap'd zero-copy DXT2
+ * decoder and falling back to readTraceFile for everything else.
+ * When @p read_path is non-null it reports which path produced the
+ * result (Streamed on every fallback, including failures).
+ */
+Result<Trace> readTraceFileFast(const std::string &path,
+                                TraceReadPath *read_path = nullptr);
+
+} // namespace dynex
+
+#endif // DYNEX_TRACE_MMAP_IO_H

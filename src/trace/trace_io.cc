@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "trace/dxt3.h"
 #include "util/crc32.h"
 
 namespace dynex
@@ -302,8 +303,15 @@ readTraceDxt2(std::istream &in)
 Status
 writeTrace(const Trace &trace, std::ostream &out, TraceFormat format)
 {
-    return format == TraceFormat::Dxt1 ? writeTraceDxt1(trace, out)
-                                       : writeTraceDxt2(trace, out);
+    switch (format) {
+      case TraceFormat::Dxt1:
+        return writeTraceDxt1(trace, out);
+      case TraceFormat::Dxt3:
+        return writeTraceDxt3(trace, out);
+      case TraceFormat::Dxt2:
+        break;
+    }
+    return writeTraceDxt2(trace, out);
 }
 
 Status
@@ -332,6 +340,8 @@ readTrace(std::istream &in)
         return readFailure(in, "magic");
     if (std::memcmp(magic, kMagicDxt2, 4) == 0)
         return readTraceDxt2(in);
+    if (std::memcmp(magic, "DXT3", 4) == 0)
+        return readTraceDxt3(in);
     if (std::memcmp(magic, kMagicDxt1, 4) == 0)
         return readTraceDxt1(in);
     return Status::corruptInput("bad magic");

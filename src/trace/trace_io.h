@@ -4,7 +4,8 @@
  * generated workloads can be cached between runs and exchanged with
  * external tools.
  *
- * Two wire formats are supported (both little-endian):
+ * Three wire formats are supported (all little-endian); the
+ * delta/varint-compressed DXT3 layout is documented in trace/dxt3.h.
  *
  * DXT1 (legacy, read-only by default):
  *   magic       "DXT1"                       4 bytes
@@ -46,6 +47,7 @@ enum class TraceFormat
 {
     Dxt1, ///< legacy, no checksums; kept for interchange with old files
     Dxt2, ///< checksummed; the default
+    Dxt3, ///< delta/varint compressed + checksummed (see trace/dxt3.h)
 };
 
 /** Serialize @p trace to @p out. */
@@ -57,10 +59,11 @@ Status writeTraceFile(const Trace &trace, const std::string &path,
                       TraceFormat format = TraceFormat::Dxt2);
 
 /**
- * Deserialize a trace from @p in, auto-detecting DXT1 vs DXT2 from the
- * magic. Malformed input yields CorruptInput, an implausible record
- * count or name length yields ResourceLimit; parsing never allocates
- * more than a bounded amount beyond what the stream actually holds.
+ * Deserialize a trace from @p in, auto-detecting DXT1/DXT2/DXT3 from
+ * the magic. Malformed input yields CorruptInput, an implausible
+ * record count or name length yields ResourceLimit; parsing never
+ * allocates more than a bounded amount beyond what the stream actually
+ * holds.
  */
 Result<Trace> readTrace(std::istream &in);
 

@@ -2,7 +2,11 @@
  * @file
  * Standalone corruption fuzzer over the trace readers.
  *
- *     dynex_fuzz_corruption [seed] [iterations]
+ *     dynex_fuzz_corruption [seed] [iterations] [format]
+ *
+ * The optional format argument ("dxt1", "dxt2", "dxt3", "din")
+ * restricts the corpus to one format, spending the whole budget on it
+ * (the fuzz_dxt3_smoke ctest uses this).
  *
  * Runs the same deterministic mutation engine as the gtest smoke test
  * but with an arbitrary budget, and exits nonzero when any mutation
@@ -23,12 +27,16 @@ main(int argc, char **argv)
 {
     std::uint64_t seed = 1992;
     std::uint64_t iterations = 1000;
+    std::string format;
     if (argc > 1)
         seed = std::strtoull(argv[1], nullptr, 10);
     if (argc > 2)
         iterations = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 3)
+        format = argv[3];
 
-    const auto report = dynex::test::runCorruptionFuzzer(seed, iterations);
+    const auto report =
+        dynex::test::runCorruptionFuzzer(seed, iterations, format);
     std::cout << "corruption fuzzer: seed " << seed << ", "
               << report.iterations << " iterations, "
               << report.cleanSuccesses << " clean, "

@@ -1,7 +1,8 @@
 /**
  * @file
  * Deterministic corruption fuzzer over the trace readers. Starting
- * from valid DXT1, DXT2, and din images, a seeded Rng applies byte
+ * from valid DXT1, DXT2, DXT3, and din images, a seeded Rng applies
+ * byte
  * flips and truncations and feeds each mutant to the matching reader.
  * Every mutation must yield either a clean success (CRC-less formats
  * can survive benign flips) or a structured, non-Internal error —
@@ -97,6 +98,11 @@ buildCorpus()
     }
     {
         std::ostringstream out;
+        writeTrace(trace, out, TraceFormat::Dxt3);
+        corpus.push_back({"dxt3", out.str(), &parseBinary});
+    }
+    {
+        std::ostringstream out;
         writeDinTrace(trace, out);
         corpus.push_back({"din", out.str(), &parseDin});
     }
@@ -129,14 +135,27 @@ mutate(std::string &image, Rng &rng)
 } // namespace fuzz_detail
 
 /**
- * Run @p iterations seeded mutations across the DXT1/DXT2/din corpus.
- * Iterations are split round-robin across the three formats so a small
- * budget still covers all of them.
+ * Run @p iterations seeded mutations across the DXT1/DXT2/DXT3/din
+ * corpus. Iterations are split round-robin across the formats so a
+ * small budget still covers all of them. A non-empty @p format
+ * restricts the corpus to that one format (e.g. "dxt3"), spending the
+ * whole budget on it.
  */
 inline FuzzReport
-runCorruptionFuzzer(std::uint64_t seed, std::uint64_t iterations)
+runCorruptionFuzzer(std::uint64_t seed, std::uint64_t iterations,
+                    const std::string &format = {})
 {
-    const auto corpus = fuzz_detail::buildCorpus();
+    auto corpus = fuzz_detail::buildCorpus();
+    if (!format.empty()) {
+        std::erase_if(corpus, [&](const fuzz_detail::Subject &s) {
+            return format != s.format;
+        });
+        if (corpus.empty()) {
+            FuzzReport report;
+            report.violations.push_back("unknown format " + format);
+            return report;
+        }
+    }
     FuzzReport report;
     Rng rng(seed);
     for (std::uint64_t i = 0; i < iterations; ++i) {

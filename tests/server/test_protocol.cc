@@ -212,6 +212,29 @@ TEST(Dxp1Bodies, ReplayRequestRoundTrips)
     EXPECT_EQ(parsed.value().deadlineMs, request.deadlineMs);
 }
 
+TEST(Dxp1Bodies, SweepRequestAcceptsEveryEngineAndRejectsUnknown)
+{
+    SweepRequest request;
+    request.trace = "espresso";
+    request.lineBytes = 16;
+    request.stickyMax = 2;
+    request.deadlineMs = 250;
+    for (const std::uint8_t engine : {0, 1, 2})
+    {
+        request.engine = engine;
+        const auto parsed =
+            parseSweepRequest(encodeSweepRequest(request));
+        ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+        EXPECT_EQ(parsed.value().trace, request.trace);
+        EXPECT_EQ(parsed.value().engine, engine);
+    }
+    request.engine = 3;
+    const auto rejected =
+        parseSweepRequest(encodeSweepRequest(request));
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::CorruptInput);
+}
+
 TEST(Dxp1Bodies, ReplayResponseRoundTrips)
 {
     ReplayResult result;

@@ -161,11 +161,13 @@ TEST(ServerEndToEnd, SweepsAreBitIdenticalToLocalAtAnyWorkerCount)
     DynamicExclusionConfig config;
     config.useLastLine = kLine > 4;
 
-    for (const std::uint8_t wireEngine : {0, 1})
+    for (const std::uint8_t wireEngine : {0, 1, 2})
     {
         const ReplayEngine engine = wireEngine == 0
                                         ? ReplayEngine::Batched
-                                        : ReplayEngine::PerLeg;
+                                    : wireEngine == 1
+                                        ? ReplayEngine::PerLeg
+                                        : ReplayEngine::Kernel;
         ThreadPool::setConfiguredWorkers(1);
         const SizeSweepOutcome expected = sweepSizesChecked(
             local, index, paperCacheSizes(), kLine, config, engine);

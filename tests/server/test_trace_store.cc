@@ -250,5 +250,78 @@ TEST(TraceStore, ZeroBudgetStillServesButKeepsNothing)
     EXPECT_FALSE(store.resident("b"));
 }
 
+TEST(TraceStore, SizeProbeChargesEncodedBytes)
+{
+    // 64 refs decode to 64 * 16 + name bytes; the probe claims a 256-
+    // byte on-disk footprint, so that is what residency must charge.
+    TraceStore store(
+        [&](const std::string &name) -> Result<Trace> {
+            return tinyTrace(name);
+        },
+        1ull << 30, [](const std::string &) { return 256ull; });
+
+    ASSERT_TRUE(store.trace("alpha").ok());
+    const auto counters = store.counters();
+    EXPECT_EQ(counters.residentBytes, 256u);
+    EXPECT_EQ(counters.encodedHits, 1u);
+    const std::uint64_t decoded =
+        64 * sizeof(MemRef) + std::string("alpha").size();
+    EXPECT_EQ(counters.bytesSaved, decoded - 256);
+}
+
+TEST(TraceStore, SizeProbeNeverInflatesTheCharge)
+{
+    // A probe that reports more than the decoded footprint (or zero)
+    // must leave the decoded charge in place.
+    for (const std::uint64_t claimed : {std::uint64_t{0}, ~std::uint64_t{0}}) {
+        TraceStore store(
+            [&](const std::string &name) -> Result<Trace> {
+                return tinyTrace(name);
+            },
+            1ull << 30,
+            [claimed](const std::string &) { return claimed; });
+        ASSERT_TRUE(store.trace("alpha").ok());
+        const auto counters = store.counters();
+        EXPECT_EQ(counters.residentBytes,
+                  64 * sizeof(MemRef) + std::string("alpha").size());
+        EXPECT_EQ(counters.encodedHits, 0u);
+        EXPECT_EQ(counters.bytesSaved, 0u);
+    }
+}
+
+TEST(TraceStore, ThrowingSizeProbeFallsBackToDecoded)
+{
+    TraceStore store(
+        [&](const std::string &name) -> Result<Trace> {
+            return tinyTrace(name);
+        },
+        1ull << 30,
+        [](const std::string &) -> std::uint64_t {
+            throw std::runtime_error("stat failed");
+        });
+    const auto result = store.trace("alpha");
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(store.counters().residentBytes,
+              64 * sizeof(MemRef) + std::string("alpha").size());
+}
+
+TEST(TraceStore, EncodedChargingHoldsMoreTracesPerBudgetByte)
+{
+    // Two decoded traces overflow the budget, but at their (claimed)
+    // encoded size both stay resident — the point of DXT3 charging.
+    const std::uint64_t decoded = 64 * sizeof(MemRef) + 1;
+    TraceStore store(
+        [&](const std::string &name) -> Result<Trace> {
+            return tinyTrace(name);
+        },
+        decoded + decoded / 2,
+        [](const std::string &) { return 128ull; });
+    ASSERT_TRUE(store.trace("a").ok());
+    ASSERT_TRUE(store.trace("b").ok());
+    EXPECT_TRUE(store.resident("a"));
+    EXPECT_TRUE(store.resident("b"));
+    EXPECT_EQ(store.counters().evictions, 0u);
+}
+
 } // namespace
 } // namespace dynex::server

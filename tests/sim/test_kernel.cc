@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Equivalence tests of the SoA replay kernel: every statistic and FSM
+ * event count must be EXPECT_EQ-exact against the batched engine (and
+ * therefore the per-leg engine) across line sizes, DE configurations,
+ * worker counts, checked/unchecked paths, and both dispatch ISAs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/batch.h"
+#include "sim/kernel.h"
+#include "sim/sweep.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dynex
+{
+namespace
+{
+
+/** Restores the automatic thread configuration when a test exits. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { ThreadPool::setConfiguredWorkers(0); }
+};
+
+/** Restores the kernel's natural ISA dispatch when a test exits. */
+struct ScalarGuard
+{
+    ~ScalarGuard() { setKernelForceScalar(false); }
+};
+
+void
+expectStatsEq(const CacheStats &kernel, const CacheStats &batched,
+              const std::string &label)
+{
+    EXPECT_EQ(kernel.accesses, batched.accesses) << label;
+    EXPECT_EQ(kernel.hits, batched.hits) << label;
+    EXPECT_EQ(kernel.misses, batched.misses) << label;
+    EXPECT_EQ(kernel.coldMisses, batched.coldMisses) << label;
+    EXPECT_EQ(kernel.fills, batched.fills) << label;
+    EXPECT_EQ(kernel.bypasses, batched.bypasses) << label;
+    EXPECT_EQ(kernel.evictions, batched.evictions) << label;
+}
+
+void
+expectTriadEq(const TriadResult &kernel, const TriadResult &batched,
+              const std::string &label)
+{
+    expectStatsEq(kernel.dm, batched.dm, "dm " + label);
+    expectStatsEq(kernel.de, batched.de, "de " + label);
+    expectStatsEq(kernel.opt, batched.opt, "opt " + label);
+    for (std::size_t e = 0; e < 5; ++e)
+        EXPECT_EQ(kernel.deEvents.byEvent[e],
+                  batched.deEvents.byEvent[e])
+            << label << " event " << e;
+}
+
+/** A conflict-heavy loopy trace with a pseudo-random data sprinkle
+ * (same generator shape as the batch-engine tests). */
+Trace
+kernelTrace(std::size_t refs, std::uint64_t seed = 0x8a7c3)
+{
+    Rng rng(seed);
+    Trace trace("kernel");
+    trace.reserve(refs);
+    while (trace.size() < refs) {
+        const Addr base = 0x1000 + 4 * rng.nextBelow(4096);
+        const int body = 2 + static_cast<int>(rng.nextBelow(20));
+        for (int j = 0; j < body && trace.size() < refs; ++j)
+            trace.append(ifetch(base + 4 * static_cast<Addr>(j)));
+        trace.append(load(0x90000 + 8 * rng.nextBelow(512)));
+    }
+    trace.mutableRecords().resize(refs);
+    return trace;
+}
+
+TEST(KernelReplay, MatchesBatchAtEverySizeAndLine)
+{
+    const Trace trace = kernelTrace(30000);
+    const std::vector<std::uint64_t> sizes = {256, 1024, 4096,
+                                              16 * 1024};
+    for (const std::uint32_t line : {4u, 16u}) {
+        const NextUseIndex index(trace, line, NextUseMode::RunStart);
+        DynamicExclusionConfig config;
+        config.useLastLine = line > 4;
+        const auto kernel =
+            replayTriadKernel(trace, index, sizes, line, config);
+        const auto batched =
+            replayTriadBatch(trace, index, sizes, line, config);
+        ASSERT_EQ(kernel.size(), sizes.size());
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            expectTriadEq(kernel[s], batched[s],
+                          "line " + std::to_string(line) + " size " +
+                              std::to_string(sizes[s]));
+    }
+}
+
+TEST(KernelReplay, MatchesBatchWithNonDefaultDeConfig)
+{
+    const Trace trace = kernelTrace(20000, 0x51c);
+    const std::vector<std::uint64_t> sizes = {512, 2048};
+    const std::uint32_t line = 8;
+    const NextUseIndex index(trace, line, NextUseMode::RunStart);
+    DynamicExclusionConfig config;
+    config.stickyMax = 3;
+    config.useLastLine = true;
+    config.initialHitLast = true;
+    const auto kernel =
+        replayTriadKernel(trace, index, sizes, line, config);
+    const auto batched =
+        replayTriadBatch(trace, index, sizes, line, config);
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        expectTriadEq(kernel[s], batched[s],
+                      "sticky3 size " + std::to_string(sizes[s]));
+}
+
+TEST(KernelReplay, SparseBlocksFallBackToTheIdealStore)
+{
+    // Blocks far beyond the flat hit-last cap: the kernel must switch
+    // to the IdealHitLastStore fallback with identical values.
+    Rng rng(0xfee1);
+    Trace trace("sparse");
+    for (int i = 0; i < 8000; ++i) {
+        const Addr page = rng.nextBelow(8) << 40;
+        trace.append(ifetch(page + 4 * rng.nextBelow(64)));
+    }
+    const std::uint32_t line = 4;
+    const NextUseIndex index(trace, line, NextUseMode::RunStart);
+    const std::vector<std::uint64_t> sizes = {256, 4096};
+    const auto kernel = replayTriadKernel(trace, index, sizes, line);
+    const auto batched = replayTriadBatch(trace, index, sizes, line);
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        expectTriadEq(kernel[s], batched[s],
+                      "sparse size " + std::to_string(sizes[s]));
+}
+
+TEST(KernelReplay, ScalarDispatchIsBitIdenticalToTheNaturalIsa)
+{
+    ScalarGuard guard;
+    const Trace trace = kernelTrace(25000, 0xd15b);
+    const std::uint32_t line = 16;
+    const NextUseIndex index(trace, line, NextUseMode::RunStart);
+    DynamicExclusionConfig config;
+    config.useLastLine = true;
+    const std::vector<std::uint64_t> sizes = {1024, 8 * 1024};
+
+    setKernelForceScalar(false);
+    const KernelIsa natural = kernelDispatchIsa();
+    const auto fast =
+        replayTriadKernel(trace, index, sizes, line, config);
+
+    setKernelForceScalar(true);
+    EXPECT_TRUE(kernelForceScalar());
+    EXPECT_EQ(kernelDispatchIsa(), KernelIsa::Scalar);
+    const auto scalar =
+        replayTriadKernel(trace, index, sizes, line, config);
+
+    // On AVX2 hardware this compares the two code paths; elsewhere it
+    // still proves the forced-scalar path is the dispatched one, so a
+    // CI machine without AVX2 exercises the fallback by construction.
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        expectTriadEq(scalar[s], fast[s],
+                      std::string("isa ") + kernelIsaName(natural) +
+                          " size " + std::to_string(sizes[s]));
+}
+
+TEST(KernelReplay, SweepSizesKernelIdenticalAcrossWorkerCounts)
+{
+    ThreadCountGuard guard;
+    const Trace trace = kernelTrace(30000);
+    const std::vector<std::uint64_t> sizes = {256, 1024, 4096};
+    ThreadPool::setConfiguredWorkers(1);
+    const auto reference =
+        sweepSizes(trace, sizes, 4, {}, ReplayEngine::Batched);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool::setConfiguredWorkers(threads);
+        const auto points =
+            sweepSizes(trace, sizes, 4, {}, ReplayEngine::Kernel);
+        ASSERT_EQ(points.size(), reference.size());
+        for (std::size_t s = 0; s < points.size(); ++s) {
+            EXPECT_EQ(points[s].dmMissPct, reference[s].dmMissPct)
+                << threads << " workers, point " << s;
+            EXPECT_EQ(points[s].deMissPct, reference[s].deMissPct)
+                << threads << " workers, point " << s;
+            EXPECT_EQ(points[s].optMissPct, reference[s].optMissPct)
+                << threads << " workers, point " << s;
+        }
+    }
+}
+
+TEST(KernelReplay, SuiteSweepsIdenticalCheckedAndUncheckedAllWorkers)
+{
+    ThreadCountGuard guard;
+    const std::vector<std::string> names = {"mat300", "tomcatv"};
+    const std::vector<std::uint64_t> sizes = {1024, 8 * 1024,
+                                              32 * 1024};
+    ThreadPool::setConfiguredWorkers(1);
+    const auto reference = sweepSuiteAverage(
+        names, 30000, sizes, 4, {}, false, false,
+        ReplayEngine::Batched);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool::setConfiguredWorkers(threads);
+        const auto kernel =
+            sweepSuiteAverage(names, 30000, sizes, 4, {}, false, false,
+                              ReplayEngine::Kernel);
+        const auto checked = sweepSuiteAverageChecked(
+            names, 30000, sizes, 4, {}, false, false,
+            ReplayEngine::Kernel);
+        ASSERT_TRUE(checked.failures.empty());
+        ASSERT_EQ(kernel.size(), reference.size());
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            EXPECT_EQ(kernel[s].dmMissPct, reference[s].dmMissPct)
+                << threads << " workers, size " << sizes[s];
+            EXPECT_EQ(kernel[s].deMissPct, reference[s].deMissPct)
+                << threads << " workers, size " << sizes[s];
+            EXPECT_EQ(kernel[s].optMissPct, reference[s].optMissPct)
+                << threads << " workers, size " << sizes[s];
+            EXPECT_EQ(checked.points[s].dmMissPct,
+                      reference[s].dmMissPct)
+                << "checked, " << threads << " workers";
+            EXPECT_EQ(checked.points[s].deMissPct,
+                      reference[s].deMissPct)
+                << "checked, " << threads << " workers";
+            EXPECT_EQ(checked.points[s].optMissPct,
+                      reference[s].optMissPct)
+                << "checked, " << threads << " workers";
+        }
+    }
+}
+
+TEST(KernelReplay, LineSweepKernelMatchesBatch)
+{
+    ThreadCountGuard guard;
+    const std::vector<std::string> names = {"tomcatv"};
+    ThreadPool::setConfiguredWorkers(2);
+    const auto batched =
+        sweepSuiteLineSizes(names, 30000, 16 * 1024, {4, 16, 64}, {},
+                            ReplayEngine::Batched);
+    const auto kernel =
+        sweepSuiteLineSizes(names, 30000, 16 * 1024, {4, 16, 64}, {},
+                            ReplayEngine::Kernel);
+    ASSERT_EQ(kernel.size(), batched.size());
+    for (std::size_t l = 0; l < kernel.size(); ++l) {
+        EXPECT_EQ(kernel[l].dmMissPct, batched[l].dmMissPct);
+        EXPECT_EQ(kernel[l].deMissPct, batched[l].deMissPct);
+        EXPECT_EQ(kernel[l].optMissPct, batched[l].optMissPct);
+    }
+}
+
+TEST(KernelReplay, CheckedKernelIsolatesInjectedFaults)
+{
+    const Trace trace = kernelTrace(10000);
+    const std::uint32_t line = 4;
+    const NextUseIndex index(trace, line, NextUseMode::RunStart);
+    const std::vector<std::uint64_t> sizes = {256, 1024, 4096};
+
+    setSweepFaultHook([](const std::string &, std::uint64_t size) {
+        if (size == 1024)
+            throw StatusError(Status::internal("injected"));
+    });
+    const auto checked =
+        replayTriadKernelChecked(trace, index, sizes, line);
+    setSweepFaultHook({});
+
+    ASSERT_EQ(checked.failures.size(), 1u);
+    EXPECT_EQ(checked.failures[0].sizeIndex, 1u);
+    EXPECT_FALSE(checked.ok[1]);
+    const auto clean = replayTriadKernel(trace, index, sizes, line);
+    expectTriadEq(checked.triads[0], clean[0], "surviving leg 0");
+    expectTriadEq(checked.triads[2], clean[2], "surviving leg 2");
+}
+
+TEST(KernelReplay, EmptyTraceYieldsZeroedStats)
+{
+    Trace trace("empty");
+    const NextUseIndex index(trace, 4, NextUseMode::RunStart);
+    const auto triads = replayTriadKernel(trace, index, {256, 1024}, 4);
+    ASSERT_EQ(triads.size(), 2u);
+    for (const auto &triad : triads) {
+        EXPECT_EQ(triad.dm.accesses, 0u);
+        EXPECT_EQ(triad.de.accesses, 0u);
+        EXPECT_EQ(triad.opt.accesses, 0u);
+    }
+}
+
+TEST(KernelReplay, IsaNamesAreStable)
+{
+    EXPECT_STREQ(kernelIsaName(KernelIsa::Scalar), "scalar");
+    EXPECT_STREQ(kernelIsaName(KernelIsa::Avx2), "avx2");
+}
+
+} // namespace
+} // namespace dynex

@@ -1,0 +1,161 @@
+/** @file Unit tests of the DXT3 compressed trace format. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/dxt3.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
+
+namespace dynex
+{
+namespace
+{
+
+/** A mixed ifetch/load/store trace with mostly-sequential addresses
+ * (the shape real workload streams take). */
+Trace
+mixedTrace(std::size_t refs)
+{
+    Rng rng(0x3d7);
+    Trace trace("mixed");
+    Addr pc = 0x1000;
+    while (trace.size() < refs) {
+        const int body = 4 + static_cast<int>(rng.nextBelow(12));
+        for (int j = 0; j < body && trace.size() < refs; ++j) {
+            trace.append(ifetch(pc));
+            pc += 4;
+        }
+        trace.append(load(0x80000 + 8 * rng.nextBelow(4096)));
+        if (rng.nextBelow(4) == 0)
+            trace.append(store(0xa0000 + 8 * rng.nextBelow(1024)));
+        if (rng.nextBelow(16) == 0)
+            pc = 0x1000 + 4 * rng.nextBelow(8192);
+    }
+    trace.mutableRecords().resize(refs);
+    return trace;
+}
+
+std::string
+encoded(const Trace &trace, TraceFormat format)
+{
+    std::ostringstream out;
+    EXPECT_TRUE(writeTrace(trace, out, format).ok());
+    return out.str();
+}
+
+TEST(Dxt3, RoundTripsThroughTheMagicDispatcher)
+{
+    const Trace original = mixedTrace(20000);
+    const std::string image = encoded(original, TraceFormat::Dxt3);
+    EXPECT_EQ(image.substr(0, 4), "DXT3");
+
+    std::istringstream in(image);
+    const auto restored = readTrace(in);
+    ASSERT_TRUE(restored.ok()) << restored.status().toString();
+    EXPECT_EQ(restored->name(), original.name());
+    ASSERT_EQ(restored->size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        ASSERT_EQ((*restored)[i], original[i]) << "record " << i;
+}
+
+TEST(Dxt3, RoundTripsExtremeAddressesAndEscapedSizes)
+{
+    Trace trace("edges");
+    trace.append(ifetch(0));
+    trace.append(load(~Addr{0}, 255));       // max addr, escaped size
+    trace.append(store(0, 63));              // escape boundary
+    trace.append(load(0x7fff'ffff'ffff'ffffull, 64));
+    trace.append(ifetch(0x8000'0000'0000'0000ull, 62)); // inline max
+    const std::string image = encoded(trace, TraceFormat::Dxt3);
+
+    std::istringstream in(image);
+    const auto restored = readTrace(in);
+    ASSERT_TRUE(restored.ok()) << restored.status().toString();
+    ASSERT_EQ(restored->size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ((*restored)[i], trace[i]) << "record " << i;
+}
+
+TEST(Dxt3, EmptyTraceRoundTrips)
+{
+    Trace empty("nothing");
+    const std::string image = encoded(empty, TraceFormat::Dxt3);
+    std::istringstream in(image);
+    const auto restored = readTrace(in);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_TRUE(restored->empty());
+    EXPECT_EQ(restored->name(), "nothing");
+}
+
+TEST(Dxt3, CompressesWellBelowDxt2)
+{
+    const Trace trace = mixedTrace(100000);
+    const std::string dxt2 = encoded(trace, TraceFormat::Dxt2);
+    const std::string dxt3 = encoded(trace, TraceFormat::Dxt3);
+    const double ratio = static_cast<double>(dxt3.size()) /
+                         static_cast<double>(dxt2.size());
+    // The acceptance bar is <= 0.35x DXT2 on workload-shaped traces.
+    EXPECT_LE(ratio, 0.35) << dxt3.size() << " / " << dxt2.size();
+}
+
+TEST(Dxt3, RejectsHeaderCorruption)
+{
+    std::string image = encoded(mixedTrace(1000), TraceFormat::Dxt3);
+    image[9] ^= 0x40; // count field; the header CRC must catch it
+    std::istringstream in(image);
+    const auto result = readTrace(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxt3, RejectsPayloadCorruption)
+{
+    std::string image = encoded(mixedTrace(1000), TraceFormat::Dxt3);
+    image[image.size() / 2] ^= 0x01;
+    std::istringstream in(image);
+    const auto result = readTrace(in);
+    ASSERT_FALSE(result.ok());
+    // Either the decode trips structurally or the payload CRC fails;
+    // both are CorruptInput, never a crash or an Internal error.
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxt3, RejectsTruncation)
+{
+    const std::string image =
+        encoded(mixedTrace(1000), TraceFormat::Dxt3);
+    for (const std::size_t keep :
+         {std::size_t{5}, std::size_t{17}, image.size() / 2,
+          image.size() - 1}) {
+        std::istringstream in(image.substr(0, keep));
+        const auto result = readTrace(in);
+        ASSERT_FALSE(result.ok()) << "kept " << keep;
+        EXPECT_EQ(result.status().code(), StatusCode::CorruptInput)
+            << "kept " << keep;
+    }
+}
+
+TEST(Dxt3, CapsHostileBlockLength)
+{
+    // A forged block length over the worst-case cap must be rejected
+    // as ResourceLimit before any allocation, even with a valid
+    // header. Build: header for 1 record, then a huge block length.
+    Trace one("x");
+    one.append(ifetch(0x1000));
+    std::string image = encoded(one, TraceFormat::Dxt3);
+    // magic+name_len+count (16) + header CRC (4) + name "x" (1).
+    const std::size_t block_len_at = 21;
+    const std::uint32_t huge = kDxt3MaxBlockBytes + 1;
+    for (int i = 0; i < 4; ++i)
+        image[block_len_at + i] =
+            static_cast<char>((huge >> (8 * i)) & 0xff);
+    std::istringstream in(image);
+    const auto result = readTrace(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::ResourceLimit);
+}
+
+} // namespace
+} // namespace dynex

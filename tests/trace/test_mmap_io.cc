@@ -1,0 +1,128 @@
+/** @file Tests of the mmap'd zero-copy trace reader and its fallback. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/mmap_io.h"
+#include "trace/trace_io.h"
+
+namespace dynex
+{
+namespace
+{
+
+Trace
+sampleTrace(std::size_t refs = 5000)
+{
+    Trace trace("mapped");
+    for (std::size_t i = 0; i < refs; ++i)
+        trace.append(ifetch(0x1000 + 4 * static_cast<Addr>(i)));
+    return trace;
+}
+
+/** RAII temp file that unlinks itself. */
+struct TempTraceFile
+{
+    std::string path;
+
+    explicit TempTraceFile(const char *stem)
+        : path(::testing::TempDir() + "/" + stem)
+    {
+    }
+    ~TempTraceFile() { std::remove(path.c_str()); }
+};
+
+TEST(MmapIo, MapsDxt2AndMatchesStreamingReader)
+{
+    const Trace original = sampleTrace();
+    TempTraceFile file("dynex_mmap_test.dxt");
+    ASSERT_TRUE(writeTraceFile(original, file.path).ok());
+
+    TraceReadPath read_path = TraceReadPath::Streamed;
+    const auto mapped = readTraceFileFast(file.path, &read_path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().toString();
+    EXPECT_EQ(read_path, TraceReadPath::Mapped);
+
+    const auto streamed = readTraceFile(file.path);
+    ASSERT_TRUE(streamed.ok());
+    EXPECT_EQ(mapped->name(), streamed->name());
+    ASSERT_EQ(mapped->size(), streamed->size());
+    for (std::size_t i = 0; i < mapped->size(); ++i)
+        ASSERT_EQ((*mapped)[i], (*streamed)[i]) << "record " << i;
+}
+
+TEST(MmapIo, TruncatedFileFallsBackToStreamingStatus)
+{
+    const Trace original = sampleTrace();
+    TempTraceFile file("dynex_mmap_trunc.dxt");
+    ASSERT_TRUE(writeTraceFile(original, file.path).ok());
+
+    // Chop the tail off: the mapped decoder must refuse the image and
+    // the fallback must report the streaming reader's CorruptInput.
+    std::ifstream in(file.path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    TraceReadPath read_path = TraceReadPath::Mapped;
+    const auto result = readTraceFileFast(file.path, &read_path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(read_path, TraceReadPath::Streamed);
+    const StatusCode code = result.status().code();
+    EXPECT_TRUE(code == StatusCode::CorruptInput ||
+                code == StatusCode::ResourceLimit)
+        << result.status().toString();
+}
+
+TEST(MmapIo, CorruptPayloadIsRejectedNotMapped)
+{
+    const Trace original = sampleTrace(100);
+    TempTraceFile file("dynex_mmap_corrupt.dxt");
+    ASSERT_TRUE(writeTraceFile(original, file.path).ok());
+    {
+        std::fstream io(file.path,
+                        std::ios::binary | std::ios::in | std::ios::out);
+        io.seekp(64);
+        io.put('\x7f');
+    }
+    TraceReadPath read_path = TraceReadPath::Mapped;
+    const auto result = readTraceFileFast(file.path, &read_path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(read_path, TraceReadPath::Streamed);
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(MmapIo, NonDxt2FormatsFallBackAndStillLoad)
+{
+    const Trace original = sampleTrace(2000);
+    for (const TraceFormat format :
+         {TraceFormat::Dxt1, TraceFormat::Dxt3}) {
+        TempTraceFile file("dynex_mmap_other.dxt");
+        ASSERT_TRUE(
+            writeTraceFile(original, file.path, format).ok());
+        TraceReadPath read_path = TraceReadPath::Mapped;
+        const auto result = readTraceFileFast(file.path, &read_path);
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        EXPECT_EQ(read_path, TraceReadPath::Streamed);
+        ASSERT_EQ(result->size(), original.size());
+        EXPECT_EQ((*result)[1999], original[1999]);
+    }
+}
+
+TEST(MmapIo, MissingFileIsAnIoError)
+{
+    const auto result =
+        readTraceFileFast(::testing::TempDir() + "/dynex_no_such.dxt");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::IoError);
+}
+
+} // namespace
+} // namespace dynex

@@ -12,7 +12,7 @@
  *             [--refs N] [--stream KIND]
  *   dynex triad <trace-file|benchmark> [--size S] [--line L] [--refs N]
  *   dynex sweep <trace-file|benchmark> [--line L] [--refs N]
- *             [--threads N] [--replay batched|per-leg]
+ *             [--threads N] [--replay batched|per-leg|kernel]
  *             [--metrics-out F] [--csv-out F] [--trace-out F]
  *             [--progress]
  *   dynex analyze <trace-file|benchmark> [--size S] [--line L]
@@ -48,6 +48,7 @@
 #include "sim/sweep.h"
 #include "sim/runner.h"
 #include "sim/workloads.h"
+#include "trace/mmap_io.h"
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
 #include "tracegen/spec.h"
@@ -147,10 +148,12 @@ usage()
         "                      sweep (default: DYNEX_THREADS if set,\n"
         "                      else all hardware threads); any count\n"
         "                      produces identical results\n"
-        "         --replay batched|per-leg  sweep replay engine:\n"
-        "                      batched streams the trace once for all\n"
-        "                      sizes and models (default); per-leg\n"
-        "                      replays per leg; identical output\n"
+        "         --replay E   sweep replay engine; valid engines:\n"
+        "                      batched (default) streams the trace\n"
+        "                      once for all sizes and models; per-leg\n"
+        "                      replays per leg; kernel uses the SoA\n"
+        "                      branchless kernel (fastest); all three\n"
+        "                      produce identical output\n"
         "         --inject-fault S  (testing) fail the sweep leg at\n"
         "                      cache size S; other legs still complete\n"
         "                      and the failure is reported\n"
@@ -188,13 +191,21 @@ isDinPath(const std::string &path)
            iequals(path.substr(path.size() - 4), ".din");
 }
 
+/** A .dxt3 extension selects the compressed binary format. */
+bool
+isDxt3Path(const std::string &path)
+{
+    return path.size() >= 5 &&
+           iequals(path.substr(path.size() - 5), ".dxt3");
+}
+
 /** Load a trace file; on failure print the reason and set
  * @p exit_code (3 for I/O, 4 for corrupt/oversized data). */
 std::optional<Trace>
 loadTraceFile(const std::string &path, int &exit_code)
 {
     Result<Trace> trace = isDinPath(path) ? readDinTraceFile(path)
-                                          : readTraceFile(path);
+                                          : readTraceFileFast(path);
     if (!trace.ok()) {
         std::fprintf(stderr, "dynex: cannot read %s: %s\n", path.c_str(),
                      trace.status().toString().c_str());
@@ -208,9 +219,11 @@ loadTraceFile(const std::string &path, int &exit_code)
 int
 storeTraceFile(const Trace &trace, const std::string &path)
 {
-    const Status status = isDinPath(path)
-                              ? writeDinTraceFile(trace, path)
-                              : writeTraceFile(trace, path);
+    const Status status =
+        isDinPath(path) ? writeDinTraceFile(trace, path)
+        : isDxt3Path(path)
+            ? writeTraceFile(trace, path, TraceFormat::Dxt3)
+            : writeTraceFile(trace, path);
     if (!status.ok())
         std::fprintf(stderr, "dynex: cannot write %s: %s\n",
                      path.c_str(), status.toString().c_str());
@@ -282,8 +295,13 @@ parseOptions(int argc, char **argv, int first, Options &options)
                 options.replay = ReplayEngine::Batched;
             } else if (iequals(v, "per-leg")) {
                 options.replay = ReplayEngine::PerLeg;
+            } else if (iequals(v, "kernel")) {
+                options.replay = ReplayEngine::Kernel;
             } else {
-                std::fprintf(stderr, "dynex: bad --replay '%s'\n", v);
+                std::fprintf(stderr,
+                             "dynex: bad --replay '%s' (valid engines: "
+                             "batched, per-leg, kernel)\n",
+                             v);
                 return false;
             }
         } else if (flag == "--stream") {
@@ -526,14 +544,14 @@ class SweepObservation
             obs::setPoolJobSpans(true);
         }
         if (opts.progress) {
-            // Work units are references replayed: the batched engine
-            // streams the trace once for all legs, the per-leg engine
-            // once per leg.
+            // Work units are references replayed: the one-pass engines
+            // (batched, kernel) stream the trace once for all legs,
+            // the per-leg engine once per leg.
             const auto total =
                 static_cast<std::uint64_t>(trace.size()) *
-                (opts.replay == ReplayEngine::Batched
-                     ? 1
-                     : paperCacheSizes().size());
+                (opts.replay == ReplayEngine::PerLeg
+                     ? paperCacheSizes().size()
+                     : 1);
             bar = std::make_unique<obs::ProgressBar>(traceName, total);
             obs::ProgressBar::setActive(bar.get());
         }
@@ -575,8 +593,9 @@ class SweepObservation
         info.trace = traceName;
         info.refs = refs;
         info.lineBytes = opts.lineBytes;
-        info.engine = opts.replay == ReplayEngine::Batched
-                          ? "batched"
+        info.engine = opts.replay == ReplayEngine::Batched ? "batched"
+                      : opts.replay == ReplayEngine::Kernel
+                          ? "kernel"
                           : "per-leg";
         info.workers = ThreadPool::global().workers();
         std::vector<obs::ReportFailure> failures;
@@ -785,8 +804,9 @@ cmdRemoteSweep(const std::string &target, const Options &options)
     server::SweepRequest request;
     request.trace = target;
     request.lineBytes = options.lineBytes;
-    request.engine =
-        options.replay == ReplayEngine::Batched ? 0 : 1;
+    request.engine = options.replay == ReplayEngine::Batched ? 0
+                     : options.replay == ReplayEngine::PerLeg ? 1
+                                                              : 2;
     request.stickyMax = options.stickyMax;
     request.deadlineMs = options.deadlineMs;
     const Result<server::SweepResult> swept = client->sweep(request);

@@ -66,10 +66,13 @@ int usage()
         "  --queue N         accepted-connection queue capacity; a\n"
         "                    full queue answers BUSY (default 16)\n"
         "  --store-budget S  TraceStore byte budget, e.g. 512M\n"
-        "                    (default 1G)\n"
+        "                    (default 1G); file-backed traces are\n"
+        "                    charged their on-disk size, so .dxt3\n"
+        "                    files stretch the budget ~4x\n"
         "  --refs N          synthetic references per benchmark\n"
         "  --bench NAME      serve one suite benchmark (repeatable)\n"
-        "  --trace FILE      serve a .dxt/.din trace file (repeatable)\n"
+        "  --trace FILE      serve a .dxt/.dxt3/.din trace file\n"
+        "                    (repeatable)\n"
         "  --suite           serve every suite benchmark\n"
         "  --metrics-out F   write a JSON run report on shutdown\n"
         "  --trace-out F     write Chrome trace events on shutdown\n"
