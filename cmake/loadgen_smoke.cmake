@@ -1,0 +1,120 @@
+# Load-generation smoke test: dynex_loadgen against a real
+# dynex_serve.
+#
+# Starts the server on an ephemeral port, then drives it open-loop at
+# a modest fixed RPS with the default ping/ls/sweep mix from four
+# retrying clients. The daemon must sustain the load within the p95
+# latency budget (loadgen exits 1 otherwise), and the JSON run report
+# must show forward progress — at least one successful request per
+# client worth of headroom. A second, deliberately-overloading closed
+# loop run against a tiny admission budget must still make forward
+# progress: sheds arrive as BUSY + retryAfterMs (connection stays
+# open), and retrying clients eventually succeed.
+#
+# Usage: cmake -DDYNEX_SERVE=<dynex_serve> -DDYNEX_LOADGEN=<loadgen>
+#        -DWORK_DIR=<scratch dir> -P loadgen_smoke.cmake
+
+if(NOT DYNEX_SERVE)
+    message(FATAL_ERROR "pass -DDYNEX_SERVE=<path to dynex_serve>")
+endif()
+if(NOT DYNEX_LOADGEN)
+    message(FATAL_ERROR "pass -DDYNEX_LOADGEN=<path to dynex_loadgen>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(stop_server pid_file)
+    if(EXISTS ${pid_file})
+        file(READ ${pid_file} server_pid)
+        string(STRIP "${server_pid}" server_pid)
+        execute_process(
+            COMMAND sh -c "kill ${server_pid} 2>/dev/null; \
+for i in $(seq 1 50); do \
+  kill -0 ${server_pid} 2>/dev/null || exit 0; sleep 0.2; \
+done; kill -9 ${server_pid} 2>/dev/null; true")
+    endif()
+endfunction()
+
+function(start_server tag out_port extra_args)
+    set(port_file ${WORK_DIR}/port_${tag})
+    set(pid_file ${WORK_DIR}/pid_${tag})
+    execute_process(
+        COMMAND sh -c "'${DYNEX_SERVE}' --bench espresso --refs 20000 \
+--workers 2 ${extra_args} --port-file '${port_file}' \
+>'${WORK_DIR}/serve_${tag}.log' 2>&1 & echo $! > '${pid_file}'"
+        RESULT_VARIABLE spawn_rc)
+    if(NOT spawn_rc EQUAL 0)
+        message(FATAL_ERROR "could not spawn dynex_serve (${tag})")
+    endif()
+    set(port "")
+    foreach(attempt RANGE 50)
+        if(EXISTS ${port_file})
+            file(READ ${port_file} port)
+            string(STRIP "${port}" port)
+            if(NOT port STREQUAL "")
+                break()
+            endif()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+    endforeach()
+    if(port STREQUAL "")
+        stop_server(${pid_file})
+        message(FATAL_ERROR "server never published a port (${tag})")
+    endif()
+    set(${out_port} "${port}" PARENT_SCOPE)
+endfunction()
+
+# --- Part 1: sustained open-loop load within the latency budget. ---
+start_server(sustain port "")
+set(report ${WORK_DIR}/loadgen_report.json)
+execute_process(
+    COMMAND ${DYNEX_LOADGEN} --port ${port} --mode open --rps 100
+            --clients 4 --duration-ms 2000 --mix ping=8,ls=1,sweep=1
+            --retries 3 --backoff-ms 20 --seed 7
+            --latency-budget-ms 1500 --report ${report}
+    OUTPUT_VARIABLE loadgen_out
+    RESULT_VARIABLE loadgen_rc)
+stop_server(${WORK_DIR}/pid_sustain)
+message(STATUS "sustain run:\n${loadgen_out}")
+if(NOT loadgen_rc EQUAL 0)
+    message(FATAL_ERROR
+        "loadgen failed the sustained-load run (rc ${loadgen_rc})")
+endif()
+if(NOT EXISTS ${report})
+    message(FATAL_ERROR "loadgen wrote no report")
+endif()
+file(READ ${report} report_text)
+if(NOT report_text MATCHES "dynex-metrics-v1")
+    message(FATAL_ERROR "report is not dynex-metrics-v1:\n${report_text}")
+endif()
+if(NOT report_text MATCHES "requests-ok")
+    message(FATAL_ERROR "report lacks loadgen rows:\n${report_text}")
+endif()
+
+# --- Part 2: overload a tiny admission budget; retries must still ---
+# --- make forward progress and the server must shed, not drop.    ---
+start_server(overload port2
+    "--admission-budget-ms 1 --client-burst-ms 1")
+execute_process(
+    COMMAND ${DYNEX_LOADGEN} --port ${port2} --mode closed
+            --clients 4 --duration-ms 2000 --mix ping=0,ls=0,sweep=1
+            --retries 6 --backoff-ms 10 --seed 11
+    OUTPUT_VARIABLE overload_out
+    RESULT_VARIABLE overload_rc)
+stop_server(${WORK_DIR}/pid_overload)
+message(STATUS "overload run:\n${overload_out}")
+if(NOT overload_rc EQUAL 0)
+    message(FATAL_ERROR
+        "retrying clients made no forward progress under overload "
+        "(rc ${overload_rc})")
+endif()
+# The tiny budget must actually have shed something; the loadgen sees
+# those sheds as BUSY responses on the retry path.
+if(NOT overload_out MATCHES "busy-responses +[1-9]")
+    message(FATAL_ERROR
+        "overload run saw no BUSY sheds — admission control did not "
+        "engage:\n${overload_out}")
+endif()

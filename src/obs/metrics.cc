@@ -73,6 +73,20 @@ counterName(Counter counter)
         return "store-bytes-saved";
       case Counter::StoreEncodedHits:
         return "store-encoded-hits";
+      case Counter::SrvAdmitted:
+        return "srv-admitted";
+      case Counter::SrvShed:
+        return "srv-shed";
+      case Counter::SrvRetryAfterMs:
+        return "srv-retry-after-ms";
+      case Counter::ChaosBusy:
+        return "chaos-busy";
+      case Counter::ChaosTrunc:
+        return "chaos-truncations";
+      case Counter::ChaosDelay:
+        return "chaos-delays";
+      case Counter::ChaosLoadFail:
+        return "chaos-load-failures";
     }
     return "unknown";
 }

@@ -66,9 +66,16 @@ enum class Counter : std::uint8_t
     StoreEvictions,///< TraceStore entries evicted for the byte budget
     StoreBytesSaved,  ///< budget saved by encoded-size residency charges
     StoreEncodedHits, ///< TraceStore loads charged at encoded size
+    SrvAdmitted,      ///< cost-bearing requests past admission control
+    SrvShed,          ///< requests shed with a BUSY + retry-after hint
+    SrvRetryAfterMs,  ///< summed retry-after hints handed to clients
+    ChaosBusy,        ///< chaos: forced BUSY answers
+    ChaosTrunc,       ///< chaos: truncated response frames
+    ChaosDelay,       ///< chaos: injected pre-handling delays
+    ChaosLoadFail,    ///< chaos: injected TraceStore load failures
 };
 
-inline constexpr std::size_t kCounterCount = 15;
+inline constexpr std::size_t kCounterCount = 22;
 
 /** Stable lowercase name for @p counter (JSON keys, tables). */
 const char *counterName(Counter counter);

@@ -99,7 +99,10 @@ const std::array<Counter, kCounterCount> kAllCounters = {
     Counter::SrvBytesIn,   Counter::SrvBytesOut,
     Counter::StoreHits,    Counter::StoreMisses,
     Counter::StoreEvictions, Counter::StoreBytesSaved,
-    Counter::StoreEncodedHits};
+    Counter::StoreEncodedHits, Counter::SrvAdmitted,
+    Counter::SrvShed,      Counter::SrvRetryAfterMs,
+    Counter::ChaosBusy,    Counter::ChaosTrunc,
+    Counter::ChaosDelay,   Counter::ChaosLoadFail};
 
 /** Wall-clock counters are excluded at Deterministic detail. */
 bool

@@ -1,0 +1,184 @@
+#include "server/chaos.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_utils.h"
+
+namespace dynex
+{
+namespace server
+{
+
+namespace
+{
+
+Status
+parseProbability(const std::string &key, const std::string &value,
+                 double &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (errno != 0 || end == value.c_str() || *end != '\0')
+        return Status::corruptInput("chaos spec: bad number for '" +
+                                    key + "': '" + value + "'");
+    if (parsed < 0.0 || parsed > 1.0)
+        return Status::corruptInput("chaos spec: probability for '" +
+                                    key + "' outside [0,1]");
+    out = parsed;
+    return Status();
+}
+
+} // namespace
+
+Result<ChaosSpec>
+parseChaosSpec(const std::string &text)
+{
+    ChaosSpec spec;
+    if (trim(text).empty())
+        return spec;
+    for (const std::string &field : split(text, ','))
+    {
+        const std::string entry = trim(field);
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos)
+            return Status::corruptInput(
+                "chaos spec: expected key=value, got '" + entry + "'");
+        const std::string key = trim(entry.substr(0, eq));
+        const std::string value = trim(entry.substr(eq + 1));
+        if (key == "busy")
+        {
+            if (Status s = parseProbability(key, value,
+                                            spec.forceBusyProb);
+                !s.ok())
+                return s;
+        }
+        else if (key == "trunc")
+        {
+            if (Status s =
+                    parseProbability(key, value, spec.truncateProb);
+                !s.ok())
+                return s;
+        }
+        else if (key == "delay")
+        {
+            if (Status s = parseProbability(key, value, spec.delayProb);
+                !s.ok())
+                return s;
+        }
+        else if (key == "load-fail")
+        {
+            if (Status s =
+                    parseProbability(key, value, spec.loadFailProb);
+                !s.ok())
+                return s;
+        }
+        else if (key == "delay-ms")
+        {
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(value.c_str(), &end, 10);
+            if (errno != 0 || end == value.c_str() || *end != '\0' ||
+                parsed > 60'000)
+                return Status::corruptInput(
+                    "chaos spec: bad delay-ms '" + value + "'");
+            spec.delayMs = static_cast<std::uint32_t>(parsed);
+        }
+        else
+        {
+            return Status::corruptInput("chaos spec: unknown key '" +
+                                        key + "'");
+        }
+    }
+    return spec;
+}
+
+std::string
+chaosSpecToString(const ChaosSpec &spec)
+{
+    auto prob = [](double p) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%g", p);
+        return std::string(buffer);
+    };
+    return "busy=" + prob(spec.forceBusyProb) +
+           ",trunc=" + prob(spec.truncateProb) +
+           ",delay=" + prob(spec.delayProb) +
+           ",delay-ms=" + std::to_string(spec.delayMs) +
+           ",load-fail=" + prob(spec.loadFailProb);
+}
+
+ChaosInjector::ChaosInjector(ChaosSpec chaos_spec, std::uint64_t seed)
+    : spec(chaos_spec), busyRng(0), truncateRng(0), delayRng(0),
+      loadRng(0)
+{
+    // One forked stream per seam: the number of draws at one seam
+    // never shifts another seam's fault sequence.
+    Rng root(seed);
+    busyRng = root.fork(1);
+    truncateRng = root.fork(2);
+    delayRng = root.fork(3);
+    loadRng = root.fork(4);
+}
+
+bool
+ChaosInjector::shouldForceBusy()
+{
+    if (spec.forceBusyProb <= 0.0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex);
+    const bool fire = busyRng.nextDouble() < spec.forceBusyProb;
+    if (fire)
+        ++tallies.busy;
+    return fire;
+}
+
+bool
+ChaosInjector::shouldTruncateResponse()
+{
+    if (spec.truncateProb <= 0.0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex);
+    const bool fire = truncateRng.nextDouble() < spec.truncateProb;
+    if (fire)
+        ++tallies.truncations;
+    return fire;
+}
+
+std::uint32_t
+ChaosInjector::delayBeforeHandleMs()
+{
+    if (spec.delayProb <= 0.0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex);
+    const bool fire = delayRng.nextDouble() < spec.delayProb;
+    if (!fire)
+        return 0;
+    ++tallies.delays;
+    return spec.delayMs;
+}
+
+bool
+ChaosInjector::shouldFailLoad()
+{
+    if (spec.loadFailProb <= 0.0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex);
+    const bool fire = loadRng.nextDouble() < spec.loadFailProb;
+    if (fire)
+        ++tallies.loadFailures;
+    return fire;
+}
+
+ChaosInjector::Counters
+ChaosInjector::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return tallies;
+}
+
+} // namespace server
+} // namespace dynex

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Seeded chaos injection for the dynex server: deterministic fault
+ * injection at the seams where production failures actually land —
+ * the network (delayed requests, truncated responses), the admission
+ * path (forced BUSY), and the TraceStore loader (injected load
+ * failures). Off by default; enabled by `dynex_serve --chaos-seed N
+ * --chaos-spec busy=0.2,trunc=0.1,delay=0.3,delay-ms=20,load-fail=0.4`.
+ *
+ * Every seam draws from its own forked RNG stream, so the draw count
+ * at one seam never perturbs another: a test that provokes more
+ * requests still sees the same per-seam fault sequence. This extends
+ * the PR 3 fault-hook discipline (sweep fault hooks, corruption
+ * fuzzers) up to the serving layer — every degradation path becomes
+ * drivable from a test, not merely reachable in production.
+ */
+
+#ifndef DYNEX_SERVER_CHAOS_H
+#define DYNEX_SERVER_CHAOS_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dynex
+{
+namespace server
+{
+
+/** Fault probabilities, all 0 (off) by default. */
+struct ChaosSpec
+{
+    double forceBusyProb = 0.0;  ///< answer a request with BUSY
+    double truncateProb = 0.0;   ///< cut a response frame short
+    double delayProb = 0.0;      ///< sleep before handling a request
+    double loadFailProb = 0.0;   ///< fail a TraceStore load
+    std::uint32_t delayMs = 10;  ///< length of an injected delay
+
+    bool any() const
+    {
+        return forceBusyProb > 0.0 || truncateProb > 0.0 ||
+               delayProb > 0.0 || loadFailProb > 0.0;
+    }
+};
+
+/**
+ * Parse "key=value,key=value" with keys busy, trunc, delay, load-fail
+ * (probabilities in [0,1]) and delay-ms (u32). Unknown keys, bad
+ * numbers, and out-of-range probabilities are CorruptInput.
+ */
+Result<ChaosSpec> parseChaosSpec(const std::string &text);
+
+/** Render a spec back to its canonical key=value form (tests). */
+std::string chaosSpecToString(const ChaosSpec &spec);
+
+class ChaosInjector
+{
+  public:
+    ChaosInjector(ChaosSpec chaos_spec, std::uint64_t seed);
+
+    bool enabled() const { return spec.any(); }
+
+    /** @return true when this request should be answered with BUSY. */
+    bool shouldForceBusy();
+
+    /** @return true when this response should be truncated mid-frame. */
+    bool shouldTruncateResponse();
+
+    /** @return an injected pre-handling delay in ms, or 0. */
+    std::uint32_t delayBeforeHandleMs();
+
+    /** @return true when this TraceStore load should fail. */
+    bool shouldFailLoad();
+
+    struct Counters
+    {
+        std::uint64_t busy = 0;
+        std::uint64_t truncations = 0;
+        std::uint64_t delays = 0;
+        std::uint64_t loadFailures = 0;
+    };
+    Counters counters() const;
+
+  private:
+    ChaosSpec spec;
+
+    mutable std::mutex mutex;
+    Rng busyRng;
+    Rng truncateRng;
+    Rng delayRng;
+    Rng loadRng;
+    Counters tallies;
+};
+
+} // namespace server
+} // namespace dynex
+
+#endif // DYNEX_SERVER_CHAOS_H

@@ -3,8 +3,21 @@
  * DXP1 client: a small blocking connection to a dynex simulation
  * server. One Client wraps one TCP connection; calls are synchronous
  * request/response pairs. An ERROR frame from the server comes back
- * as the Status it carries; a BUSY frame comes back as ResourceLimit
- * ("server busy") so callers can retry with backoff.
+ * as the Status it carries; a BUSY frame comes back as a Busy status
+ * carrying the server's retryAfterMs hint.
+ *
+ * Resilience: setRetryPolicy() arms transparent retries with
+ * exponential backoff and full jitter. An attempt is retried when the
+ * failure is plausibly transient — a BUSY shed, a transport fault
+ * (truncated frame, dropped connection, failed write), or a server
+ * IoError (e.g. an injected trace-load failure, which the server
+ * never caches) — and never when the request itself is at fault
+ * (CorruptInput, ResourceLimit, DeadlineExceeded, Internal). The
+ * sleep before attempt n is max(server hint, uniform[0, backoff *
+ * 2^n]), clamped so the total spent never exceeds the retry budget.
+ * A response obtained after retries is byte-identical to one from a
+ * single successful attempt — retries re-send the identical request
+ * frame and the server's handlers are deterministic.
  */
 
 #ifndef DYNEX_SERVER_CLIENT_H
@@ -15,12 +28,38 @@
 #include <vector>
 
 #include "server/protocol.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace dynex
 {
 namespace server
 {
+
+/** How a Client retries failed calls. Default: no retries. */
+struct RetryPolicy
+{
+    /** Additional attempts after the first (0 = fail fast). */
+    unsigned retries = 0;
+    /** Base backoff; attempt n sleeps uniform[0, backoffMs * 2^n],
+     * floored by the server's retryAfterMs hint. */
+    std::uint32_t backoffMs = 100;
+    /** Total ms across attempts and sleeps (0 = unlimited). Maps to
+     * the CLI's --deadline-ms. */
+    std::uint32_t budgetMs = 0;
+    /** Jitter seed, so tests can replay an exact retry schedule. */
+    std::uint64_t seed = 0x1992'0519ull;
+};
+
+/** What the retry loop did, for load reports and tests. */
+struct RetryStats
+{
+    std::uint64_t attempts = 0;          ///< request frames sent
+    std::uint64_t retries = 0;           ///< attempts after the first
+    std::uint64_t busyResponses = 0;     ///< BUSY sheds seen
+    std::uint64_t transportFailures = 0; ///< reconnect-worthy faults
+    std::uint64_t sleptMs = 0;           ///< total backoff slept
+};
 
 class Client
 {
@@ -31,7 +70,7 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    Client(Client &&other) noexcept : fd(other.fd) { other.fd = -1; }
+    Client(Client &&other) noexcept { *this = std::move(other); }
     Client &operator=(Client &&other) noexcept
     {
         if (this != &other)
@@ -39,12 +78,28 @@ class Client
             close();
             fd = other.fd;
             other.fd = -1;
+            host = std::move(other.host);
+            port = other.port;
+            clientId = std::move(other.clientId);
+            policy = other.policy;
+            jitter = other.jitter;
+            retryTally = other.retryTally;
         }
         return *this;
     }
 
-    /** Connect to a server (loopback dotted-quad host). */
+    /** Connect to a server (loopback dotted-quad host). When a client
+     * id is set, a hello identifying this client is sent first. */
     Status connect(const std::string &host, std::uint16_t port);
+
+    /** Arm transparent retries for subsequent calls. */
+    void setRetryPolicy(const RetryPolicy &retry_policy);
+
+    /** Identity sent in the DXP1 hello for per-client fairness; takes
+     * effect at the next connect/reconnect. */
+    void setClientId(const std::string &client_id);
+
+    const RetryStats &retryStats() const { return retryTally; }
 
     bool connected() const { return fd >= 0; }
     void close();
@@ -56,12 +111,27 @@ class Client
     Result<StatsResult> stats();
 
   private:
-    /** Send @p payload as @p type, read one frame back, and unwrap
-     * ERROR / BUSY; the result is the raw payload of @p expected. */
+    /** One attempt: send, read one frame, unwrap ERROR / BUSY.
+     * @p transport_failure flags faults that poison the connection
+     * (the retry loop must reconnect before the next attempt). */
+    Result<std::string> callOnce(MsgType type, std::string_view payload,
+                                 MsgType expected,
+                                 bool &transport_failure);
+
+    /** The retry loop around callOnce(), per the armed policy. */
     Result<std::string> call(MsgType type, std::string_view payload,
                              MsgType expected);
 
+    /** (Re)establish the socket and send the hello. */
+    Status reconnect();
+
     int fd = -1;
+    std::string host;
+    std::uint16_t port = 0;
+    std::string clientId;
+    RetryPolicy policy;
+    Rng jitter{policy.seed};
+    RetryStats retryTally;
 };
 
 } // namespace server

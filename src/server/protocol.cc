@@ -40,11 +40,13 @@ msgTypeName(MsgType type)
       case MsgType::ReplayRequest: return "replay";
       case MsgType::SweepRequest: return "sweep";
       case MsgType::StatsRequest: return "stats";
+      case MsgType::HelloRequest: return "hello";
       case MsgType::PingResponse: return "ping-ok";
       case MsgType::ListResponse: return "list-ok";
       case MsgType::ReplayResponse: return "replay-ok";
       case MsgType::SweepResponse: return "sweep-ok";
       case MsgType::StatsResponse: return "stats-ok";
+      case MsgType::HelloResponse: return "hello-ok";
       case MsgType::ErrorResponse: return "error";
       case MsgType::BusyResponse: return "busy";
     }
@@ -60,6 +62,7 @@ isRequestType(MsgType type)
       case MsgType::ReplayRequest:
       case MsgType::SweepRequest:
       case MsgType::StatsRequest:
+      case MsgType::HelloRequest:
         return true;
       default:
         return false;
@@ -78,11 +81,13 @@ isKnownType(std::uint16_t raw)
       case MsgType::ReplayRequest:
       case MsgType::SweepRequest:
       case MsgType::StatsRequest:
+      case MsgType::HelloRequest:
       case MsgType::PingResponse:
       case MsgType::ListResponse:
       case MsgType::ReplayResponse:
       case MsgType::SweepResponse:
       case MsgType::StatsResponse:
+      case MsgType::HelloResponse:
       case MsgType::ErrorResponse:
       case MsgType::BusyResponse:
         return true;
@@ -646,6 +651,50 @@ parseErrorResponse(std::string_view payload)
     return error;
 }
 
+std::string
+encodeHelloRequest(const HelloInfo &hello)
+{
+    WireWriter w;
+    w.str(hello.clientId);
+    return w.take();
+}
+
+Result<HelloInfo>
+parseHelloRequest(std::string_view payload)
+{
+    WireReader r(payload);
+    HelloInfo hello;
+    if (Status s = r.str(hello.clientId); !s.ok())
+        return s;
+    if (Status s = r.done(); !s.ok())
+        return s;
+    return hello;
+}
+
+std::string
+encodeBusyResponse(const BusyInfo &busy)
+{
+    WireWriter w;
+    w.u32(busy.retryAfterMs);
+    return w.take();
+}
+
+Result<BusyInfo>
+parseBusyResponse(std::string_view payload)
+{
+    // Pre-hint servers sent an empty BUSY payload: still a valid shed,
+    // just without a retry-after suggestion.
+    BusyInfo busy;
+    if (payload.empty())
+        return busy;
+    WireReader r(payload);
+    if (Status s = r.u32(busy.retryAfterMs); !s.ok())
+        return s;
+    if (Status s = r.done(); !s.ok())
+        return s;
+    return busy;
+}
+
 Status
 statusFromWire(const ErrorInfo &error)
 {
@@ -656,6 +705,10 @@ statusFromWire(const ErrorInfo &error)
         return Status::ioError(error.message);
       case StatusCode::ResourceLimit:
         return Status::resourceLimit(error.message);
+      case StatusCode::DeadlineExceeded:
+        return Status::deadlineExceeded(error.message);
+      case StatusCode::Busy:
+        return Status::busy(error.message);
       default:
         return Status::internal(error.message);
     }

@@ -65,14 +65,16 @@ enum class MsgType : std::uint16_t
     ReplayRequest = 0x0003, ///< one (trace, model, geometry) replay
     SweepRequest = 0x0004,  ///< full paper-size-axis triad sweep
     StatsRequest = 0x0005,  ///< server + TraceStore counters
+    HelloRequest = 0x0006,  ///< identify the client for fair admission
 
     PingResponse = 0x8001,
     ListResponse = 0x8002,
     ReplayResponse = 0x8003,
     SweepResponse = 0x8004,
     StatsResponse = 0x8005,
+    HelloResponse = 0x8006,
     ErrorResponse = 0x80fe, ///< structured Status for a failed request
-    BusyResponse = 0x80ff,  ///< backpressure: queue full, retry later
+    BusyResponse = 0x80ff,  ///< backpressure: shed, retry later
 };
 
 /** Stable lowercase name ("ping", "sweep", "error", ...). */
@@ -258,6 +260,23 @@ struct ErrorInfo
     std::string message;
 };
 
+/** HelloRequest: the client's identity for per-client fairness. */
+struct HelloInfo
+{
+    std::string clientId;
+};
+
+/**
+ * BusyResponse: the shed hint. `retryAfterMs` of 0 means "no hint".
+ * The payload is optional on the wire — pre-hint peers sent an empty
+ * BUSY payload, which parses as retryAfterMs = 0, and old clients
+ * that ignore the payload keep working against new servers.
+ */
+struct BusyInfo
+{
+    std::uint32_t retryAfterMs = 0;
+};
+
 std::string encodePingResponse(const PingInfo &info);
 Result<PingInfo> parsePingResponse(std::string_view payload);
 
@@ -282,6 +301,12 @@ Result<StatsResult> parseStatsResponse(std::string_view payload);
 
 std::string encodeErrorResponse(const Status &status);
 Result<ErrorInfo> parseErrorResponse(std::string_view payload);
+
+std::string encodeHelloRequest(const HelloInfo &hello);
+Result<HelloInfo> parseHelloRequest(std::string_view payload);
+
+std::string encodeBusyResponse(const BusyInfo &busy);
+Result<BusyInfo> parseBusyResponse(std::string_view payload);
 
 /** Rebuild a Status from a wire error (unknown codes map to Internal). */
 Status statusFromWire(const ErrorInfo &error);

@@ -65,12 +65,32 @@ void chargeActive(obs::Counter counter, std::uint64_t delta)
         metrics->add(counter, delta);
 }
 
+/** Returns an admitted request's estimated cost to the budget on
+ * every exit path of a handler. */
+struct AdmissionRelease
+{
+    AdmissionController &controller;
+    std::uint64_t costNs;
+    ~AdmissionRelease() { controller.release(costNs); }
+};
+
 } // namespace
 
 Server::Server(ServerConfig server_config)
     : config(std::move(server_config)),
+      admission(config.admission),
+      chaos(config.chaos, config.chaosSeed),
       traceStore(
           [this](const std::string &name) -> Result<Trace> {
+              if (chaos.shouldFailLoad())
+              {
+                  // Failed loads are never cached, so a retrying
+                  // client's next attempt reloads for real.
+                  chargeActive(obs::Counter::ChaosLoadFail, 1);
+                  return Status::ioError(
+                      "chaos: injected load failure for '" + name +
+                      "'");
+              }
               const ServedTrace *served = findServed(name);
               if (!served)
                   return Status::corruptInput("unknown trace '" + name +
@@ -174,13 +194,18 @@ void Server::listenerMain()
         if (pending.size() >= config.queueCapacity)
         {
             lock.unlock();
-            // Explicit backpressure: tell the client, don't make it
-            // diagnose a silent close.
-            (void)writeFrame(client, MsgType::BusyResponse, {});
+            // Explicit backpressure: tell the client when to come
+            // back, don't make it diagnose a silent close. The
+            // connection itself cannot be kept (no worker will ever
+            // pick it up), so this is the one BUSY that still closes.
+            const std::uint32_t retryMs = admission.queueRetryAfterMs();
+            (void)writeFrame(client, MsgType::BusyResponse,
+                             encodeBusyResponse({retryMs}));
             closeSocket(client);
             std::lock_guard<std::mutex> tally(countersMutex);
             ++tallies.busy;
             chargeActive(obs::Counter::SrvBusy, 1);
+            chargeActive(obs::Counter::SrvRetryAfterMs, retryMs);
             continue;
         }
         pending.push_back(client);
@@ -218,6 +243,7 @@ void Server::workerMain()
 
 void Server::serveConnection(int fd)
 {
+    std::string clientId = "anon";
     while (!stopping.load(std::memory_order_relaxed))
     {
         bool cleanEof = false;
@@ -249,13 +275,28 @@ void Server::serveConnection(int fd)
         chargeActive(obs::Counter::SrvBytesIn, frameBytes);
         chargeActive(obs::Counter::SrvRequests, 1);
 
+        if (const std::uint32_t delayMs = chaos.delayBeforeHandleMs())
+        {
+            chargeActive(obs::Counter::ChaosDelay, 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delayMs));
+        }
+
         const std::string response =
-            handleRequest(frame.value(), arrivalNs);
+            handleRequest(frame.value(), arrivalNs, clientId);
         {
             std::lock_guard<std::mutex> tally(countersMutex);
             tallies.bytesOut += response.size();
         }
         chargeActive(obs::Counter::SrvBytesOut, response.size());
+        if (chaos.shouldTruncateResponse())
+        {
+            // Network fault: the peer sees a frame cut mid-payload
+            // and must recover via its transport-retry path.
+            chargeActive(obs::Counter::ChaosTrunc, 1);
+            (void)writeAll(fd, response.data(), response.size() / 2);
+            return;
+        }
         if (!writeAll(fd, response.data(), response.size()).ok())
             return;
     }
@@ -266,13 +307,25 @@ std::string Server::errorFrame(const Status &status)
     {
         std::lock_guard<std::mutex> tally(countersMutex);
         ++tallies.errors;
-        if (status.code() == StatusCode::ResourceLimit &&
-            status.message().find("deadline") != std::string::npos)
+        if (status.code() == StatusCode::DeadlineExceeded)
             ++tallies.deadlineExpirations;
     }
     chargeActive(obs::Counter::SrvErrors, 1);
     return encodeFrame(MsgType::ErrorResponse,
                        encodeErrorResponse(status));
+}
+
+std::string Server::busyFrame(std::uint32_t retry_after_ms)
+{
+    {
+        std::lock_guard<std::mutex> tally(countersMutex);
+        ++tallies.busy;
+    }
+    chargeActive(obs::Counter::SrvBusy, 1);
+    chargeActive(obs::Counter::SrvShed, 1);
+    chargeActive(obs::Counter::SrvRetryAfterMs, retry_after_ms);
+    return encodeFrame(MsgType::BusyResponse,
+                       encodeBusyResponse({retry_after_ms}));
 }
 
 Status Server::checkDeadline(std::uint64_t arrival_ns,
@@ -284,18 +337,46 @@ Status Server::checkDeadline(std::uint64_t arrival_ns,
         (obs::monotonicNs() - arrival_ns) / 1000000;
     if (elapsedMs <= deadline_ms)
         return Status();
-    return Status::resourceLimit("deadline of " +
-                                 std::to_string(deadline_ms) +
-                                 "ms exceeded");
+    return Status::deadlineExceeded("deadline of " +
+                                    std::to_string(deadline_ms) +
+                                    "ms exceeded");
+}
+
+std::uint64_t Server::estimateRefs(const std::string &trace_name) const
+{
+    const ServedTrace *served = findServed(trace_name);
+    if (!served)
+        return 0;
+    if (served->path.empty())
+        return config.refs ? config.refs : Workloads::defaultRefs();
+    // File-backed: approximate refs from the encoded byte rate of the
+    // format (~2 B/ref for DXT3, ~10 B/ref for DXT1/DXT2, ~12 B/line
+    // for din text). Only the magnitude matters — the EWMA absorbs
+    // the rest.
+    const std::string &path = served->path;
+    if (path.size() >= 5 && iequals(path.substr(path.size() - 5), ".dxt3"))
+        return served->fileBytes / 2;
+    if (isDinPath(path))
+        return served->fileBytes / 12;
+    return served->fileBytes / 10;
 }
 
 std::string Server::handleRequest(const Frame &request,
-                                  std::uint64_t arrival_ns)
+                                  std::uint64_t arrival_ns,
+                                  std::string &client_id)
 {
     if (!isRequestType(request.type))
         return errorFrame(Status::corruptInput(
             std::string("frame type '") + msgTypeName(request.type) +
             "' is not a request"));
+
+    if (chaos.shouldForceBusy())
+    {
+        // Injected overload: answer exactly like an admission shed so
+        // the client's retry path is exercised end to end.
+        chargeActive(obs::Counter::ChaosBusy, 1);
+        return busyFrame(config.admission.minRetryAfterMs);
+    }
 
     if (config.testDelayBeforeExecuteMs > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(
@@ -342,6 +423,20 @@ std::string Server::handleRequest(const Frame &request,
         return handleList();
     case MsgType::StatsRequest:
         return handleStats();
+    case MsgType::HelloRequest:
+    {
+        Result<HelloInfo> parsed = parseHelloRequest(request.payload);
+        if (!parsed.ok())
+            return errorFrame(
+                parsed.status().withContext("hello request"));
+        if (!parsed.value().clientId.empty())
+            client_id = parsed.value().clientId;
+        {
+            std::lock_guard<std::mutex> tally(countersMutex);
+            ++tallies.helloes;
+        }
+        return encodeFrame(MsgType::HelloResponse, {});
+    }
     case MsgType::ReplayRequest:
     {
         Result<ReplayRequest> parsed =
@@ -353,7 +448,7 @@ std::string Server::handleRequest(const Frame &request,
             std::lock_guard<std::mutex> tally(countersMutex);
             ++tallies.replays;
         }
-        return handleReplay(parsed.value(), arrival_ns);
+        return handleReplay(parsed.value(), arrival_ns, client_id);
     }
     case MsgType::SweepRequest:
     {
@@ -365,7 +460,7 @@ std::string Server::handleRequest(const Frame &request,
             std::lock_guard<std::mutex> tally(countersMutex);
             ++tallies.sweeps;
         }
-        return handleSweep(parsed.value(), arrival_ns);
+        return handleSweep(parsed.value(), arrival_ns, client_id);
     }
     default:
         return errorFrame(Status::internal("unhandled request type"));
@@ -403,7 +498,8 @@ std::string Server::handleStats()
 }
 
 std::string Server::handleReplay(const ReplayRequest &request,
-                                 std::uint64_t arrival_ns)
+                                 std::uint64_t arrival_ns,
+                                 const std::string &client_id)
 {
     if (!validModel(request.model))
         return errorFrame(Status::corruptInput("unknown model '" +
@@ -415,6 +511,16 @@ std::string Server::handleReplay(const ReplayRequest &request,
     Status deadline = checkDeadline(arrival_ns, request.deadlineMs);
     if (!deadline.ok())
         return errorFrame(deadline);
+
+    const AdmissionDecision ticket =
+        admission.admit(client_id, WorkKind::Replay,
+                        estimateRefs(request.trace), 1,
+                        obs::monotonicNs());
+    if (!ticket.admitted)
+        return busyFrame(ticket.retryAfterMs);
+    chargeActive(obs::Counter::SrvAdmitted, 1);
+    const AdmissionRelease released{admission, ticket.costNs};
+    const std::uint64_t startNs = obs::monotonicNs();
 
     const bool wantsOptimal = iequals(request.model, "opt");
     std::shared_ptr<const Trace> trace;
@@ -468,12 +574,15 @@ std::string Server::handleReplay(const ReplayRequest &request,
     result.stats = runTrace(*cache, *trace);
     result.model = cache->name();
     result.refs = trace->size();
+    admission.recordServiced(WorkKind::Replay, trace->size(), 1,
+                             obs::monotonicNs() - startNs);
     return encodeFrame(MsgType::ReplayResponse,
                        encodeReplayResponse(result));
 }
 
 std::string Server::handleSweep(const SweepRequest &request,
-                                std::uint64_t arrival_ns)
+                                std::uint64_t arrival_ns,
+                                const std::string &client_id)
 {
     const Status geometry = validGeometry(
         paperCacheSizes().back(), request.lineBytes);
@@ -485,6 +594,20 @@ std::string Server::handleSweep(const SweepRequest &request,
     Status deadline = checkDeadline(arrival_ns, request.deadlineMs);
     if (!deadline.ok())
         return errorFrame(deadline);
+
+    // A sweep replays three models at every paper size.
+    const WorkKind kind = request.engine == 0 ? WorkKind::SweepBatched
+                          : request.engine == 1 ? WorkKind::SweepPerLeg
+                                                : WorkKind::SweepKernel;
+    const std::uint64_t legs = 3 * paperCacheSizes().size();
+    const AdmissionDecision ticket =
+        admission.admit(client_id, kind, estimateRefs(request.trace),
+                        legs, obs::monotonicNs());
+    if (!ticket.admitted)
+        return busyFrame(ticket.retryAfterMs);
+    chargeActive(obs::Counter::SrvAdmitted, 1);
+    const AdmissionRelease released{admission, ticket.costNs};
+    const std::uint64_t startNs = obs::monotonicNs();
 
     Result<IndexedTrace> warm =
         traceStore.indexed(request.trace, request.lineBytes);
@@ -533,6 +656,8 @@ std::string Server::handleSweep(const SweepRequest &request,
         wire.message = failure.status.message();
         result.failures.push_back(std::move(wire));
     }
+    admission.recordServiced(kind, warm.value().trace->size(), legs,
+                             obs::monotonicNs() - startNs);
     return encodeFrame(MsgType::SweepResponse,
                        encodeSweepResponse(result));
 }
@@ -548,6 +673,8 @@ Server::statsRows() const
 {
     const ServerCounters server = counters();
     const TraceStore::Counters store = traceStore.counters();
+    const AdmissionController::Counters admit = admission.counters();
+    const ChaosInjector::Counters faults = chaos.counters();
     return {
         {"requests", server.requests},
         {"errors", server.errors},
@@ -560,7 +687,15 @@ Server::statsRows() const
         {"lists", server.lists},
         {"replays", server.replays},
         {"sweeps", server.sweeps},
+        {"helloes", server.helloes},
         {"deadline-expirations", server.deadlineExpirations},
+        {"admitted", admit.admitted},
+        {"shed", admit.shed},
+        {"retry-after-ms", admit.retryAfterMsTotal},
+        {"chaos-busy", faults.busy},
+        {"chaos-truncations", faults.truncations},
+        {"chaos-delays", faults.delays},
+        {"chaos-load-failures", faults.loadFailures},
         {"store-trace-hits", store.traceHits},
         {"store-trace-misses", store.traceMisses},
         {"store-trace-loads", store.traceLoads},

@@ -25,8 +25,15 @@
  *
  * Deadlines: a request carrying deadlineMs > 0 is checked at cheap
  * checkpoints (after parse, after the trace is loaded); an expired
- * deadline yields ERROR(ResourceLimit). A replay that already started
- * is never aborted mid-flight.
+ * deadline yields ERROR(DeadlineExceeded). A replay that already
+ * started is never aborted mid-flight.
+ *
+ * Admission: replay and sweep requests pass cost-based admission
+ * control before any work runs (see admission.h). A shed request is
+ * answered with a BUSY frame carrying a retryAfterMs hint — and the
+ * connection stays open, so a well-behaved client backs off and
+ * retries on the same socket. Seeded chaos injection (chaos.h) can
+ * additionally fault the request path for resilience testing.
  *
  * Shutdown: stop() (or the serve tool's SIGINT/SIGTERM handler) stops
  * accepting, lets each worker finish the request in flight, then
@@ -47,6 +54,8 @@
 #include <thread>
 #include <vector>
 
+#include "server/admission.h"
+#include "server/chaos.h"
 #include "server/protocol.h"
 #include "server/trace_store.h"
 #include "util/status.h"
@@ -73,6 +82,12 @@ struct ServerConfig
     std::uint64_t storeBudgetBytes = 1ull << 30; ///< TraceStore budget
     Count refs = 0; ///< synthetic refs per benchmark (0 = default)
     std::vector<ServedTrace> traces;
+    /** Cost-based admission control (see admission.h). */
+    AdmissionConfig admission;
+    /** Seeded fault injection, off unless the spec sets a
+     * probability (see chaos.h). */
+    ChaosSpec chaos;
+    std::uint64_t chaosSeed = 1992;
     /** Test hook: sleep this long after parsing each request, so a
      * deadline test can expire a deadline deterministically. */
     std::uint32_t testDelayBeforeExecuteMs = 0;
@@ -93,6 +108,7 @@ struct ServerCounters
     std::uint64_t replays = 0;
     std::uint64_t sweeps = 0;
     std::uint64_t stats = 0;
+    std::uint64_t helloes = 0;
     std::uint64_t deadlineExpirations = 0;
 };
 
@@ -128,26 +144,39 @@ class Server
     void serveConnection(int fd);
 
     /** Handle one well-framed request; @return the response frame
-     * bytes (already encoded). */
+     * bytes (already encoded). @p client_id is the connection's
+     * identity, rewritten by a hello request. */
     std::string handleRequest(const Frame &request,
-                              std::uint64_t arrival_ns);
+                              std::uint64_t arrival_ns,
+                              std::string &client_id);
 
     std::string handlePing();
     std::string handleList();
     std::string handleReplay(const ReplayRequest &request,
-                             std::uint64_t arrival_ns);
+                             std::uint64_t arrival_ns,
+                             const std::string &client_id);
     std::string handleSweep(const SweepRequest &request,
-                            std::uint64_t arrival_ns);
+                            std::uint64_t arrival_ns,
+                            const std::string &client_id);
     std::string handleStats();
 
-    /** Ok, or ResourceLimit once @p deadline_ms has passed. */
+    /** Ok, or DeadlineExceeded once @p deadline_ms has passed. */
     Status checkDeadline(std::uint64_t arrival_ns,
                          std::uint32_t deadline_ms);
+
+    /** A BUSY frame carrying @p retry_after_ms, tallied as a shed. */
+    std::string busyFrame(std::uint32_t retry_after_ms);
+
+    /** Estimated reference count of a served trace, for the admission
+     * cost model (decoded size is unknown before the load). */
+    std::uint64_t estimateRefs(const std::string &trace_name) const;
 
     std::string errorFrame(const Status &status);
     const ServedTrace *findServed(const std::string &name) const;
 
     ServerConfig config;
+    AdmissionController admission;
+    ChaosInjector chaos;
     TraceStore traceStore;
     std::uint16_t boundPort = 0;
     int listenFd = -1;

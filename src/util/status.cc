@@ -19,8 +19,18 @@ statusCodeName(StatusCode code)
         return "resource-limit";
       case StatusCode::Internal:
         return "internal";
+      case StatusCode::DeadlineExceeded:
+        return "deadline-exceeded";
+      case StatusCode::Busy:
+        return "busy";
     }
     return "unknown";
+}
+
+bool
+isRetryableCode(StatusCode code)
+{
+    return code == StatusCode::Busy || code == StatusCode::IoError;
 }
 
 Status
@@ -47,6 +57,20 @@ Status::internal(std::string message)
     return Status(StatusCode::Internal, std::move(message));
 }
 
+Status
+Status::deadlineExceeded(std::string message)
+{
+    return Status(StatusCode::DeadlineExceeded, std::move(message));
+}
+
+Status
+Status::busy(std::string message, std::uint32_t retry_after_ms)
+{
+    Status status(StatusCode::Busy, std::move(message));
+    status.retryAfterHintMs = retry_after_ms;
+    return status;
+}
+
 std::string
 Status::toString() const
 {
@@ -65,7 +89,9 @@ Status::withContext(const std::string &context) const
 {
     if (ok())
         return *this;
-    return Status(statusCode, context + ": " + text);
+    Status status(statusCode, context + ": " + text);
+    status.retryAfterHintMs = retryAfterHintMs;
+    return status;
 }
 
 Status

@@ -5,13 +5,16 @@
  * idiom across trace I/O and the sweep entry points.
  *
  * Categories are deliberately coarse so callers can branch on intent:
- *   CorruptInput   the bytes/text being parsed are malformed
- *   IoError        the OS failed us (open/read/write); message carries
- *                  the errno text
- *   ResourceLimit  the input is structurally valid but implausibly or
- *                  dangerously large (e.g. a record count exceeding the
- *                  stream)
- *   Internal       an unexpected failure inside the library
+ *   CorruptInput     the bytes/text being parsed are malformed
+ *   IoError          the OS failed us (open/read/write); message
+ *                    carries the errno text
+ *   ResourceLimit    the input is structurally valid but implausibly
+ *                    or dangerously large (e.g. a record count
+ *                    exceeding the stream)
+ *   Internal         an unexpected failure inside the library
+ *   DeadlineExceeded a request's deadline expired before the work ran
+ *   Busy             the peer shed the request under load; retryable,
+ *                    optionally with a retry-after hint
  */
 
 #ifndef DYNEX_UTIL_STATUS_H
@@ -34,10 +37,16 @@ enum class StatusCode : std::uint8_t
     IoError,
     ResourceLimit,
     Internal,
+    DeadlineExceeded,
+    Busy,
 };
 
 /** @return "ok", "corrupt-input", "io-error", ... */
 const char *statusCodeName(StatusCode code);
+
+/** @return true when retrying the same operation later can succeed
+ * without changing the request (overload or transient transport). */
+bool isRetryableCode(StatusCode code);
 
 /**
  * An error code plus a human-readable message. Default-constructed
@@ -53,10 +62,17 @@ class [[nodiscard]] Status
     static Status ioError(std::string message);
     static Status resourceLimit(std::string message);
     static Status internal(std::string message);
+    static Status deadlineExceeded(std::string message);
+    /** Overload shedding; @p retry_after_ms of 0 means "no hint". */
+    static Status busy(std::string message,
+                       std::uint32_t retry_after_ms = 0);
 
     bool ok() const { return statusCode == StatusCode::Ok; }
     StatusCode code() const { return statusCode; }
     const std::string &message() const { return text; }
+
+    /** Advisory retry delay carried by Busy statuses (0 = none). */
+    std::uint32_t retryAfterMs() const { return retryAfterHintMs; }
 
     /** "corrupt-input: bad magic", or "ok". */
     std::string toString() const;
@@ -71,6 +87,7 @@ class [[nodiscard]] Status
 
     StatusCode statusCode = StatusCode::Ok;
     std::string text;
+    std::uint32_t retryAfterHintMs = 0;
 };
 
 /**

@@ -57,6 +57,10 @@ parseFrameAndBody(const std::string &bytes)
         return parseStatsResponse(frame.value().payload).status();
     case MsgType::ErrorResponse:
         return parseErrorResponse(frame.value().payload).status();
+    case MsgType::HelloRequest:
+        return parseHelloRequest(frame.value().payload).status();
+    case MsgType::BusyResponse:
+        return parseBusyResponse(frame.value().payload).status();
     default:
         return Status();
     }
@@ -120,6 +124,13 @@ buildFrameCorpus()
         MsgType::ErrorResponse,
         encodeErrorResponse(Status::corruptInput("bad frame"))));
     corpus.push_back(encodeFrame(MsgType::BusyResponse, {}));
+    corpus.push_back(encodeFrame(MsgType::BusyResponse,
+                                 encodeBusyResponse({750})));
+
+    HelloInfo hello;
+    hello.clientId = "loadgen-3";
+    corpus.push_back(
+        encodeFrame(MsgType::HelloRequest, encodeHelloRequest(hello)));
     return corpus;
 }
 

@@ -311,6 +311,62 @@ TEST(Dxp1Bodies, StatsRoundTrips)
     EXPECT_EQ(parsed.value().counters[1].second, 1ull << 33);
 }
 
+TEST(Dxp1Bodies, HelloRoundTrips)
+{
+    HelloInfo hello;
+    hello.clientId = "loadgen-3";
+    const auto parsed = parseHelloRequest(encodeHelloRequest(hello));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().clientId, hello.clientId);
+}
+
+TEST(Dxp1Bodies, BusyRoundTripsItsRetryAfterHint)
+{
+    BusyInfo busy;
+    busy.retryAfterMs = 750;
+    const auto parsed = parseBusyResponse(encodeBusyResponse(busy));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().retryAfterMs, 750u);
+}
+
+TEST(Dxp1Bodies, LegacyEmptyBusyPayloadParsesAsNoHint)
+{
+    // Servers that predate the retry-after extension send BUSY with an
+    // empty payload; it must keep parsing as "no hint".
+    const auto parsed = parseBusyResponse({});
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().retryAfterMs, 0u);
+}
+
+TEST(Dxp1Bodies, BusyPayloadWithTrailingGarbageIsRejected)
+{
+    std::string payload = encodeBusyResponse({250});
+    payload += "junk";
+    const auto parsed = parseBusyResponse(payload);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::CorruptInput);
+
+    // A short (non-empty, non-u32) payload is equally malformed.
+    const auto tooShort = parseBusyResponse(std::string("\x01", 1));
+    ASSERT_FALSE(tooShort.ok());
+    EXPECT_EQ(tooShort.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Bodies, NewStatusCodesSurviveTheWire)
+{
+    for (const StatusCode code :
+         {StatusCode::DeadlineExceeded, StatusCode::Busy})
+    {
+        const Status sent = code == StatusCode::Busy
+                                ? Status::busy("shed", 40)
+                                : Status::deadlineExceeded("late");
+        const auto parsed =
+            parseErrorResponse(encodeErrorResponse(sent));
+        ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+        EXPECT_EQ(statusFromWire(parsed.value()).code(), code);
+    }
+}
+
 TEST(Dxp1Bodies, ErrorRoundTripsThroughStatusFromWire)
 {
     const Status sent = Status::resourceLimit("deadline expired");

@@ -5,9 +5,11 @@
  * with the acceptance contracts attached: sweep responses bit-identical
  * to local sweepSizesChecked at any worker count and either engine, a
  * warm TraceStore serving the second sweep with zero new loads or
- * index builds, explicit BUSY backpressure on a full queue, deadline
- * expiry as a structured ResourceLimit, hostile frames answered with
- * ERROR frames (never a crash), and a graceful drain.
+ * index builds, explicit BUSY backpressure (with a retry-after hint)
+ * on a full queue and on admission sheds, deadline expiry as a
+ * structured DeadlineExceeded, per-client fair admission fed by the
+ * DXP1 hello, hostile frames answered with ERROR frames (never a
+ * crash), and a graceful drain.
  */
 
 #include <gtest/gtest.h>
@@ -264,6 +266,12 @@ TEST(ServerEndToEnd, FullQueueAnswersBusyInsteadOfQueueingUnbounded)
     const auto reply = readFrame(rejected.value(), cleanEof);
     ASSERT_TRUE(reply.ok()) << reply.status().toString();
     EXPECT_EQ(reply.value().type, MsgType::BusyResponse);
+    // The rejection carries a clamped retry-after hint so the client
+    // knows to back off instead of hammering the full queue.
+    const auto busy = parseBusyResponse(reply.value().payload);
+    ASSERT_TRUE(busy.ok()) << busy.status().toString();
+    EXPECT_GE(busy.value().retryAfterMs,
+              AdmissionConfig{}.minRetryAfterMs);
     closeSocket(rejected.value());
 
     // The listener tallies the rejection after sending the frame, so
@@ -274,10 +282,11 @@ TEST(ServerEndToEnd, FullQueueAnswersBusyInsteadOfQueueingUnbounded)
     EXPECT_GE(server.counters().queueHighWater, 1u);
 }
 
-TEST(ServerEndToEnd, ClientSurfacesBusyAsARetryableResourceLimit)
+TEST(ServerEndToEnd, ClientSurfacesBusyAsARetryableStatus)
 {
-    // A hand-rolled acceptor that answers every connection with BUSY
-    // but leaves the socket open, so the client's read is determinate.
+    // A hand-rolled acceptor that answers every connection with a
+    // legacy empty-payload BUSY but leaves the socket open, so the
+    // client's read is determinate.
     std::uint16_t port = 0;
     const auto listener = listenTcp(0, port);
     ASSERT_TRUE(listener.ok()) << listener.status().toString();
@@ -293,7 +302,10 @@ TEST(ServerEndToEnd, ClientSurfacesBusyAsARetryableResourceLimit)
     ASSERT_TRUE(client.connect(kHost, port).ok());
     const auto outcome = client.ping();
     ASSERT_FALSE(outcome.ok());
-    EXPECT_EQ(outcome.status().code(), StatusCode::ResourceLimit);
+    EXPECT_EQ(outcome.status().code(), StatusCode::Busy);
+    EXPECT_TRUE(isRetryableCode(outcome.status().code()));
+    // A legacy frame carries no hint.
+    EXPECT_EQ(outcome.status().retryAfterMs(), 0u);
     EXPECT_NE(outcome.status().toString().find("busy"),
               std::string::npos);
 
@@ -302,7 +314,7 @@ TEST(ServerEndToEnd, ClientSurfacesBusyAsARetryableResourceLimit)
     closeSocket(listener.value());
 }
 
-TEST(ServerEndToEnd, ExpiredDeadlineIsAStructuredResourceLimit)
+TEST(ServerEndToEnd, ExpiredDeadlineIsAStructuredDeadlineExceeded)
 {
     ServerConfig config = benchServer("spice");
     config.testDelayBeforeExecuteMs = 60;
@@ -315,13 +327,92 @@ TEST(ServerEndToEnd, ExpiredDeadlineIsAStructuredResourceLimit)
     request.deadlineMs = 1; // expires during the injected stall
     const auto outcome = client.sweep(request);
     ASSERT_FALSE(outcome.ok());
-    EXPECT_EQ(outcome.status().code(), StatusCode::ResourceLimit);
+    EXPECT_EQ(outcome.status().code(), StatusCode::DeadlineExceeded);
+    // Deadline expiry is the caller's budget running out, not a
+    // transient server condition: the client must not retry it.
+    EXPECT_FALSE(isRetryableCode(outcome.status().code()));
     EXPECT_NE(outcome.status().toString().find("deadline"),
               std::string::npos);
     EXPECT_EQ(server.counters().deadlineExpirations, 1u);
 
     // The connection survives a well-framed failure.
     EXPECT_TRUE(client.ping().ok());
+}
+
+TEST(ServerEndToEnd, DeadlineExpiryIsTalliedForEveryRequestType)
+{
+    // The tally must come from the structured status code, not from
+    // matching message text, so replay and sweep both count.
+    ServerConfig config = benchServer("eqntott");
+    config.testDelayBeforeExecuteMs = 60;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    ReplayRequest replay;
+    replay.trace = "eqntott";
+    replay.deadlineMs = 1;
+    EXPECT_EQ(client.replay(replay).status().code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(server.counters().deadlineExpirations, 1u);
+
+    SweepRequest sweep;
+    sweep.trace = "eqntott";
+    sweep.deadlineMs = 1;
+    EXPECT_EQ(client.sweep(sweep).status().code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(server.counters().deadlineExpirations, 2u);
+}
+
+TEST(ServerEndToEnd, HelloIdentifiesTheClientForFairness)
+{
+    Server server(benchServer("mat300"));
+    ASSERT_TRUE(server.start().ok());
+
+    Client named;
+    named.setClientId("test-suite");
+    ASSERT_TRUE(named.connect(kHost, server.port()).ok());
+    EXPECT_TRUE(named.ping().ok());
+
+    const auto rows = statsMap(named);
+    EXPECT_EQ(rows.at("helloes"), 1u);
+}
+
+TEST(ServerEndToEnd, AdmissionShedsKeepTheConnectionOpenWithAHint)
+{
+    // A one-token bucket that refills one token per second: the first
+    // sweep is admitted, the second is shed as BUSY with a retry-after
+    // hint — on the SAME still-open connection — and a retrying client
+    // that honors the hint makes forward progress.
+    ServerConfig config = benchServer("gcc");
+    config.admission.clientBurstNs = 1;
+    config.admission.clientRefillNsPerSec = 1;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    SweepRequest request;
+    request.trace = "gcc";
+    ASSERT_TRUE(client.sweep(request).ok());
+
+    const auto shed = client.sweep(request);
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), StatusCode::Busy);
+    EXPECT_GE(shed.status().retryAfterMs(),
+              config.admission.minRetryAfterMs);
+
+    // The shed was answered in-band: the connection still works.
+    EXPECT_TRUE(client.ping().ok());
+    EXPECT_GE(server.counters().busy, 1u);
+
+    // With retries armed the hint is honored and the sweep lands.
+    RetryPolicy policy;
+    policy.retries = 5;
+    policy.backoffMs = 1;
+    client.setRetryPolicy(policy);
+    const auto retried = client.sweep(request);
+    EXPECT_TRUE(retried.ok()) << retried.status().toString();
+    EXPECT_GE(client.retryStats().busyResponses, 1u);
 }
 
 TEST(ServerEndToEnd, MalformedFrameDrawsAnErrorFrameNotACrash)

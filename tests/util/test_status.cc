@@ -37,6 +37,9 @@ TEST(Status, FactoriesCarryCodeAndMessage)
         {Status::resourceLimit("m"), StatusCode::ResourceLimit,
          "resource-limit"},
         {Status::internal("m"), StatusCode::Internal, "internal"},
+        {Status::deadlineExceeded("m"), StatusCode::DeadlineExceeded,
+         "deadline-exceeded"},
+        {Status::busy("m"), StatusCode::Busy, "busy"},
     };
     for (const auto &c : cases) {
         EXPECT_FALSE(c.status.ok());
@@ -53,6 +56,28 @@ TEST(Status, WithContextPrepends)
         Status::ioError("read failed").withContext("trace.dxt");
     EXPECT_EQ(status.code(), StatusCode::IoError);
     EXPECT_EQ(status.message(), "trace.dxt: read failed");
+}
+
+TEST(Status, BusyCarriesRetryAfterHint)
+{
+    const Status plain = Status::busy("shed");
+    EXPECT_EQ(plain.retryAfterMs(), 0u);
+
+    const Status hinted = Status::busy("shed", 250);
+    EXPECT_EQ(hinted.code(), StatusCode::Busy);
+    EXPECT_EQ(hinted.retryAfterMs(), 250u);
+    EXPECT_EQ(hinted.withContext("call").retryAfterMs(), 250u);
+}
+
+TEST(Status, RetryableCodes)
+{
+    EXPECT_TRUE(isRetryableCode(StatusCode::Busy));
+    EXPECT_TRUE(isRetryableCode(StatusCode::IoError));
+    EXPECT_FALSE(isRetryableCode(StatusCode::CorruptInput));
+    EXPECT_FALSE(isRetryableCode(StatusCode::ResourceLimit));
+    EXPECT_FALSE(isRetryableCode(StatusCode::DeadlineExceeded));
+    EXPECT_FALSE(isRetryableCode(StatusCode::Internal));
+    EXPECT_FALSE(isRetryableCode(StatusCode::Ok));
 }
 
 TEST(Result, HoldsAValue)

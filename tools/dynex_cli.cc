@@ -79,6 +79,9 @@ struct Options
     std::string host = "127.0.0.1"; // --host: remote server address
     std::uint16_t port = 0;         // --port: remote server port
     std::uint32_t deadlineMs = 0;   // --deadline-ms: remote deadline
+    unsigned retries = 0;           // --retries: remote retry attempts
+    std::uint32_t backoffMs = 100;  // --backoff-ms: retry base backoff
+    std::string clientId;           // --client-id: hello identity
     std::string metricsOut;  // --metrics-out: JSON run report
     std::string csvOut;      // --csv-out: sweep table as CSV
     std::string traceOut;    // --trace-out: Chrome trace events
@@ -115,6 +118,8 @@ exitCodeFor(const Status &status)
         return kExitIo;
     case StatusCode::CorruptInput:
     case StatusCode::ResourceLimit:
+    case StatusCode::DeadlineExceeded:
+    case StatusCode::Busy:
         return kExitData;
     case StatusCode::Internal:
         break;
@@ -170,7 +175,17 @@ usage()
         "         --host H --port P  remote-*: dynex_serve address\n"
         "                      (default host 127.0.0.1)\n"
         "         --deadline-ms N  remote-*: per-request deadline; an\n"
-        "                      expired deadline is a data error\n"
+        "                      expired deadline is a data error; with\n"
+        "                      --retries it also bounds the total time\n"
+        "                      spent retrying\n"
+        "         --retries N  remote-*: retry BUSY sheds and dropped\n"
+        "                      connections up to N times, with\n"
+        "                      exponential backoff + jitter honoring\n"
+        "                      the server's retry-after hint\n"
+        "         --backoff-ms N  remote-*: base retry backoff\n"
+        "                      (default 100)\n"
+        "         --client-id S  remote-*: identity sent in the DXP1\n"
+        "                      hello for per-client fair admission\n"
         "exit codes: 0 ok, 2 usage error, 3 i/o error, 4 data error\n"
         "            (corrupt/implausible input), 5 internal error\n"
         "            (failed sweep legs, library bugs)\n");
@@ -336,7 +351,13 @@ parseOptions(int argc, char **argv, int first, Options &options)
             if (!v)
                 return false;
             options.host = v;
-        } else if (flag == "--port" || flag == "--deadline-ms") {
+        } else if (flag == "--client-id") {
+            const char *v = value();
+            if (!v)
+                return false;
+            options.clientId = v;
+        } else if (flag == "--port" || flag == "--deadline-ms" ||
+                   flag == "--retries" || flag == "--backoff-ms") {
             const char *v = value();
             if (!v)
                 return false;
@@ -347,8 +368,12 @@ parseOptions(int argc, char **argv, int first, Options &options)
                     return false;
                 }
                 options.port = static_cast<std::uint16_t>(parsed);
-            } else {
+            } else if (flag == "--deadline-ms") {
                 options.deadlineMs = static_cast<std::uint32_t>(parsed);
+            } else if (flag == "--retries") {
+                options.retries = static_cast<unsigned>(parsed);
+            } else {
+                options.backoffMs = static_cast<std::uint32_t>(parsed);
             }
         } else if (flag == "--sticky" || flag == "--victim" ||
                    flag == "--refs" || flag == "--threads") {
@@ -748,6 +773,15 @@ connectRemote(const Options &options, int &exit_code)
         return std::nullopt;
     }
     server::Client client;
+    if (!options.clientId.empty())
+        client.setClientId(options.clientId);
+    if (options.retries > 0) {
+        server::RetryPolicy retry;
+        retry.retries = options.retries;
+        retry.backoffMs = options.backoffMs;
+        retry.budgetMs = options.deadlineMs;
+        client.setRetryPolicy(retry);
+    }
     const Status status = client.connect(options.host, options.port);
     if (!status.ok()) {
         std::fprintf(stderr, "dynex: %s\n", status.toString().c_str());

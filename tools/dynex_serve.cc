@@ -5,6 +5,9 @@
  *   dynex_serve [--port P] [--port-file F] [--workers N] [--queue N]
  *               [--store-budget SIZE] [--refs N]
  *               [--bench NAME]... [--trace FILE]... [--suite]
+ *               [--admission-budget-ms N] [--client-burst-ms N]
+ *               [--no-admission]
+ *               [--chaos-seed N] [--chaos-spec SPEC]
  *               [--metrics-out F] [--trace-out F]
  *               [--test-delay-ms N]
  *
@@ -74,6 +77,19 @@ int usage()
         "  --trace FILE      serve a .dxt/.dxt3/.din trace file\n"
         "                    (repeatable)\n"
         "  --suite           serve every suite benchmark\n"
+        "  --admission-budget-ms N  concurrent estimated-cost budget\n"
+        "                    for admission control (default 2000); a\n"
+        "                    replay/sweep estimated to push past it is\n"
+        "                    shed with BUSY + retryAfterMs\n"
+        "  --client-burst-ms N  per-client token-bucket burst for fair\n"
+        "                    admission (default 1000)\n"
+        "  --no-admission    disable admission control entirely\n"
+        "  --chaos-seed N    seed for deterministic fault injection\n"
+        "                    (default 1992)\n"
+        "  --chaos-spec S    enable seeded chaos, e.g.\n"
+        "                    busy=0.2,trunc=0.1,delay=0.3,delay-ms=20,\n"
+        "                    load-fail=0.4 (probabilities in [0,1];\n"
+        "                    off by default)\n"
         "  --metrics-out F   write a JSON run report on shutdown\n"
         "  --trace-out F     write Chrome trace events on shutdown\n"
         "  --test-delay-ms N (testing) stall each request N ms before\n"
@@ -126,6 +142,11 @@ int main(int argc, char **argv)
         {
             addSuite(config);
             explicitTraces = true;
+            continue;
+        }
+        if (flag == "--no-admission")
+        {
+            config.admission.enabled = false;
             continue;
         }
         const char *v = value();
@@ -195,6 +216,31 @@ int main(int argc, char **argv)
         else if (flag == "--trace-out")
         {
             traceOut = v;
+        }
+        else if (flag == "--admission-budget-ms")
+        {
+            config.admission.costBudgetNs =
+                std::strtoull(v, nullptr, 10) * 1'000'000ull;
+        }
+        else if (flag == "--client-burst-ms")
+        {
+            config.admission.clientBurstNs =
+                std::strtoull(v, nullptr, 10) * 1'000'000ull;
+        }
+        else if (flag == "--chaos-seed")
+        {
+            config.chaosSeed = std::strtoull(v, nullptr, 10);
+        }
+        else if (flag == "--chaos-spec")
+        {
+            Result<server::ChaosSpec> spec = server::parseChaosSpec(v);
+            if (!spec.ok())
+            {
+                std::fprintf(stderr, "dynex_serve: %s\n",
+                             spec.status().toString().c_str());
+                return 2;
+            }
+            config.chaos = spec.value();
         }
         else if (flag == "--test-delay-ms")
         {
