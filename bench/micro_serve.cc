@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Google-benchmark A/B of the serving path's telemetry cost: one
+ * in-process server + loopback client pair per variant, measuring the
+ * full request round-trip with telemetry on (latency histograms,
+ * request spans tagged per frame) and off. Ping is the smallest DXP1
+ * request, so the per-request bookkeeping cost is the largest fraction
+ * of the measurement — the worst case for the <=2% overhead gate
+ * BENCH_sweep.json records.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "util/logging.h"
+
+namespace
+{
+
+using namespace dynex;
+using namespace dynex::server;
+
+void
+pingLoop(benchmark::State &state, bool telemetry)
+{
+    ServerConfig config;
+    config.workers = 1;
+    config.refs = 20000;
+    config.traces.push_back({"espresso", "", 0});
+    config.telemetry = telemetry;
+    Server server(std::move(config));
+    if (!server.start().ok())
+        DYNEX_FATAL("bench server failed to start");
+    Client client;
+    if (!client.connect("127.0.0.1", server.port()).ok())
+        DYNEX_FATAL("bench client failed to connect");
+
+    for (auto _ : state) {
+        const Result<PingInfo> info = client.ping();
+        if (!info.ok())
+            DYNEX_FATAL("ping failed in bench");
+        benchmark::DoNotOptimize(info.value().traces);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_ServeTelemetryOn(benchmark::State &state)
+{
+    pingLoop(state, true);
+}
+
+void
+BM_ServeTelemetryOff(benchmark::State &state)
+{
+    pingLoop(state, false);
+}
+
+BENCHMARK(BM_ServeTelemetryOn)->UseRealTime();
+BENCHMARK(BM_ServeTelemetryOff)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

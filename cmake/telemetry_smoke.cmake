@@ -1,0 +1,189 @@
+# Telemetry smoke test: the full observability pipeline against a real
+# dynex_serve.
+#
+# Part 1 starts a telemetry-on server with structured JSONL logs and a
+# server-side Chrome trace, runs a traced remote-sweep (client mints
+# the trace ids, carries them in the DXP1 frames, and records its own
+# trace), scrapes the stats as Prometheus text, and strict-parses the
+# exposition — which must contain a folded latency histogram family.
+# After a graceful drain the client and server trace files are stitched
+# with `dynex trace-merge`, and the server log must hold structured
+# request lines carrying the trace ids.
+#
+# Part 2 reruns the same sweep against a --no-telemetry server: the
+# sweep tables must be byte-identical — telemetry must never change
+# simulated results — and the stats must carry no lat-* rows.
+#
+# Usage: cmake -DDYNEX_CLI=<dynex> -DDYNEX_SERVE=<dynex_serve>
+#        -DWORK_DIR=<scratch dir> -P telemetry_smoke.cmake
+
+if(NOT DYNEX_CLI)
+    message(FATAL_ERROR "pass -DDYNEX_CLI=<path to dynex>")
+endif()
+if(NOT DYNEX_SERVE)
+    message(FATAL_ERROR "pass -DDYNEX_SERVE=<path to dynex_serve>")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(stop_server pid_file)
+    if(EXISTS ${pid_file})
+        file(READ ${pid_file} server_pid)
+        string(STRIP "${server_pid}" server_pid)
+        execute_process(
+            COMMAND sh -c "kill ${server_pid} 2>/dev/null; \
+for i in $(seq 1 50); do \
+  kill -0 ${server_pid} 2>/dev/null || exit 0; sleep 0.2; \
+done; kill -9 ${server_pid} 2>/dev/null; true")
+    endif()
+endfunction()
+
+function(start_server tag out_port extra_args)
+    set(port_file ${WORK_DIR}/port_${tag})
+    set(pid_file ${WORK_DIR}/pid_${tag})
+    execute_process(
+        COMMAND sh -c "'${DYNEX_SERVE}' --bench espresso --refs 20000 \
+--workers 2 ${extra_args} --port-file '${port_file}' \
+>'${WORK_DIR}/serve_${tag}.log' 2>&1 & echo $! > '${pid_file}'"
+        RESULT_VARIABLE spawn_rc)
+    if(NOT spawn_rc EQUAL 0)
+        message(FATAL_ERROR "could not spawn dynex_serve (${tag})")
+    endif()
+    set(port "")
+    foreach(attempt RANGE 50)
+        if(EXISTS ${port_file})
+            file(READ ${port_file} port)
+            string(STRIP "${port}" port)
+            if(NOT port STREQUAL "")
+                break()
+            endif()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+    endforeach()
+    if(port STREQUAL "")
+        stop_server(${pid_file})
+        message(FATAL_ERROR "server never published a port (${tag})")
+    endif()
+    set(${out_port} "${port}" PARENT_SCOPE)
+endfunction()
+
+# --- Part 1: telemetry on — trace, scrape, merge, structured log. ---
+start_server(telemetry port
+    "--log-json --trace-out '${WORK_DIR}/server_trace.json'")
+
+set(client_trace ${WORK_DIR}/client_trace.json)
+execute_process(
+    COMMAND ${DYNEX_CLI} remote-sweep espresso --port ${port}
+            --trace-out ${client_trace}
+    OUTPUT_FILE ${WORK_DIR}/sweep_telemetry.txt
+    RESULT_VARIABLE sweep_rc)
+if(NOT sweep_rc EQUAL 0)
+    message(FATAL_ERROR "traced remote-sweep failed (rc ${sweep_rc})")
+endif()
+if(NOT EXISTS ${client_trace})
+    message(FATAL_ERROR "remote-sweep wrote no client trace")
+endif()
+
+# Scrape the dashboard's Prometheus rendering and strict-parse it.
+set(prom ${WORK_DIR}/stats.prom)
+execute_process(
+    COMMAND ${DYNEX_CLI} remote-stats --port ${port} --prom
+    OUTPUT_FILE ${prom}
+    RESULT_VARIABLE stats_rc)
+if(NOT stats_rc EQUAL 0)
+    message(FATAL_ERROR "remote-stats --prom failed (rc ${stats_rc})")
+endif()
+execute_process(
+    COMMAND ${DYNEX_CLI} prom-check ${prom}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR "prom-check rejected the exposition")
+endif()
+file(READ ${prom} prom_text)
+if(NOT prom_text MATCHES "dynex_lat_e2e_sweep_ns_bucket")
+    message(FATAL_ERROR
+        "exposition lacks the folded sweep histogram:\n${prom_text}")
+endif()
+if(NOT prom_text MATCHES "dynex_lat_e2e_sweep_p99_us")
+    message(FATAL_ERROR
+        "exposition lacks the percentile gauges:\n${prom_text}")
+endif()
+
+# Drain gracefully so the server flushes its trace file.
+stop_server(${WORK_DIR}/pid_telemetry)
+if(NOT EXISTS ${WORK_DIR}/server_trace.json)
+    message(FATAL_ERROR "drained server wrote no trace file")
+endif()
+
+# Stitch the two timelines: the shared trace ids must line up.
+set(merged ${WORK_DIR}/merged_trace.json)
+execute_process(
+    COMMAND ${DYNEX_CLI} trace-merge ${merged}
+            ${client_trace} ${WORK_DIR}/server_trace.json
+    OUTPUT_VARIABLE merge_out
+    RESULT_VARIABLE merge_rc)
+if(NOT merge_rc EQUAL 0)
+    message(FATAL_ERROR "trace-merge failed (rc ${merge_rc})")
+endif()
+message(STATUS "trace-merge: ${merge_out}")
+file(READ ${merged} merged_text)
+if(NOT merged_text MATCHES "process_name")
+    message(FATAL_ERROR "merged trace lacks process metadata")
+endif()
+if(NOT merged_text MATCHES "\"trace\":\"0x")
+    message(FATAL_ERROR "merged trace carries no request trace ids")
+endif()
+
+# The structured log must hold JSONL request lines with trace ids.
+file(READ ${WORK_DIR}/serve_telemetry.log log_text)
+if(NOT log_text MATCHES "\"event\":\"request\"")
+    message(FATAL_ERROR "server log has no structured request lines:\n"
+                        "${log_text}")
+endif()
+if(NOT log_text MATCHES "\"trace\":\"0x")
+    message(FATAL_ERROR "request log lines carry no trace ids:\n"
+                        "${log_text}")
+endif()
+
+# --- Part 2: telemetry off — identical results, no lat rows. ---
+start_server(plain port2 "--no-telemetry")
+execute_process(
+    COMMAND ${DYNEX_CLI} remote-sweep espresso --port ${port2}
+    OUTPUT_FILE ${WORK_DIR}/sweep_plain.txt
+    RESULT_VARIABLE plain_rc)
+if(NOT plain_rc EQUAL 0)
+    message(FATAL_ERROR
+        "no-telemetry remote-sweep failed (rc ${plain_rc})")
+endif()
+execute_process(
+    COMMAND ${DYNEX_CLI} remote-stats --port ${port2} --prom
+    OUTPUT_FILE ${WORK_DIR}/stats_plain.prom
+    RESULT_VARIABLE stats2_rc)
+stop_server(${WORK_DIR}/pid_plain)
+if(NOT stats2_rc EQUAL 0)
+    message(FATAL_ERROR "no-telemetry remote-stats failed")
+endif()
+file(READ ${WORK_DIR}/stats_plain.prom plain_prom)
+if(plain_prom MATCHES "dynex_lat_")
+    message(FATAL_ERROR
+        "telemetry-off server leaked lat rows:\n${plain_prom}")
+endif()
+
+# Byte-compare the sweep tables. The first output line names the
+# server's ephemeral port, so it is stripped before the comparison.
+file(READ ${WORK_DIR}/sweep_telemetry.txt sweep_on)
+file(READ ${WORK_DIR}/sweep_plain.txt sweep_off)
+string(REGEX REPLACE "^[^\n]*\n" "" sweep_on "${sweep_on}")
+string(REGEX REPLACE "^[^\n]*\n" "" sweep_off "${sweep_off}")
+if(NOT sweep_on STREQUAL sweep_off)
+    message(FATAL_ERROR
+        "sweep output differs between telemetry on and off — "
+        "telemetry must never change simulated results:\n"
+        "--- telemetry on ---\n${sweep_on}\n"
+        "--- telemetry off ---\n${sweep_off}")
+endif()
+
+message(STATUS "telemetry smoke passed")

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Structured JSONL logging for the serving path, plus the shared
+ * stderr sink mutex that keeps log lines and ProgressBar repaints
+ * from tearing each other mid-line.
+ *
+ * Every line is one JSON object: {"ts-ms":...,"level":"info",
+ * "event":"request",...fields...}. Fields are appended through a
+ * small builder (Line) whose destructor emits the finished line under
+ * sinkMutex(); when a progress bar is installed the logger first
+ * clears the bar's line (`\r\x1b[K`) and pokes a repaint afterwards,
+ * so a watching terminal never sees a log line spliced into the bar.
+ *
+ * Info/debug lines pass through a token bucket (refilled from
+ * monotonicNs) so a hot server cannot melt its own stderr; warn and
+ * error lines are exempt. Suppressed lines are counted, and the next
+ * line that does get through carries a "dropped" field so the gap is
+ * visible in the stream itself.
+ */
+
+#ifndef DYNEX_OBS_LOG_H
+#define DYNEX_OBS_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dynex
+{
+namespace obs
+{
+
+/** Severity of a log line. */
+enum class LogLevel : std::uint8_t
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Stable lowercase name ("debug", "info", "warn", "error"). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name; @return false (leaving @p level alone) on an
+ * unknown name. */
+bool parseLogLevel(std::string_view name, LogLevel &level);
+
+/**
+ * The process-wide stderr sink mutex. Everything that writes partial
+ * lines to stderr (the logger, ProgressBar repaints) holds it across
+ * the write, so concurrent writers interleave at line granularity
+ * only. Lock ordering: ProgressBar's drawMutex may be held when this
+ * is taken; never take drawMutex while holding this.
+ */
+std::mutex &sinkMutex();
+
+class Logger;
+
+/**
+ * One line under construction. Append fields, then let the Line go
+ * out of scope — the destructor emits. An inert Line (from a
+ * suppressed or below-threshold call) swallows every append.
+ */
+class LogLine
+{
+  public:
+    LogLine(LogLine &&other) noexcept;
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+    LogLine &operator=(LogLine &&) = delete;
+    ~LogLine();
+
+    LogLine &str(std::string_view key, std::string_view value);
+    LogLine &u64(std::string_view key, std::uint64_t value);
+    LogLine &i64(std::string_view key, std::int64_t value);
+    /** Hex-rendered u64, for trace ids ("0x1f2e..."). */
+    LogLine &hex(std::string_view key, std::uint64_t value);
+    LogLine &boolean(std::string_view key, bool value);
+
+  private:
+    friend class Logger;
+    LogLine(Logger *owner, LogLevel level, std::string_view event,
+            std::uint64_t dropped);
+
+    Logger *logger; ///< nullptr when inert
+    std::string body;
+};
+
+/** Logger configuration (namespace scope so the constructor's default
+ * argument can use the member initializers). */
+struct LoggerOptions
+{
+    LogLevel minLevel = LogLevel::Info;
+    std::FILE *sink = stderr;
+    /** Info/debug lines admitted per second (token bucket). 0
+     * disables rate limiting. */
+    std::uint32_t ratePerSec = 200;
+    /** Bucket depth: the burst admitted after an idle stretch. */
+    std::uint32_t burst = 400;
+};
+
+/**
+ * A leveled, rate-limited JSONL logger. Install one per process with
+ * setActive; callers fetch it with Logger::active() (one relaxed
+ * atomic load, nullptr when logging is off) and build lines with
+ * line().
+ */
+class Logger
+{
+  public:
+    using Options = LoggerOptions;
+
+    explicit Logger(Options options = {});
+    Logger(const Logger &) = delete;
+    Logger &operator=(const Logger &) = delete;
+
+    /** The installed logger, or nullptr: one relaxed atomic load. */
+    static Logger *active();
+
+    /** Install @p logger (nullptr disables). Caller owns it. */
+    static void setActive(Logger *logger);
+
+    /**
+     * Start a line. Returns an inert builder when @p level is below
+     * the threshold or the rate limiter suppresses it (warn/error are
+     * never suppressed).
+     */
+    LogLine line(LogLevel level, std::string_view event);
+
+    /** Lines suppressed by the rate limiter so far. */
+    std::uint64_t droppedLines() const
+    {
+        return dropped.load(std::memory_order_relaxed);
+    }
+
+    LogLevel minLevel() const { return opts.minLevel; }
+
+  private:
+    friend class LogLine;
+
+    /** Take one token; @return false when the bucket is empty. */
+    bool admit();
+
+    /** Emit @p body (a complete JSON object) under sinkMutex(). */
+    void emit(const std::string &body);
+
+    Options opts;
+    std::atomic<std::uint64_t> dropped{0};
+    /** Drops not yet reported inside an emitted line. */
+    std::atomic<std::uint64_t> pendingDropped{0};
+
+    std::mutex bucketMutex;
+    double tokens;
+    std::uint64_t lastRefillNs;
+};
+
+} // namespace obs
+} // namespace dynex
+
+#endif // DYNEX_OBS_LOG_H

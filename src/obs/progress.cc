@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
+
 namespace dynex
 {
 namespace obs
@@ -71,8 +73,24 @@ ProgressBar::finish()
 }
 
 void
+ProgressBar::redraw()
+{
+    if (finished.load(std::memory_order_relaxed))
+        return;
+    if (!drawMutex.try_lock())
+        return;
+    draw(doneUnits.load(), false);
+    drawMutex.unlock();
+}
+
+void
 ProgressBar::draw(std::uint64_t done_units, bool final_draw)
 {
+    // Tear-free interleaving with the structured logger: both writers
+    // hold the shared sink mutex across the actual terminal write.
+    // Ordering is always drawMutex -> sinkMutex (the logger takes
+    // sinkMutex alone and calls redraw() only after releasing it).
+    std::lock_guard<std::mutex> lock(sinkMutex());
     if (totalUnits) {
         const std::uint64_t capped =
             std::min(done_units, totalUnits);

@@ -54,6 +54,13 @@ class ProgressBar
     /** Draw the final state and terminate the line. Idempotent. */
     void finish();
 
+    /**
+     * Repaint the current state if the draw lock is free (used by the
+     * structured logger after it prints a line over the bar). Never
+     * blocks; a lost race just means the next add() repaints.
+     */
+    void redraw();
+
     std::uint64_t done() const { return doneUnits.load(); }
 
   private:

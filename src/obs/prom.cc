@@ -1,0 +1,333 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+namespace dynex
+{
+namespace obs
+{
+
+namespace
+{
+
+/** "lat-e2e-sweep-le-2047" -> series "lat-e2e-sweep", ns 2047. */
+bool
+splitBucketRow(const std::string &name, std::string &series,
+               std::uint64_t &upper_ns)
+{
+    const std::size_t pos = name.rfind("-le-");
+    if (pos == std::string::npos || name.compare(0, 4, "lat-") != 0)
+        return false;
+    const std::string digits = name.substr(pos + 4);
+    if (digits.empty())
+        return false;
+    upper_ns = 0;
+    for (const char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        upper_ns = upper_ns * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    series = name.substr(0, pos);
+    return true;
+}
+
+std::string
+promName(const std::string &row_name)
+{
+    std::string out = "dynex_";
+    for (const char c : row_name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+bool
+validMetricName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    const auto headOk = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+               c == ':';
+    };
+    if (!headOk(name[0]))
+        return false;
+    for (const char c : name.substr(1))
+        if (!headOk(c) && !std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+Status
+parseError(std::size_t line_no, const std::string &what)
+{
+    return Status::corruptInput("prom line " + std::to_string(line_no) +
+                                ": " + what);
+}
+
+} // namespace
+
+std::string
+renderProm(const StatsRows &rows)
+{
+    struct Series
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+        std::uint64_t count = 0;
+        std::uint64_t sumUs = 0;
+    };
+    std::vector<std::string> seriesOrder;
+    std::map<std::string, Series> series;
+    // First touch registers the family in emission order, whichever of
+    // the count/sum/bucket rows arrives first (the exporter emits the
+    // count row before the buckets, so the map entry must not be
+    // created behind seriesOrder's back).
+    const auto seriesRef = [&](const std::string &owner) -> Series & {
+        if (series.find(owner) == series.end())
+            seriesOrder.push_back(owner);
+        return series[owner];
+    };
+
+    std::string out;
+    for (const auto &[name, value] : rows) {
+        std::string owner;
+        std::uint64_t upperNs = 0;
+        if (splitBucketRow(name, owner, upperNs)) {
+            seriesRef(owner).buckets.emplace_back(upperNs, value);
+            continue;
+        }
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, "-count") == 0) {
+            const std::string base = name.substr(0, name.size() - 6);
+            if (base.compare(0, 4, "lat-") == 0)
+                seriesRef(base).count = value;
+        }
+        if (name.size() > 7 &&
+            name.compare(name.size() - 7, 7, "-sum-us") == 0) {
+            const std::string base = name.substr(0, name.size() - 7);
+            if (base.compare(0, 4, "lat-") == 0)
+                seriesRef(base).sumUs = value;
+        }
+        const std::string metric = promName(name);
+        out += "# TYPE " + metric + " gauge\n";
+        out += metric + ' ' + std::to_string(value) + '\n';
+    }
+
+    for (const std::string &owner : seriesOrder) {
+        const Series &s = series[owner];
+        const std::string family = promName(owner) + "_ns";
+        out += "# TYPE " + family + " histogram\n";
+        for (const auto &[upperNs, cumulative] : s.buckets)
+            out += family + "_bucket{le=\"" + std::to_string(upperNs) +
+                   "\"} " + std::to_string(cumulative) + '\n';
+        out += family + "_bucket{le=\"+Inf\"} " +
+               std::to_string(s.count) + '\n';
+        out += family + "_sum " + std::to_string(s.sumUs * 1000) + '\n';
+        out += family + "_count " + std::to_string(s.count) + '\n';
+    }
+    return out;
+}
+
+Status
+promStrictParse(std::string_view text)
+{
+    // Per-family bookkeeping for the end-of-input histogram checks.
+    struct Hist
+    {
+        double lastLe = -1.0;
+        std::uint64_t lastCount = 0;
+        bool sawInf = false;
+        std::uint64_t infCount = 0;
+        bool sawCount = false;
+        std::uint64_t count = 0;
+        bool sawSum = false;
+    };
+    std::map<std::string, char> types; // 'g'/'c'/'h'/'u'
+    std::map<std::string, Hist> hists;
+
+    std::size_t lineNo = 0;
+    std::size_t at = 0;
+    while (at < text.size()) {
+        std::size_t end = text.find('\n', at);
+        if (end == std::string_view::npos)
+            end = text.size();
+        const std::string line(text.substr(at, end - at));
+        at = end + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+
+        if (line[0] == '#') {
+            if (line.compare(0, 7, "# HELP ") == 0)
+                continue;
+            if (line.compare(0, 7, "# TYPE ") != 0)
+                return parseError(lineNo, "unknown comment form");
+            const std::size_t nameEnd = line.find(' ', 7);
+            if (nameEnd == std::string::npos)
+                return parseError(lineNo, "TYPE without a type");
+            const std::string family = line.substr(7, nameEnd - 7);
+            const std::string kind = line.substr(nameEnd + 1);
+            if (!validMetricName(family))
+                return parseError(lineNo,
+                                  "bad metric name '" + family + "'");
+            if (types.count(family))
+                return parseError(lineNo, "family '" + family +
+                                              "' declared twice");
+            char code = 0;
+            if (kind == "gauge")
+                code = 'g';
+            else if (kind == "counter")
+                code = 'c';
+            else if (kind == "histogram")
+                code = 'h';
+            else if (kind == "summary" || kind == "untyped")
+                code = 'u';
+            else
+                return parseError(lineNo, "unknown type '" + kind + "'");
+            types[family] = code;
+            continue;
+        }
+
+        // Sample: name[{labels}] value
+        std::size_t nameEnd = 0;
+        while (nameEnd < line.size() && line[nameEnd] != '{' &&
+               line[nameEnd] != ' ')
+            ++nameEnd;
+        const std::string name = line.substr(0, nameEnd);
+        if (!validMetricName(name))
+            return parseError(lineNo, "bad sample name '" + name + "'");
+
+        std::string leValue;
+        bool hasLe = false;
+        std::size_t cursor = nameEnd;
+        if (cursor < line.size() && line[cursor] == '{') {
+            const std::size_t close = line.find('}', cursor);
+            if (close == std::string::npos)
+                return parseError(lineNo, "unterminated label set");
+            std::string labels = line.substr(cursor + 1, close - cursor - 1);
+            cursor = close + 1;
+            // key="value"[,key="value"...]
+            std::size_t p = 0;
+            while (p < labels.size()) {
+                const std::size_t eq = labels.find('=', p);
+                if (eq == std::string::npos ||
+                    eq + 1 >= labels.size() || labels[eq + 1] != '"')
+                    return parseError(lineNo, "malformed label");
+                const std::string key = labels.substr(p, eq - p);
+                if (!validMetricName(key))
+                    return parseError(lineNo,
+                                      "bad label name '" + key + "'");
+                std::size_t q = eq + 2;
+                std::string value;
+                while (q < labels.size() && labels[q] != '"') {
+                    if (labels[q] == '\\' && q + 1 < labels.size())
+                        ++q;
+                    value += labels[q++];
+                }
+                if (q >= labels.size())
+                    return parseError(lineNo, "unterminated label value");
+                if (key == "le") {
+                    hasLe = true;
+                    leValue = value;
+                }
+                p = q + 1;
+                if (p < labels.size()) {
+                    if (labels[p] != ',')
+                        return parseError(lineNo,
+                                          "expected ',' between labels");
+                    ++p;
+                }
+            }
+        }
+        if (cursor >= line.size() || line[cursor] != ' ')
+            return parseError(lineNo, "missing value separator");
+        const std::string valueText = line.substr(cursor + 1);
+        char *parsed = nullptr;
+        const double value =
+            std::strtod(valueText.c_str(), &parsed);
+        const bool isInfLiteral =
+            valueText == "+Inf" || valueText == "-Inf" ||
+            valueText == "NaN";
+        if (!isInfLiteral &&
+            (parsed == valueText.c_str() || *parsed != '\0'))
+            return parseError(lineNo,
+                              "bad sample value '" + valueText + "'");
+
+        // Resolve the declared family: histogram samples use suffixed
+        // names, everything else must match a declaration exactly.
+        std::string family = name;
+        std::string suffix;
+        for (const char *candidate : {"_bucket", "_sum", "_count"}) {
+            const std::size_t len = std::string(candidate).size();
+            if (name.size() > len &&
+                name.compare(name.size() - len, len, candidate) == 0) {
+                const std::string base = name.substr(0, name.size() - len);
+                const auto it = types.find(base);
+                if (it != types.end() && it->second == 'h') {
+                    family = base;
+                    suffix = candidate;
+                    break;
+                }
+            }
+        }
+        const auto typeIt = types.find(family);
+        if (typeIt == types.end())
+            return parseError(lineNo, "sample '" + name +
+                                          "' has no # TYPE declaration");
+        if (typeIt->second == 'h') {
+            if (suffix.empty())
+                return parseError(
+                    lineNo, "histogram sample without _bucket/_sum/_count");
+            Hist &h = hists[family];
+            if (suffix == "_bucket") {
+                if (!hasLe)
+                    return parseError(lineNo, "bucket without le label");
+                const double le = leValue == "+Inf"
+                                      ? std::numeric_limits<double>::infinity()
+                                      : std::strtod(leValue.c_str(), nullptr);
+                const std::uint64_t n =
+                    static_cast<std::uint64_t>(value);
+                if (le < h.lastLe)
+                    return parseError(lineNo,
+                                      "bucket le values not sorted");
+                if (n < h.lastCount)
+                    return parseError(lineNo,
+                                      "bucket counts not cumulative");
+                h.lastLe = le;
+                h.lastCount = n;
+                if (std::isinf(le)) {
+                    h.sawInf = true;
+                    h.infCount = n;
+                }
+            } else if (suffix == "_count") {
+                h.sawCount = true;
+                h.count = static_cast<std::uint64_t>(value);
+            } else {
+                h.sawSum = true;
+            }
+        }
+    }
+
+    for (const auto &[family, h] : hists) {
+        if (!h.sawInf)
+            return Status::corruptInput("prom: histogram '" + family +
+                                        "' has no +Inf bucket");
+        if (!h.sawCount || !h.sawSum)
+            return Status::corruptInput("prom: histogram '" + family +
+                                        "' missing _count or _sum");
+        if (h.infCount != h.count)
+            return Status::corruptInput(
+                "prom: histogram '" + family +
+                "' +Inf bucket disagrees with _count");
+    }
+    return Status();
+}
+
+} // namespace obs
+} // namespace dynex

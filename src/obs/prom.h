@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Prometheus text exposition (version 0.0.4) rendering of the
+ * server's STATS rows, plus a strict parser used by tests and the
+ * `dynex prom-check` command to prove the rendering stays valid.
+ *
+ * Scalar rows become gauge families named dynex_<row> with '-'
+ * sanitized to '_'. The `lat-<series>-le-<ns>` cumulative rows the
+ * histogram exporter appends are folded into proper histogram
+ * families `dynex_lat_<series>_ns` with `_bucket{le="..."}` samples
+ * (nanosecond upper bounds), a final `le="+Inf"` bucket equal to
+ * `_count`, and `_sum`/`_count` samples — exactly the shape a
+ * Prometheus scraper expects. The percentile/count/sum-us rows stay
+ * as gauges too, so dashboards that want pre-computed p99s don't have
+ * to do histogram_quantile.
+ */
+
+#ifndef DYNEX_OBS_PROM_H
+#define DYNEX_OBS_PROM_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dynex
+{
+namespace obs
+{
+
+/** Ordered (name, value) rows, the server STATS shape. */
+using StatsRows = std::vector<std::pair<std::string, std::uint64_t>>;
+
+/** Render @p rows as Prometheus text exposition. */
+std::string renderProm(const StatsRows &rows);
+
+/**
+ * Strictly validate @p text as Prometheus text exposition: every
+ * sample's family has a preceding # TYPE, names match the metric
+ * grammar, no family is declared twice, histogram buckets are
+ * cumulative-monotone, end with le="+Inf", and agree with _count.
+ * @return Ok, or CorruptInput naming the first offending line.
+ */
+Status promStrictParse(std::string_view text);
+
+} // namespace obs
+} // namespace dynex
+
+#endif // DYNEX_OBS_PROM_H

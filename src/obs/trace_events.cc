@@ -128,11 +128,12 @@ Tracer::bufferForThisThread()
 
 void
 Tracer::complete(std::string name, const char *category,
-                 std::uint64_t start_ns, std::uint64_t dur_ns)
+                 std::uint64_t start_ns, std::uint64_t dur_ns,
+                 std::uint64_t trace_id)
 {
     ThreadBuffer &buffer = bufferForThisThread();
-    buffer.events.push_back(
-        {std::move(name), category, start_ns, dur_ns, buffer.tid});
+    buffer.events.push_back({std::move(name), category, start_ns,
+                             dur_ns, buffer.tid, trace_id});
 }
 
 std::vector<TraceEvent>
@@ -175,7 +176,7 @@ Tracer::toJson() const
         // Microsecond timestamps with ns precision kept as decimals,
         // the unit chrome://tracing expects.
         std::snprintf(buf, sizeof(buf),
-                      ",\"tid\":%u,\"ts\":%llu.%03u,\"dur\":%llu.%03u}",
+                      ",\"tid\":%u,\"ts\":%llu.%03u,\"dur\":%llu.%03u",
                       event.tid,
                       static_cast<unsigned long long>(event.startNs /
                                                       1000),
@@ -184,6 +185,16 @@ Tracer::toJson() const
                                                       1000),
                       static_cast<unsigned>(event.durNs % 1000));
         out += buf;
+        if (event.traceId != 0) {
+            // Hex so 64-bit ids survive viewers that parse numbers as
+            // doubles; trace-merge keys its alignment on this field.
+            std::snprintf(buf, sizeof(buf),
+                          ",\"args\":{\"trace\":\"0x%016llx\"}",
+                          static_cast<unsigned long long>(
+                              event.traceId));
+            out += buf;
+        }
+        out += '}';
     }
     out += "\n]}\n";
     return out;

@@ -41,6 +41,9 @@ struct TraceEvent
     std::uint64_t startNs = 0; ///< relative to the tracer's epoch
     std::uint64_t durNs = 0;
     std::uint32_t tid = 0;
+    /** Request trace id the span belongs to; 0 = untagged. Emitted as
+     * args.trace so trace-merge can align client and server files. */
+    std::uint64_t traceId = 0;
 };
 
 class Tracer
@@ -65,9 +68,11 @@ class Tracer
     std::uint64_t
     toNs(std::chrono::steady_clock::time_point when) const;
 
-    /** Record a complete span on the calling thread's buffer. */
+    /** Record a complete span on the calling thread's buffer. A
+     * nonzero @p trace_id tags the span with the request it served. */
     void complete(std::string name, const char *category,
-                  std::uint64_t start_ns, std::uint64_t dur_ns);
+                  std::uint64_t start_ns, std::uint64_t dur_ns,
+                  std::uint64_t trace_id = 0);
 
     /** Merge every thread's events, sorted by (start, -duration) so
      * enclosing spans precede their children. */
@@ -103,8 +108,9 @@ class Tracer
 class ScopedSpan
 {
   public:
-    ScopedSpan(const char *category, std::string name)
-        : tracer(Tracer::active()), cat(category)
+    ScopedSpan(const char *category, std::string name,
+               std::uint64_t trace_id = 0)
+        : tracer(Tracer::active()), cat(category), traceId(trace_id)
     {
         if (tracer) {
             label = std::move(name);
@@ -116,7 +122,7 @@ class ScopedSpan
     {
         if (tracer)
             tracer->complete(std::move(label), cat, startNs,
-                             tracer->nowNs() - startNs);
+                             tracer->nowNs() - startNs, traceId);
     }
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -125,6 +131,7 @@ class ScopedSpan
   private:
     Tracer *tracer;
     const char *cat;
+    std::uint64_t traceId;
     std::string label;
     std::uint64_t startNs = 0;
 };

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Merging client- and server-side Chrome trace files into one
+ * timeline. Each side records spans against its own steady_clock
+ * epoch, so the files cannot simply be concatenated — the merger
+ * aligns clocks using the request trace ids both sides stamped on
+ * their spans (args.trace, written by Tracer::toJson): for every
+ * trace id present in both files it computes the midpoint of that
+ * id's spans on each side and offsets the second file so the
+ * midpoints coincide, averaging across all shared ids. Files with no
+ * shared ids fall back to aligning their earliest timestamps.
+ *
+ * Every input file becomes one "process" in the output (pid 1, 2,
+ * ...) with a process_name metadata event carrying its label, so the
+ * merged file opens in chrome://tracing or Perfetto as side-by-side
+ * client/server tracks with request spans lined up.
+ */
+
+#ifndef DYNEX_OBS_TRACE_MERGE_H
+#define DYNEX_OBS_TRACE_MERGE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dynex
+{
+namespace obs
+{
+
+/** One parsed trace event, timestamps in microseconds. */
+struct MergeEvent
+{
+    std::string name;
+    std::string category;
+    std::uint32_t tid = 0;
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    std::uint64_t traceId = 0; ///< parsed from args.trace; 0 = none
+};
+
+/** One input file: a display label plus its events. */
+struct MergeInput
+{
+    std::string label; ///< e.g. "client" / "server" (process name)
+    std::vector<MergeEvent> events;
+};
+
+/**
+ * Parse the "ph":"X" events out of a Chrome trace JSON document (the
+ * shape Tracer::toJson writes; metadata events are skipped).
+ * Malformed JSON yields CorruptInput.
+ */
+Result<std::vector<MergeEvent>> parseChromeTrace(std::string_view json);
+
+/**
+ * Merge @p inputs into one Chrome trace JSON document. Input order is
+ * preserved as pid order and the first input is the clock reference.
+ */
+std::string mergeChromeTraces(const std::vector<MergeInput> &inputs);
+
+} // namespace obs
+} // namespace dynex
+
+#endif // DYNEX_OBS_TRACE_MERGE_H

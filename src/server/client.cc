@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
 #include "server/net.h"
 
 namespace dynex
@@ -51,7 +53,7 @@ Status Client::reconnect()
     bool transport = false;
     Result<std::string> hello =
         callOnce(MsgType::HelloRequest, encodeHelloRequest({clientId}),
-                 MsgType::HelloResponse, transport);
+                 MsgType::HelloResponse, 0, transport);
     if (!hello.ok() && transport)
     {
         const Status status = hello.status();
@@ -72,6 +74,13 @@ void Client::setClientId(const std::string &client_id)
     clientId = client_id;
 }
 
+void Client::setTracing(bool enabled, std::uint64_t seed)
+{
+    tracing = enabled;
+    if (enabled)
+        traceIds = Rng(seed != 0 ? seed : obs::monotonicNs());
+}
+
 void Client::close()
 {
     closeSocket(fd);
@@ -81,6 +90,7 @@ void Client::close()
 Result<std::string> Client::callOnce(MsgType type,
                                      std::string_view payload,
                                      MsgType expected,
+                                     std::uint64_t trace_id,
                                      bool &transport_failure)
 {
     transport_failure = false;
@@ -89,7 +99,7 @@ Result<std::string> Client::callOnce(MsgType type,
         transport_failure = true;
         return Status::ioError("not connected");
     }
-    Status status = writeFrame(fd, type, payload);
+    Status status = writeFrame(fd, type, payload, trace_id);
     if (!status.ok())
     {
         transport_failure = true;
@@ -139,6 +149,16 @@ Result<std::string> Client::call(MsgType type, std::string_view payload,
 {
     if (fd < 0 && host.empty())
         return Status::ioError("not connected");
+    // One id per logical call: retries re-send it, so the merged
+    // timeline shows every attempt of a request under one trace.
+    std::uint64_t traceId = 0;
+    if (tracing)
+    {
+        do
+            traceId = traceIds.next();
+        while (traceId == 0);
+        lastTrace = traceId;
+    }
     const auto start = std::chrono::steady_clock::now();
     Status last;
     for (unsigned attempt = 0;; ++attempt)
@@ -154,8 +174,9 @@ Result<std::string> Client::call(MsgType type, std::string_view payload,
         {
             ++retryTally.attempts;
             bool transport = false;
+            obs::ScopedSpan span("rpc", msgTypeName(type), traceId);
             Result<std::string> result =
-                callOnce(type, payload, expected, transport);
+                callOnce(type, payload, expected, traceId, transport);
             if (result.ok())
                 return result;
             last = result.status();

@@ -18,6 +18,14 @@
  * A response obtained after retries is byte-identical to one from a
  * single successful attempt — retries re-send the identical request
  * frame and the server's handlers are deterministic.
+ *
+ * Tracing: setTracing(true) makes every call mint a fresh 64-bit
+ * trace id, carry it in the request frame (the DXP1 trace-id flag;
+ * see protocol.h), and record a client-side "rpc" span per attempt
+ * tagged with the id. The server tags its own spans with the same id,
+ * so `dynex_cli trace-merge` can stitch both sides into one timeline.
+ * Retries of one logical call share one id. Tracing off (the default)
+ * sends legacy flags=0 frames, byte-identical to older clients.
  */
 
 #ifndef DYNEX_SERVER_CLIENT_H
@@ -84,6 +92,9 @@ class Client
             policy = other.policy;
             jitter = other.jitter;
             retryTally = other.retryTally;
+            tracing = other.tracing;
+            traceIds = other.traceIds;
+            lastTrace = other.lastTrace;
         }
         return *this;
     }
@@ -98,6 +109,15 @@ class Client
     /** Identity sent in the DXP1 hello for per-client fairness; takes
      * effect at the next connect/reconnect. */
     void setClientId(const std::string &client_id);
+
+    /** Mint and send trace ids (and record client rpc spans) on every
+     * subsequent call. @p seed fixes the id sequence for tests; 0
+     * seeds from the monotonic clock so concurrent clients collide
+     * with negligible probability. */
+    void setTracing(bool enabled, std::uint64_t seed = 0);
+
+    /** The trace id of the most recent traced call (0 before any). */
+    std::uint64_t lastTraceId() const { return lastTrace; }
 
     const RetryStats &retryStats() const { return retryTally; }
 
@@ -115,7 +135,7 @@ class Client
      * @p transport_failure flags faults that poison the connection
      * (the retry loop must reconnect before the next attempt). */
     Result<std::string> callOnce(MsgType type, std::string_view payload,
-                                 MsgType expected,
+                                 MsgType expected, std::uint64_t trace_id,
                                  bool &transport_failure);
 
     /** The retry loop around callOnce(), per the armed policy. */
@@ -132,6 +152,9 @@ class Client
     RetryPolicy policy;
     Rng jitter{policy.seed};
     RetryStats retryTally;
+    bool tracing = false;
+    Rng traceIds{0};
+    std::uint64_t lastTrace = 0;
 };
 
 } // namespace server

@@ -156,9 +156,10 @@ Status readExact(int fd, void *into, std::size_t len, bool &clean_eof,
     return Status();
 }
 
-Status writeFrame(int fd, MsgType type, std::string_view payload)
+Status writeFrame(int fd, MsgType type, std::string_view payload,
+                  std::uint64_t trace_id)
 {
-    const std::string frame = encodeFrame(type, payload);
+    const std::string frame = encodeFrame(type, payload, trace_id);
     return writeAll(fd, frame.data(), frame.size());
 }
 
@@ -203,6 +204,16 @@ Result<Frame> readFrame(int fd, bool &clean_eof,
 
     Frame frame;
     frame.type = header.value().type;
+    if (header.value().hasTraceId)
+    {
+        // decodeFrameHeader guaranteed payloadBytes >= kTraceIdBytes.
+        const unsigned char *id =
+            reinterpret_cast<const unsigned char *>(body.data());
+        for (std::size_t i = 0; i < kTraceIdBytes; ++i)
+            frame.traceId |= static_cast<std::uint64_t>(id[i])
+                             << (8 * i);
+        body.erase(0, kTraceIdBytes);
+    }
     frame.payload = std::move(body);
     return frame;
 }

@@ -49,8 +49,12 @@ Status writeAll(int fd, const void *data, std::size_t len);
 Status readExact(int fd, void *into, std::size_t len, bool &clean_eof,
                  const std::atomic<bool> *stop = nullptr);
 
-/** Encode and send one frame. */
-Status writeFrame(int fd, MsgType type, std::string_view payload);
+/**
+ * Encode and send one frame. A nonzero @p trace_id rides in the
+ * kFrameFlagTraceId payload prefix; 0 sends the legacy layout.
+ */
+Status writeFrame(int fd, MsgType type, std::string_view payload,
+                  std::uint64_t trace_id = 0);
 
 /**
  * Read one complete frame: header (validated before its length is

@@ -98,19 +98,27 @@ isKnownType(std::uint16_t raw)
 } // namespace
 
 std::string
-encodeFrame(MsgType type, std::string_view payload)
+encodeFrame(MsgType type, std::string_view payload,
+            std::uint64_t trace_id)
 {
+    const std::size_t prefix = trace_id != 0 ? kTraceIdBytes : 0;
     std::string out;
-    out.reserve(kFrameHeaderBytes + payload.size() +
+    out.reserve(kFrameHeaderBytes + prefix + payload.size() +
                 kFrameTrailerBytes);
     out.append(kFrameMagic, sizeof(kFrameMagic));
     putLe(out, static_cast<std::uint16_t>(type), 2);
-    putLe(out, 0, 2); // flags
-    putLe(out, static_cast<std::uint32_t>(payload.size()), 4);
+    putLe(out, trace_id != 0 ? kFrameFlagTraceId : 0, 2); // flags
+    putLe(out, static_cast<std::uint32_t>(prefix + payload.size()), 4);
     const std::uint32_t header_crc = crc32Of(out.data(), out.size());
     putLe(out, header_crc, 4);
+    if (trace_id != 0)
+        putLe(out, trace_id, 8);
     out.append(payload.data(), payload.size());
-    putLe(out, crc32Of(payload.data(), payload.size()), 4);
+    // The payload CRC covers the trace-id prefix too: it is payload
+    // bytes as far as framing is concerned.
+    putLe(out, crc32Of(out.data() + kFrameHeaderBytes,
+                       prefix + payload.size()),
+          4);
     return out;
 }
 
@@ -131,8 +139,9 @@ decodeFrameHeader(const void *data)
         return Status::corruptInput("DXP1: header CRC mismatch");
     // The CRC vouched for the fields; anything wrong below is a
     // protocol violation by a confused peer, still structured.
-    if (flags != 0)
-        return Status::corruptInput("DXP1: nonzero reserved flags");
+    if ((flags & ~kFrameFlagTraceId) != 0)
+        return Status::corruptInput("DXP1: unknown flag bits " +
+                                    std::to_string(flags));
     if (!isKnownType(type_raw))
         return Status::corruptInput("DXP1: unknown message type " +
                                     std::to_string(type_raw));
@@ -140,9 +149,15 @@ decodeFrameHeader(const void *data)
         return Status::resourceLimit(
             "DXP1: payload length " + std::to_string(payload_bytes) +
             " exceeds cap " + std::to_string(kMaxPayloadBytes));
+    if ((flags & kFrameFlagTraceId) != 0 &&
+        payload_bytes < kTraceIdBytes)
+        return Status::corruptInput(
+            "DXP1: trace-id flag on a payload of " +
+            std::to_string(payload_bytes) + " bytes");
     FrameHeader header;
     header.type = static_cast<MsgType>(type_raw);
     header.payloadBytes = payload_bytes;
+    header.hasTraceId = (flags & kFrameFlagTraceId) != 0;
     return header;
 }
 
@@ -178,7 +193,14 @@ decodeFrame(std::string_view bytes)
         return payload_ok;
     Frame frame;
     frame.type = header->type;
-    frame.payload.assign(payload.data(), payload.size());
+    std::string_view body = payload;
+    if (header->hasTraceId) {
+        frame.traceId = getLe(
+            reinterpret_cast<const unsigned char *>(body.data()),
+            kTraceIdBytes);
+        body.remove_prefix(kTraceIdBytes);
+    }
+    frame.payload.assign(body.data(), body.size());
     return frame;
 }
 

@@ -8,7 +8,7 @@
  *
  *   magic        "DXP1"                        4 bytes
  *   type         u16   message type            2 bytes
- *   flags        u16   reserved, must be 0     2 bytes
+ *   flags        u16   extension bits          2 bytes
  *   payload_len  u32   payload byte count      4 bytes
  *   header_crc   u32   CRC-32 of bytes 0..11   4 bytes
  *   payload      payload_len bytes
@@ -20,6 +20,14 @@
  * read or allocation. Any violation decodes to a structured Status
  * (CorruptInput / ResourceLimit), never a crash — the frame decoder
  * runs under the same corruption-fuzzer contract as the trace readers.
+ *
+ * The flags word was reserved-must-be-zero through PR 7; the one
+ * extension so far is kFrameFlagTraceId: when set, the payload begins
+ * with an 8-byte little-endian request trace id (covered by the
+ * payload CRC like any other payload byte; payload_len includes it).
+ * Decoders strip the prefix into Frame::traceId, so message-body
+ * parsers never see it. Legacy flags=0 frames parse exactly as
+ * before, and any other flag bit is still CorruptInput.
  *
  * Message bodies are encoded with WireWriter/WireReader: fixed-width
  * little-endian integers, IEEE-754 doubles bit-cast to u64 (so
@@ -57,6 +65,12 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024 * 1024;
 /** Hard cap on any single wire string (names, messages). */
 inline constexpr std::uint32_t kMaxWireStringBytes = 1u * 1024 * 1024;
 
+/** Frame flag: payload starts with an 8-byte LE request trace id. */
+inline constexpr std::uint16_t kFrameFlagTraceId = 0x0001;
+
+/** Byte count of the optional trace-id payload prefix. */
+inline constexpr std::size_t kTraceIdBytes = 8;
+
 /** DXP1 message types. Requests have the top bit clear, responses set. */
 enum class MsgType : std::uint16_t
 {
@@ -83,27 +97,40 @@ const char *msgTypeName(MsgType type);
 /** @return true when @p type is one of the five request types. */
 bool isRequestType(MsgType type);
 
-/** A decoded frame: its type and its (CRC-verified) payload. */
+/**
+ * A decoded frame: its type, its (CRC-verified) payload with any
+ * trace-id prefix already stripped, and the request trace id carried
+ * by the kFrameFlagTraceId extension (0 when the frame had none).
+ */
 struct Frame
 {
     MsgType type = MsgType::ErrorResponse;
     std::string payload;
+    std::uint64_t traceId = 0;
 };
 
 /** The validated fixed-size frame header. */
 struct FrameHeader
 {
     MsgType type = MsgType::ErrorResponse;
-    std::uint32_t payloadBytes = 0;
+    std::uint32_t payloadBytes = 0; ///< includes any trace-id prefix
+    bool hasTraceId = false;
 };
 
-/** Serialize one complete frame (header + payload + trailer). */
-std::string encodeFrame(MsgType type, std::string_view payload);
+/**
+ * Serialize one complete frame (header + payload + trailer). A nonzero
+ * @p trace_id sets kFrameFlagTraceId and prefixes the payload with the
+ * id; 0 emits the legacy flags=0 layout byte-for-byte.
+ */
+std::string encodeFrame(MsgType type, std::string_view payload,
+                        std::uint64_t trace_id = 0);
 
 /**
- * Validate the first kFrameHeaderBytes bytes at @p data: magic, zero
+ * Validate the first kFrameHeaderBytes bytes at @p data: magic, known
  * flags, header CRC, known type, payload cap. Socket readers call this
- * before trusting payloadBytes.
+ * before trusting payloadBytes. A trace-id flag with a payload too
+ * short to hold the id is CorruptInput here, so readers can always
+ * slice kTraceIdBytes when hasTraceId is set.
  */
 Result<FrameHeader> decodeFrameHeader(const void *data);
 

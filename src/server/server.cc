@@ -9,7 +9,9 @@
 #include "cache/factory.h"
 #include "cache/optimal.h"
 #include "cache/victim.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace_events.h"
 #include "server/net.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
@@ -73,6 +75,34 @@ struct AdmissionRelease
     std::uint64_t costNs;
     ~AdmissionRelease() { controller.release(costNs); }
 };
+
+/** The end-to-end latency series for a request type. */
+obs::Latency e2eSeries(MsgType type)
+{
+    switch (type)
+    {
+    case MsgType::PingRequest: return obs::Latency::E2ePing;
+    case MsgType::ListRequest: return obs::Latency::E2eList;
+    case MsgType::ReplayRequest: return obs::Latency::E2eReplay;
+    case MsgType::SweepRequest: return obs::Latency::E2eSweep;
+    case MsgType::StatsRequest: return obs::Latency::E2eStats;
+    default: return obs::Latency::E2eHello;
+    }
+}
+
+/** The response type of an already-encoded frame ("sweep-ok",
+ * "error", "busy"), read straight from header bytes 4..5. */
+const char *responseTypeName(const std::string &frame)
+{
+    if (frame.size() < kFrameHeaderBytes)
+        return "unknown";
+    const auto *raw =
+        reinterpret_cast<const unsigned char *>(frame.data());
+    const auto type = static_cast<MsgType>(
+        static_cast<std::uint16_t>(raw[4]) |
+        (static_cast<std::uint16_t>(raw[5]) << 8));
+    return msgTypeName(type);
+}
 
 } // namespace
 
@@ -163,8 +193,8 @@ void Server::stop()
     // Connections still queued were accepted but never served; close
     // them now that no worker will pick them up.
     std::lock_guard<std::mutex> lock(queueMutex);
-    for (const int fd : pending)
-        closeSocket(fd);
+    for (const PendingConn &conn : pending)
+        closeSocket(conn.fd);
     pending.clear();
 
     closeSocket(listenFd);
@@ -208,7 +238,7 @@ void Server::listenerMain()
             chargeActive(obs::Counter::SrvRetryAfterMs, retryMs);
             continue;
         }
-        pending.push_back(client);
+        pending.push_back({client, obs::monotonicNs()});
         const std::uint64_t depth = pending.size();
         lock.unlock();
         queueCv.notify_one();
@@ -224,7 +254,7 @@ void Server::workerMain()
 {
     for (;;)
     {
-        int client = -1;
+        PendingConn conn;
         {
             std::unique_lock<std::mutex> lock(queueMutex);
             queueCv.wait(lock, [this] {
@@ -233,17 +263,26 @@ void Server::workerMain()
             });
             if (pending.empty())
                 return; // stopping and drained
-            client = pending.front();
+            conn = pending.front();
             pending.pop_front();
         }
-        serveConnection(client);
-        closeSocket(client);
+        const std::uint64_t waitNs = obs::monotonicNs() - conn.enqueueNs;
+        recordLatency(obs::Latency::QueueWait, waitNs);
+        serveConnection(conn.fd, waitNs);
+        closeSocket(conn.fd);
     }
 }
 
-void Server::serveConnection(int fd)
+void Server::recordLatency(obs::Latency series, std::uint64_t ns)
+{
+    if (config.telemetry)
+        latencies.record(series, ns);
+}
+
+void Server::serveConnection(int fd, std::uint64_t queue_wait_ns)
 {
     std::string clientId = "anon";
+    bool firstRequest = true;
     while (!stopping.load(std::memory_order_relaxed))
     {
         bool cleanEof = false;
@@ -263,7 +302,26 @@ void Server::serveConnection(int fd)
             return;
         }
 
-        const std::uint64_t arrivalNs = obs::monotonicNs();
+        RequestContext ctx;
+        ctx.arrivalNs = obs::monotonicNs();
+        ctx.traceId = frame.value().traceId;
+        if (firstRequest)
+        {
+            firstRequest = false;
+            // The accept-queue wait happened before any request bytes
+            // existed; attribute its span to the connection's first
+            // request so the merged timeline shows it upstream of the
+            // handling spans.
+            if (config.telemetry && obs::Tracer::active())
+            {
+                obs::Tracer *tracer = obs::Tracer::active();
+                const std::uint64_t endNs = tracer->nowNs();
+                const std::uint64_t startNs =
+                    endNs > queue_wait_ns ? endNs - queue_wait_ns : 0;
+                tracer->complete("queue-wait", "srv", startNs,
+                                 endNs - startNs, ctx.traceId);
+            }
+        }
         const std::uint64_t frameBytes = kFrameHeaderBytes +
                                          frame.value().payload.size() +
                                          kFrameTrailerBytes;
@@ -283,7 +341,8 @@ void Server::serveConnection(int fd)
         }
 
         const std::string response =
-            handleRequest(frame.value(), arrivalNs, clientId);
+            handleRequest(frame.value(), ctx, clientId);
+        finishRequest(frame.value(), ctx, clientId, response);
         {
             std::lock_guard<std::mutex> tally(countersMutex);
             tallies.bytesOut += response.size();
@@ -300,6 +359,48 @@ void Server::serveConnection(int fd)
         if (!writeAll(fd, response.data(), response.size()).ok())
             return;
     }
+}
+
+void Server::finishRequest(const Frame &request,
+                           const RequestContext &ctx,
+                           const std::string &client_id,
+                           const std::string &response)
+{
+    if (!config.telemetry || !isRequestType(request.type))
+        return;
+    const std::uint64_t e2eNs = obs::monotonicNs() - ctx.arrivalNs;
+    recordLatency(e2eSeries(request.type), e2eNs);
+
+    if (obs::Tracer *tracer = obs::Tracer::active())
+    {
+        const std::uint64_t endNs = tracer->nowNs();
+        const std::uint64_t startNs =
+            endNs > e2eNs ? endNs - e2eNs : 0;
+        tracer->complete(msgTypeName(request.type), "srv", startNs,
+                         endNs - startNs, ctx.traceId);
+    }
+
+    obs::Logger *logger = obs::Logger::active();
+    if (!logger)
+        return;
+    const std::uint64_t e2eUs = e2eNs / 1000;
+    const bool slow = config.slowRequestMs > 0 &&
+                      e2eNs / 1000000 >= config.slowRequestMs;
+    // The slow log rides the warn level so it bypasses rate limiting:
+    // the pathological requests are exactly the ones that must not be
+    // shed with the routine traffic.
+    obs::LogLine line =
+        logger->line(slow ? obs::LogLevel::Warn : obs::LogLevel::Info,
+                     slow ? "slow-request" : "request");
+    line.str("type", msgTypeName(request.type))
+        .str("client", client_id)
+        .u64("e2e-us", e2eUs)
+        .str("outcome", responseTypeName(response))
+        .u64("resp-bytes", response.size());
+    if (ctx.traceId != 0)
+        line.hex("trace", ctx.traceId);
+    if (slow)
+        line.u64("slow-ms-threshold", config.slowRequestMs);
 }
 
 std::string Server::errorFrame(const Status &status)
@@ -362,7 +463,7 @@ std::uint64_t Server::estimateRefs(const std::string &trace_name) const
 }
 
 std::string Server::handleRequest(const Frame &request,
-                                  std::uint64_t arrival_ns,
+                                  const RequestContext &ctx,
                                   std::string &client_id)
 {
     if (!isRequestType(request.type))
@@ -448,7 +549,7 @@ std::string Server::handleRequest(const Frame &request,
             std::lock_guard<std::mutex> tally(countersMutex);
             ++tallies.replays;
         }
-        return handleReplay(parsed.value(), arrival_ns, client_id);
+        return handleReplay(parsed.value(), ctx, client_id);
     }
     case MsgType::SweepRequest:
     {
@@ -460,7 +561,7 @@ std::string Server::handleRequest(const Frame &request,
             std::lock_guard<std::mutex> tally(countersMutex);
             ++tallies.sweeps;
         }
-        return handleSweep(parsed.value(), arrival_ns, client_id);
+        return handleSweep(parsed.value(), ctx, client_id);
     }
     default:
         return errorFrame(Status::internal("unhandled request type"));
@@ -498,7 +599,7 @@ std::string Server::handleStats()
 }
 
 std::string Server::handleReplay(const ReplayRequest &request,
-                                 std::uint64_t arrival_ns,
+                                 const RequestContext &ctx,
                                  const std::string &client_id)
 {
     if (!validModel(request.model))
@@ -508,14 +609,16 @@ std::string Server::handleReplay(const ReplayRequest &request,
         validGeometry(request.sizeBytes, request.lineBytes);
     if (!geometry.ok())
         return errorFrame(geometry);
-    Status deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    Status deadline = checkDeadline(ctx.arrivalNs, request.deadlineMs);
     if (!deadline.ok())
         return errorFrame(deadline);
 
+    const std::uint64_t admitStartNs = obs::monotonicNs();
     const AdmissionDecision ticket =
         admission.admit(client_id, WorkKind::Replay,
-                        estimateRefs(request.trace), 1,
-                        obs::monotonicNs());
+                        estimateRefs(request.trace), 1, admitStartNs);
+    recordLatency(obs::Latency::Admission,
+                  obs::monotonicNs() - admitStartNs);
     if (!ticket.admitted)
         return busyFrame(ticket.retryAfterMs);
     chargeActive(obs::Counter::SrvAdmitted, 1);
@@ -525,27 +628,33 @@ std::string Server::handleReplay(const ReplayRequest &request,
     const bool wantsOptimal = iequals(request.model, "opt");
     std::shared_ptr<const Trace> trace;
     std::shared_ptr<const NextUseIndex> index;
-    if (wantsOptimal)
     {
-        Result<IndexedTrace> warm =
-            traceStore.indexed(request.trace, request.lineBytes);
-        if (!warm.ok())
-            return errorFrame(warm.status());
-        trace = warm.value().trace;
-        index = warm.value().index;
-    }
-    else
-    {
-        Result<std::shared_ptr<const Trace>> loaded =
-            traceStore.trace(request.trace);
-        if (!loaded.ok())
-            return errorFrame(loaded.status());
-        trace = loaded.value();
+        obs::ScopedSpan span("srv", "store-load", ctx.traceId);
+        const std::uint64_t loadStartNs = obs::monotonicNs();
+        if (wantsOptimal)
+        {
+            Result<IndexedTrace> warm =
+                traceStore.indexed(request.trace, request.lineBytes);
+            if (!warm.ok())
+                return errorFrame(warm.status());
+            trace = warm.value().trace;
+            index = warm.value().index;
+        }
+        else
+        {
+            Result<std::shared_ptr<const Trace>> loaded =
+                traceStore.trace(request.trace);
+            if (!loaded.ok())
+                return errorFrame(loaded.status());
+            trace = loaded.value();
+        }
+        recordLatency(obs::Latency::StoreLoad,
+                      obs::monotonicNs() - loadStartNs);
     }
 
     // The load may have been the slow part; a replay that starts is
     // never aborted, so this is the last checkpoint.
-    deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    deadline = checkDeadline(ctx.arrivalNs, request.deadlineMs);
     if (!deadline.ok())
         return errorFrame(deadline);
 
@@ -571,17 +680,28 @@ std::string Server::handleReplay(const ReplayRequest &request,
     }
 
     ReplayResult result;
-    result.stats = runTrace(*cache, *trace);
+    {
+        obs::ScopedSpan span("srv", "replay", ctx.traceId);
+        const std::uint64_t replayStartNs = obs::monotonicNs();
+        result.stats = runTrace(*cache, *trace);
+        recordLatency(obs::Latency::Replay,
+                      obs::monotonicNs() - replayStartNs);
+    }
     result.model = cache->name();
     result.refs = trace->size();
     admission.recordServiced(WorkKind::Replay, trace->size(), 1,
                              obs::monotonicNs() - startNs);
-    return encodeFrame(MsgType::ReplayResponse,
-                       encodeReplayResponse(result));
+    const std::uint64_t encodeStartNs = obs::monotonicNs();
+    obs::ScopedSpan span("srv", "serialize", ctx.traceId);
+    std::string frame = encodeFrame(MsgType::ReplayResponse,
+                                    encodeReplayResponse(result));
+    recordLatency(obs::Latency::Serialize,
+                  obs::monotonicNs() - encodeStartNs);
+    return frame;
 }
 
 std::string Server::handleSweep(const SweepRequest &request,
-                                std::uint64_t arrival_ns,
+                                const RequestContext &ctx,
                                 const std::string &client_id)
 {
     const Status geometry = validGeometry(
@@ -591,7 +711,7 @@ std::string Server::handleSweep(const SweepRequest &request,
     if (request.engine > 2)
         return errorFrame(
             Status::corruptInput("unknown replay engine"));
-    Status deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    Status deadline = checkDeadline(ctx.arrivalNs, request.deadlineMs);
     if (!deadline.ok())
         return errorFrame(deadline);
 
@@ -600,21 +720,31 @@ std::string Server::handleSweep(const SweepRequest &request,
                           : request.engine == 1 ? WorkKind::SweepPerLeg
                                                 : WorkKind::SweepKernel;
     const std::uint64_t legs = 3 * paperCacheSizes().size();
+    const std::uint64_t admitStartNs = obs::monotonicNs();
     const AdmissionDecision ticket =
         admission.admit(client_id, kind, estimateRefs(request.trace),
-                        legs, obs::monotonicNs());
+                        legs, admitStartNs);
+    recordLatency(obs::Latency::Admission,
+                  obs::monotonicNs() - admitStartNs);
     if (!ticket.admitted)
         return busyFrame(ticket.retryAfterMs);
     chargeActive(obs::Counter::SrvAdmitted, 1);
     const AdmissionRelease released{admission, ticket.costNs};
     const std::uint64_t startNs = obs::monotonicNs();
 
-    Result<IndexedTrace> warm =
-        traceStore.indexed(request.trace, request.lineBytes);
+    Result<IndexedTrace> warm = [&] {
+        obs::ScopedSpan span("srv", "store-load", ctx.traceId);
+        const std::uint64_t loadStartNs = obs::monotonicNs();
+        Result<IndexedTrace> loaded =
+            traceStore.indexed(request.trace, request.lineBytes);
+        recordLatency(obs::Latency::StoreLoad,
+                      obs::monotonicNs() - loadStartNs);
+        return loaded;
+    }();
     if (!warm.ok())
         return errorFrame(warm.status());
 
-    deadline = checkDeadline(arrival_ns, request.deadlineMs);
+    deadline = checkDeadline(ctx.arrivalNs, request.deadlineMs);
     if (!deadline.ok())
         return errorFrame(deadline);
 
@@ -628,9 +758,16 @@ std::string Server::handleSweep(const SweepRequest &request,
                                 : request.engine == 1
                                     ? ReplayEngine::PerLeg
                                     : ReplayEngine::Kernel;
-    const SizeSweepOutcome outcome = sweepSizesChecked(
-        *warm.value().trace, *warm.value().index, paperCacheSizes(),
-        request.lineBytes, sweepConfig, engine);
+    const SizeSweepOutcome outcome = [&] {
+        obs::ScopedSpan span("srv", "replay", ctx.traceId);
+        const std::uint64_t replayStartNs = obs::monotonicNs();
+        SizeSweepOutcome swept = sweepSizesChecked(
+            *warm.value().trace, *warm.value().index, paperCacheSizes(),
+            request.lineBytes, sweepConfig, engine);
+        recordLatency(obs::Latency::Replay,
+                      obs::monotonicNs() - replayStartNs);
+        return swept;
+    }();
 
     SweepResult result;
     result.trace = warm.value().trace->name();
@@ -658,8 +795,13 @@ std::string Server::handleSweep(const SweepRequest &request,
     }
     admission.recordServiced(kind, warm.value().trace->size(), legs,
                              obs::monotonicNs() - startNs);
-    return encodeFrame(MsgType::SweepResponse,
-                       encodeSweepResponse(result));
+    const std::uint64_t encodeStartNs = obs::monotonicNs();
+    obs::ScopedSpan span("srv", "serialize", ctx.traceId);
+    std::string frame = encodeFrame(MsgType::SweepResponse,
+                                    encodeSweepResponse(result));
+    recordLatency(obs::Latency::Serialize,
+                  obs::monotonicNs() - encodeStartNs);
+    return frame;
 }
 
 ServerCounters Server::counters() const
@@ -675,7 +817,7 @@ Server::statsRows() const
     const TraceStore::Counters store = traceStore.counters();
     const AdmissionController::Counters admit = admission.counters();
     const ChaosInjector::Counters faults = chaos.counters();
-    return {
+    std::vector<std::pair<std::string, std::uint64_t>> rows = {
         {"requests", server.requests},
         {"errors", server.errors},
         {"busy", server.busy},
@@ -709,6 +851,9 @@ Server::statsRows() const
         {"store-encoded-hits", store.encodedHits},
         {"store-bytes-saved", store.bytesSaved},
     };
+    if (config.telemetry)
+        latencies.appendStatsRows(rows);
+    return rows;
 }
 
 } // namespace server

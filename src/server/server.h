@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "server/admission.h"
 #include "server/chaos.h"
 #include "server/protocol.h"
@@ -91,6 +92,13 @@ struct ServerConfig
     /** Test hook: sleep this long after parsing each request, so a
      * deadline test can expire a deadline deterministically. */
     std::uint32_t testDelayBeforeExecuteMs = 0;
+    /** Latency histograms, per-request spans, and structured request
+     * logs. Off leaves only the flat counters (the A/B the overhead
+     * gate in BENCH_sweep.json measures). */
+    bool telemetry = true;
+    /** Requests slower than this end-to-end get a warn-level slow-log
+     * line (exempt from the logger's rate limit). 0 disables. */
+    std::uint32_t slowRequestMs = 0;
 };
 
 /** Aggregated server activity, for STATS responses and run reports. */
@@ -138,27 +146,51 @@ class Server
      * counters first, then TraceStore counters. */
     std::vector<std::pair<std::string, std::uint64_t>> statsRows() const;
 
+    /** The latency histograms (live; snapshot per series to read). */
+    const obs::HistogramSet &latencyHistograms() const
+    {
+        return latencies;
+    }
+
   private:
+    /** Telemetry context of the request being handled: its trace id
+     * (0 when the frame carried none) plus the arrival clock, threaded
+     * through the handlers so spans and histograms can tag/time. */
+    struct RequestContext
+    {
+        std::uint64_t arrivalNs = 0;
+        std::uint64_t traceId = 0;
+    };
+
     void listenerMain();
     void workerMain();
-    void serveConnection(int fd);
+    void serveConnection(int fd, std::uint64_t queue_wait_ns);
 
     /** Handle one well-framed request; @return the response frame
      * bytes (already encoded). @p client_id is the connection's
      * identity, rewritten by a hello request. */
     std::string handleRequest(const Frame &request,
-                              std::uint64_t arrival_ns,
+                              const RequestContext &ctx,
                               std::string &client_id);
 
     std::string handlePing();
     std::string handleList();
     std::string handleReplay(const ReplayRequest &request,
-                             std::uint64_t arrival_ns,
+                             const RequestContext &ctx,
                              const std::string &client_id);
     std::string handleSweep(const SweepRequest &request,
-                            std::uint64_t arrival_ns,
+                            const RequestContext &ctx,
                             const std::string &client_id);
     std::string handleStats();
+
+    /** Record @p ns into @p series when telemetry is on. */
+    void recordLatency(obs::Latency series, std::uint64_t ns);
+
+    /** Per-request bookkeeping after the response is built: E2E
+     * histogram, request log line, slow log. */
+    void finishRequest(const Frame &request, const RequestContext &ctx,
+                       const std::string &client_id,
+                       const std::string &response);
 
     /** Ok, or DeadlineExceeded once @p deadline_ms has passed. */
     Status checkDeadline(std::uint64_t arrival_ns,
@@ -187,12 +219,22 @@ class Server
     std::thread listener;
     std::vector<std::thread> workers;
 
+    /** An accepted connection awaiting a worker, stamped at enqueue
+     * so the pop can charge the queue-wait histogram. */
+    struct PendingConn
+    {
+        int fd = -1;
+        std::uint64_t enqueueNs = 0;
+    };
+
     mutable std::mutex queueMutex;
     std::condition_variable queueCv;
-    std::deque<int> pending; ///< accepted fds awaiting a worker
+    std::deque<PendingConn> pending; ///< accepted fds awaiting a worker
 
     mutable std::mutex countersMutex;
     ServerCounters tallies;
+
+    obs::HistogramSet latencies;
 };
 
 } // namespace server

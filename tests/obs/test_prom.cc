@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests of the Prometheus text exposition: scalar STATS rows render
+ * as TYPE-declared gauges, the histogram exporter's `lat-*-le-*` rows
+ * fold into proper histogram families (cumulative buckets ending in
+ * le="+Inf" that equals _count), the output survives the strict
+ * parser, and the strict parser actually rejects the malformed
+ * documents it claims to.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/prom.h"
+
+namespace dynex::obs
+{
+namespace
+{
+
+TEST(PromRender, ScalarRowsBecomeTypedGauges)
+{
+    const std::string text = renderProm({
+        {"requests", 7},
+        {"bytes-in", 123},
+    });
+    EXPECT_NE(text.find("# TYPE dynex_requests gauge\n"
+                        "dynex_requests 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE dynex_bytes_in gauge\n"
+                        "dynex_bytes_in 123\n"),
+              std::string::npos);
+    EXPECT_TRUE(promStrictParse(text).ok()) << text;
+}
+
+TEST(PromRender, HistogramRowsFoldIntoBucketFamilies)
+{
+    // Build real histogram rows so the test tracks the exporter.
+    HistogramSet set;
+    set.record(Latency::E2eSweep, 900);       // us bucket ~1
+    set.record(Latency::E2eSweep, 5'000'000); // 5 ms
+    StatsRows rows{{"requests", 2}};
+    set.appendStatsRows(rows);
+
+    const std::string text = renderProm(rows);
+    EXPECT_NE(text.find("# TYPE dynex_lat_e2e_sweep_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("dynex_lat_e2e_sweep_ns_bucket{le=\""),
+              std::string::npos);
+    EXPECT_NE(text.find("dynex_lat_e2e_sweep_ns_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("dynex_lat_e2e_sweep_ns_count 2"),
+              std::string::npos);
+    // _sum is the sum-us row scaled back to ns resolution.
+    EXPECT_NE(text.find("dynex_lat_e2e_sweep_ns_sum"),
+              std::string::npos);
+    const Status parsed = promStrictParse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.toString() << "\n" << text;
+}
+
+TEST(PromRender, PercentileRowsStayAsGauges)
+{
+    HistogramSet set;
+    set.record(Latency::QueueWait, 1000);
+    StatsRows rows;
+    set.appendStatsRows(rows);
+    const std::string text = renderProm(rows);
+    EXPECT_NE(text.find("# TYPE dynex_lat_queue_wait_p99_us gauge"),
+              std::string::npos);
+    EXPECT_TRUE(promStrictParse(text).ok()) << text;
+}
+
+TEST(PromRender, EmptyRowsRenderAnEmptyValidDocument)
+{
+    const std::string text = renderProm({});
+    EXPECT_TRUE(promStrictParse(text).ok());
+}
+
+TEST(PromStrictParse, RejectsSampleWithoutType)
+{
+    EXPECT_FALSE(promStrictParse("dynex_requests 7\n").ok());
+}
+
+TEST(PromStrictParse, RejectsDuplicateTypeDeclaration)
+{
+    EXPECT_FALSE(promStrictParse("# TYPE a gauge\n"
+                                 "a 1\n"
+                                 "# TYPE a gauge\n"
+                                 "a 2\n")
+                     .ok());
+}
+
+TEST(PromStrictParse, RejectsBadMetricNames)
+{
+    EXPECT_FALSE(promStrictParse("# TYPE 9bad gauge\n9bad 1\n").ok());
+    EXPECT_FALSE(
+        promStrictParse("# TYPE with-dash gauge\nwith-dash 1\n").ok());
+}
+
+TEST(PromStrictParse, RejectsNonMonotoneHistogramBuckets)
+{
+    EXPECT_FALSE(promStrictParse("# TYPE h histogram\n"
+                                 "h_bucket{le=\"1\"} 5\n"
+                                 "h_bucket{le=\"2\"} 3\n"
+                                 "h_bucket{le=\"+Inf\"} 5\n"
+                                 "h_sum 9\n"
+                                 "h_count 5\n")
+                     .ok());
+}
+
+TEST(PromStrictParse, RejectsInfBucketDisagreeingWithCount)
+{
+    EXPECT_FALSE(promStrictParse("# TYPE h histogram\n"
+                                 "h_bucket{le=\"1\"} 2\n"
+                                 "h_bucket{le=\"+Inf\"} 2\n"
+                                 "h_sum 2\n"
+                                 "h_count 3\n")
+                     .ok());
+}
+
+TEST(PromStrictParse, RejectsHistogramMissingInfBucket)
+{
+    EXPECT_FALSE(promStrictParse("# TYPE h histogram\n"
+                                 "h_bucket{le=\"1\"} 2\n"
+                                 "h_sum 2\n"
+                                 "h_count 2\n")
+                     .ok());
+}
+
+TEST(PromStrictParse, AcceptsCommentsAndBlankLines)
+{
+    EXPECT_TRUE(promStrictParse("# HELP a something\n"
+                                "# TYPE a gauge\n"
+                                "\n"
+                                "a 1\n")
+                    .ok());
+}
+
+} // namespace
+} // namespace dynex::obs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the Chrome-trace merger behind `dynex trace-merge`: the
+ * tolerant parser (complete events only, args.trace ids, malformed
+ * documents as CorruptInput), clock alignment across processes via
+ * shared trace ids (with min-timestamp fallback), and an output that
+ * is itself a valid Chrome trace the parser round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_merge.h"
+
+namespace dynex::obs
+{
+namespace
+{
+
+TEST(TraceParse, ReadsCompleteEventsAndTraceIds)
+{
+    const std::string json =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"client\"}},\n"
+        "{\"name\":\"rpc\",\"cat\":\"rpc\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":7,\"ts\":10.5,\"dur\":99.25,"
+        "\"args\":{\"trace\":\"0x00000000000000ab\"}},\n"
+        "{\"name\":\"plain\",\"cat\":\"c\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":1,\"ts\":0,\"dur\":1}\n"
+        "]}\n";
+    const auto events = parseChromeTrace(json);
+    ASSERT_TRUE(events.ok()) << events.status().toString();
+    ASSERT_EQ(events.value().size(), 2u); // metadata event skipped
+    const MergeEvent &rpc = events.value()[0];
+    EXPECT_EQ(rpc.name, "rpc");
+    EXPECT_EQ(rpc.category, "rpc");
+    EXPECT_EQ(rpc.tid, 7u);
+    EXPECT_DOUBLE_EQ(rpc.tsUs, 10.5);
+    EXPECT_DOUBLE_EQ(rpc.durUs, 99.25);
+    EXPECT_EQ(rpc.traceId, 0xabu);
+    EXPECT_EQ(events.value()[1].traceId, 0u);
+}
+
+TEST(TraceParse, MalformedDocumentsAreCorruptInputNeverACrash)
+{
+    EXPECT_FALSE(parseChromeTrace("").ok());
+    EXPECT_FALSE(parseChromeTrace("[]").ok());
+    EXPECT_FALSE(parseChromeTrace("{\"traceEvents\":[{").ok());
+    EXPECT_FALSE(parseChromeTrace("{\"traceEvents\":{}}").ok());
+    EXPECT_FALSE(
+        parseChromeTrace("{\"traceEvents\":[{\"name\":1}]}").ok());
+    // Events with unknown fields parse fine.
+    const auto tolerant = parseChromeTrace(
+        "{\"zzz\":{\"a\":[1,2,{\"b\":null}]},\"traceEvents\":["
+        "{\"ph\":\"X\",\"name\":\"n\",\"cat\":\"c\",\"ts\":1,"
+        "\"dur\":2,\"mystery\":[true,false]}]}");
+    ASSERT_TRUE(tolerant.ok()) << tolerant.status().toString();
+    EXPECT_EQ(tolerant.value().size(), 1u);
+}
+
+/** One complete event. */
+MergeEvent
+span(const char *name, double ts_us, double dur_us,
+     std::uint64_t trace_id)
+{
+    MergeEvent event;
+    event.name = name;
+    event.category = "t";
+    event.tid = 1;
+    event.tsUs = ts_us;
+    event.durUs = dur_us;
+    event.traceId = trace_id;
+    return event;
+}
+
+TEST(TraceMerge, AlignsClocksOverSharedTraceIds)
+{
+    // Client observed request 0xab at [0, 100]; the server's clock is
+    // 1,000,000 us ahead and its span for the same id sits at
+    // [1000020, 1000080] — midpoints 50 vs 1000050, offset -1000000.
+    const MergeInput client{"client", {span("rpc", 0.0, 100.0, 0xab)}};
+    const MergeInput server{
+        "server",
+        {span("srv", 1'000'020.0, 60.0, 0xab),
+         span("inner", 1'000'030.0, 10.0, 0)}};
+    const std::string merged = mergeChromeTraces({client, server});
+
+    const auto reparsed = parseChromeTrace(merged);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().toString();
+    ASSERT_EQ(reparsed.value().size(), 3u);
+    // After alignment the server span lands inside the client span on
+    // one timeline (20..80 within 0..100), not a million us away.
+    double srvTs = -1, rpcTs = -1, innerTs = -1;
+    for (const MergeEvent &event : reparsed.value()) {
+        if (event.name == "srv")
+            srvTs = event.tsUs;
+        else if (event.name == "rpc")
+            rpcTs = event.tsUs;
+        else if (event.name == "inner")
+            innerTs = event.tsUs;
+    }
+    ASSERT_GE(rpcTs, 0.0);
+    EXPECT_NEAR(srvTs - rpcTs, 20.0, 0.01);
+    EXPECT_NEAR(innerTs - rpcTs, 30.0, 0.01);
+    // Both sides carry the shared id in the merged output.
+    EXPECT_NE(merged.find("\"trace\":\"0x00000000000000ab\""),
+              std::string::npos);
+    // Process metadata names both inputs.
+    EXPECT_NE(merged.find("\"client\""), std::string::npos);
+    EXPECT_NE(merged.find("\"server\""), std::string::npos);
+}
+
+TEST(TraceMerge, FallsBackToEarliestTimestampWithoutSharedIds)
+{
+    const MergeInput a{"a", {span("one", 5.0, 10.0, 0)}};
+    const MergeInput b{"b", {span("two", 9'000'005.0, 10.0, 0)}};
+    const auto reparsed = parseChromeTrace(mergeChromeTraces({a, b}));
+    ASSERT_TRUE(reparsed.ok());
+    ASSERT_EQ(reparsed.value().size(), 2u);
+    // Min-ts alignment: both start at the same normalized instant.
+    EXPECT_NEAR(reparsed.value()[0].tsUs, reparsed.value()[1].tsUs,
+                0.01);
+}
+
+TEST(TraceMerge, NormalizesTheTimelineToStartAtZero)
+{
+    const MergeInput only{"only", {span("late", 5'000.0, 1.0, 0)}};
+    const auto reparsed = parseChromeTrace(mergeChromeTraces({only}));
+    ASSERT_TRUE(reparsed.ok());
+    ASSERT_EQ(reparsed.value().size(), 1u);
+    EXPECT_NEAR(reparsed.value()[0].tsUs, 0.0, 0.001);
+}
+
+TEST(TraceMerge, IsDeterministic)
+{
+    const MergeInput client{"client", {span("rpc", 0.0, 100.0, 0xcd)}};
+    const MergeInput server{"server", {span("srv", 40.0, 20.0, 0xcd)}};
+    EXPECT_EQ(mergeChromeTraces({client, server}),
+              mergeChromeTraces({client, server}));
+}
+
+} // namespace
+} // namespace dynex::obs

@@ -138,6 +138,71 @@ TEST(Dxp1Frame, RejectsUnknownMessageType)
     EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
 }
 
+/** Forge a header with a valid CRC from raw field values. */
+std::string
+forgeHeader(std::uint16_t type, std::uint16_t flags,
+            std::uint32_t payload_len)
+{
+    std::string header(kFrameHeaderBytes, '\0');
+    std::memcpy(header.data(), kFrameMagic, 4);
+    std::memcpy(header.data() + 4, &type, 2);
+    std::memcpy(header.data() + 6, &flags, 2);
+    std::memcpy(header.data() + 8, &payload_len, 4);
+    const std::uint32_t crc =
+        crc32Final(crc32Update(crc32Init(), header.data(), 12));
+    std::memcpy(header.data() + 12, &crc, 4);
+    return header;
+}
+
+TEST(Dxp1TraceId, RoundTripsThroughTheFlaggedPrefix)
+{
+    const std::string payload = "sweep body";
+    const std::uint64_t traceId = 0x1122334455667788ull;
+    const std::string wire =
+        encodeFrame(MsgType::SweepRequest, payload, traceId);
+    // The prefix is part of the payload: 8 extra bytes on the wire.
+    EXPECT_EQ(wire.size(), kFrameHeaderBytes + kTraceIdBytes +
+                               payload.size() + kFrameTrailerBytes);
+    const Frame frame = mustDecode(wire);
+    EXPECT_EQ(frame.type, MsgType::SweepRequest);
+    EXPECT_EQ(frame.traceId, traceId);
+    // Body parsers never see the prefix.
+    EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Dxp1TraceId, ZeroIdEmitsTheLegacyLayoutByteForByte)
+{
+    EXPECT_EQ(encodeFrame(MsgType::PingRequest, "p", 0),
+              encodeFrame(MsgType::PingRequest, "p"));
+    const Frame frame = mustDecode(encodeFrame(MsgType::PingRequest, "p"));
+    EXPECT_EQ(frame.traceId, 0u);
+}
+
+TEST(Dxp1TraceId, TraceFlagWithShortPayloadIsCorruptInput)
+{
+    // A flagged frame whose payload cannot hold the 8-byte id must be
+    // rejected at the header so readers can always slice the prefix.
+    const std::string header = forgeHeader(
+        static_cast<std::uint16_t>(MsgType::PingRequest),
+        kFrameFlagTraceId, kTraceIdBytes - 1);
+    const auto decoded = decodeFrameHeader(header.data());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1TraceId, UnknownFlagBitsStayCorruptInput)
+{
+    for (const std::uint16_t flags : {0x0002, 0x8000, 0x0003})
+    {
+        const std::string header = forgeHeader(
+            static_cast<std::uint16_t>(MsgType::PingRequest), flags,
+            64);
+        const auto decoded = decodeFrameHeader(header.data());
+        ASSERT_FALSE(decoded.ok()) << "flags 0x" << std::hex << flags;
+        EXPECT_EQ(decoded.status().code(), StatusCode::CorruptInput);
+    }
+}
+
 TEST(Dxp1Wire, StringOverCapIsResourceLimit)
 {
     WireWriter writer;

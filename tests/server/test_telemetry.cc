@@ -1,0 +1,196 @@
+/**
+ * @file
+ * End-to-end telemetry tests: a traced client and an in-process server
+ * share one request trace id across the rpc/srv span boundary, legacy
+ * (untraced) clients keep working against a telemetry-on server, the
+ * `lat-*` histogram rows ride the existing STATS response, and a
+ * telemetry-off server emits flat counters only — the A/B the overhead
+ * gate measures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_events.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace dynex::server
+{
+namespace
+{
+
+constexpr const char *kHost = "127.0.0.1";
+constexpr Count kRefs = 20000;
+
+ServerConfig
+benchServer(const std::string &bench, unsigned workers = 1)
+{
+    ServerConfig config;
+    config.workers = workers;
+    config.refs = kRefs;
+    config.traces.push_back({bench, "", 0});
+    return config;
+}
+
+Client
+mustConnect(const Server &server)
+{
+    Client client;
+    const Status status = client.connect(kHost, server.port());
+    EXPECT_TRUE(status.ok()) << status.toString();
+    return client;
+}
+
+std::map<std::string, std::uint64_t>
+statsMap(Client &client)
+{
+    auto stats = client.stats();
+    EXPECT_TRUE(stats.ok()) << stats.status().toString();
+    std::map<std::string, std::uint64_t> rows;
+    if (stats.ok())
+        for (const auto &[name, value] : stats.value().counters)
+            rows[name] = value;
+    return rows;
+}
+
+/** Uninstalls the process-wide tracer when a test exits. */
+struct TracerGuard
+{
+    obs::Tracer tracer;
+    TracerGuard() { obs::Tracer::setActive(&tracer); }
+    ~TracerGuard() { obs::Tracer::setActive(nullptr); }
+};
+
+TEST(ServerTelemetry, ClientAndServerSpansShareOneTraceId)
+{
+    TracerGuard traced;
+    Server server(benchServer("li"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+    client.setTracing(true, 42);
+
+    ReplayRequest request;
+    request.trace = "li";
+    request.model = "dm";
+    ASSERT_TRUE(client.replay(request).ok());
+    const std::uint64_t traceId = client.lastTraceId();
+    ASSERT_NE(traceId, 0u);
+
+    server.stop();
+    bool sawRpc = false, sawServerSide = false;
+    std::vector<std::string> serverSpanNames;
+    for (const obs::TraceEvent &event : traced.tracer.sortedEvents())
+    {
+        if (event.traceId != traceId)
+            continue;
+        if (std::string(event.category) == "rpc")
+            sawRpc = true;
+        if (std::string(event.category) == "srv")
+        {
+            sawServerSide = true;
+            serverSpanNames.push_back(event.name);
+        }
+    }
+    EXPECT_TRUE(sawRpc);
+    ASSERT_TRUE(sawServerSide);
+    // The server tagged its pipeline stages with the client's id.
+    EXPECT_NE(std::find(serverSpanNames.begin(), serverSpanNames.end(),
+                        "replay"),
+              serverSpanNames.end());
+}
+
+TEST(ServerTelemetry, EachTracedCallMintsAFreshNonZeroId)
+{
+    Server server(benchServer("li"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+    client.setTracing(true, 7);
+
+    ASSERT_TRUE(client.ping().ok());
+    const std::uint64_t first = client.lastTraceId();
+    ASSERT_TRUE(client.ping().ok());
+    const std::uint64_t second = client.lastTraceId();
+    EXPECT_NE(first, 0u);
+    EXPECT_NE(second, 0u);
+    EXPECT_NE(first, second);
+
+    // Same seed, fresh client: the id sequence is deterministic. The
+    // single worker serves one connection at a time, so release it
+    // before the second client's hello.
+    client.close();
+    Client replayed = mustConnect(server);
+    replayed.setTracing(true, 7);
+    ASSERT_TRUE(replayed.ping().ok());
+    EXPECT_EQ(replayed.lastTraceId(), first);
+}
+
+TEST(ServerTelemetry, UntracedClientsKeepWorking)
+{
+    Server server(benchServer("li"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+    // No setTracing: legacy flags=0 frames end to end.
+    ASSERT_TRUE(client.ping().ok());
+    ReplayRequest request;
+    request.trace = "li";
+    request.model = "dm";
+    EXPECT_TRUE(client.replay(request).ok());
+    EXPECT_EQ(client.lastTraceId(), 0u);
+}
+
+TEST(ServerTelemetry, StatsResponseCarriesLatencyRows)
+{
+    Server server(benchServer("li"));
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    ASSERT_TRUE(client.ping().ok());
+    ReplayRequest request;
+    request.trace = "li";
+    request.model = "dm";
+    ASSERT_TRUE(client.replay(request).ok());
+
+    const auto rows = statsMap(client);
+    ASSERT_TRUE(rows.count("lat-e2e-ping-count"));
+    EXPECT_GE(rows.at("lat-e2e-ping-count"), 1u);
+    ASSERT_TRUE(rows.count("lat-e2e-replay-count"));
+    EXPECT_GE(rows.at("lat-e2e-replay-count"), 1u);
+    // The pipeline-stage series recorded too.
+    EXPECT_TRUE(rows.count("lat-store-load-count"));
+    EXPECT_TRUE(rows.count("lat-replay-count"));
+    EXPECT_TRUE(rows.count("lat-serialize-count"));
+    EXPECT_TRUE(rows.count("lat-queue-wait-count"));
+    // Percentile rows accompany every series.
+    EXPECT_TRUE(rows.count("lat-e2e-replay-p99-us"));
+    EXPECT_TRUE(rows.count("lat-e2e-replay-max-us"));
+    // The flat counters are still there.
+    EXPECT_GE(rows.at("requests"), 3u);
+}
+
+TEST(ServerTelemetry, TelemetryOffLeavesOnlyFlatCounters)
+{
+    ServerConfig config = benchServer("li");
+    config.telemetry = false;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    Client client = mustConnect(server);
+
+    ASSERT_TRUE(client.ping().ok());
+    ReplayRequest request;
+    request.trace = "li";
+    request.model = "dm";
+    ASSERT_TRUE(client.replay(request).ok());
+
+    for (const auto &[name, value] : statsMap(client))
+        EXPECT_NE(name.rfind("lat-", 0), 0u)
+            << name << " leaked from a telemetry-off server";
+}
+
+} // namespace
+} // namespace dynex::server

@@ -29,11 +29,13 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/factory.h"
@@ -42,8 +44,10 @@
 #include "server/client.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/prom.h"
 #include "obs/run_report.h"
 #include "obs/trace_events.h"
+#include "obs/trace_merge.h"
 #include "sim/analysis.h"
 #include "sim/sweep.h"
 #include "sim/runner.h"
@@ -86,6 +90,8 @@ struct Options
     std::string csvOut;      // --csv-out: sweep table as CSV
     std::string traceOut;    // --trace-out: Chrome trace events
     bool progress = false;   // --progress: stderr progress bar
+    unsigned watchSec = 0;   // remote-stats --watch: refresh period
+    bool prom = false;       // remote-stats --prom: Prometheus text
 };
 
 /** Apply --threads to the simulation pool before any sweep runs. */
@@ -146,6 +152,14 @@ usage()
         "                                        server's traces\n"
         "  remote-sweep <trace> --port P [opts]  run the size sweep on\n"
         "                                        a dynex_serve server\n"
+        "  remote-stats --port P [--watch N]     server stats dashboard\n"
+        "               [--prom]                  (counters + latency\n"
+        "                                        percentiles)\n"
+        "  trace-merge <out> <in>...             merge Chrome traces\n"
+        "                                        (client + server) into\n"
+        "                                        one aligned timeline\n"
+        "  prom-check <file>                     strict-parse Prometheus\n"
+        "                                        text exposition\n"
         "  version | --version                   print the version\n"
         "options: --cache K --size S --line L --sticky N --lastline\n"
         "         --victim N --refs N --stream mixed|ifetch|data\n"
@@ -186,6 +200,15 @@ usage()
         "                      (default 100)\n"
         "         --client-id S  remote-*: identity sent in the DXP1\n"
         "                      hello for per-client fair admission\n"
+        "         --watch N    remote-stats: redraw every N seconds\n"
+        "                      until interrupted\n"
+        "         --prom       remote-stats: print Prometheus text\n"
+        "                      exposition instead of the dashboard\n"
+        "                      (pipe to a node-exporter textfile)\n"
+        "         --trace-out F  remote-sweep: also record client-side\n"
+        "                      rpc spans (trace ids sent on the wire\n"
+        "                      match the server's --trace-out spans;\n"
+        "                      stitch with trace-merge)\n"
         "exit codes: 0 ok, 2 usage error, 3 i/o error, 4 data error\n"
         "            (corrupt/implausible input), 5 internal error\n"
         "            (failed sweep legs, library bugs)\n");
@@ -286,6 +309,19 @@ parseOptions(int argc, char **argv, int first, Options &options)
             options.lastLine = true;
         } else if (flag == "--progress") {
             options.progress = true;
+        } else if (flag == "--prom") {
+            options.prom = true;
+        } else if (flag == "--watch") {
+            const char *v = value();
+            if (!v)
+                return false;
+            const auto parsed = std::strtoull(v, nullptr, 10);
+            if (parsed == 0) {
+                std::fprintf(stderr,
+                             "dynex: --watch needs a period >= 1\n");
+                return false;
+            }
+            options.watchSec = static_cast<unsigned>(parsed);
         } else if (flag == "--metrics-out" || flag == "--csv-out" ||
                    flag == "--trace-out") {
             const char *v = value();
@@ -835,6 +871,16 @@ cmdRemoteSweep(const std::string &target, const Options &options)
     if (!client)
         return rc;
 
+    // --trace-out: record client-side rpc spans and send trace ids on
+    // the wire, so the server's own --trace-out spans carry matching
+    // ids and `dynex trace-merge` can stitch the two timelines.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!options.traceOut.empty()) {
+        tracer = std::make_unique<obs::Tracer>();
+        obs::Tracer::setActive(tracer.get());
+        client->setTracing(true);
+    }
+
     server::SweepRequest request;
     request.trace = target;
     request.lineBytes = options.lineBytes;
@@ -844,6 +890,17 @@ cmdRemoteSweep(const std::string &target, const Options &options)
     request.stickyMax = options.stickyMax;
     request.deadlineMs = options.deadlineMs;
     const Result<server::SweepResult> swept = client->sweep(request);
+    int traceRc = kExitOk;
+    if (tracer) {
+        obs::Tracer::setActive(nullptr);
+        const Status wrote = tracer->writeJson(options.traceOut);
+        if (!wrote.ok()) {
+            std::fprintf(stderr, "dynex: cannot write %s: %s\n",
+                         options.traceOut.c_str(),
+                         wrote.toString().c_str());
+            traceRc = exitCodeFor(wrote);
+        }
+    }
     if (!swept.ok()) {
         std::fprintf(stderr, "dynex: remote sweep failed: %s\n",
                      swept.status().toString().c_str());
@@ -896,8 +953,183 @@ cmdRemoteSweep(const std::string &target, const Options &options)
                     "partial\n\n%s",
                     result.failures.size(), result.points.size(),
                     failed.toText().c_str());
-        return worst;
+        return std::max(worst, traceRc);
     }
+    return traceRc;
+}
+
+/** One parsed latency series out of a STATS response: the percentile
+ * rows the server pre-computes from its merged histogram. */
+struct LatencyRow
+{
+    std::string series;
+    std::uint64_t count = 0;
+    std::uint64_t p50Us = 0;
+    std::uint64_t p95Us = 0;
+    std::uint64_t p99Us = 0;
+    std::uint64_t maxUs = 0;
+};
+
+/** Split STATS rows into scalar counters and latency series (the
+ * lat-*-{count,p50-us,...} convention; -le- bucket rows and -sum-us
+ * feed Prometheus, not the dashboard). */
+void
+splitStatsRows(const obs::StatsRows &rows, obs::StatsRows &scalars,
+               std::vector<LatencyRow> &latencies)
+{
+    auto seriesOf = [&](const std::string &name,
+                        const char *suffix) -> LatencyRow * {
+        const std::size_t tail = std::strlen(suffix);
+        if (name.size() <= 4 + tail || name.compare(0, 4, "lat-") != 0 ||
+            name.compare(name.size() - tail, tail, suffix) != 0)
+            return nullptr;
+        const std::string series =
+            name.substr(4, name.size() - 4 - tail);
+        for (LatencyRow &row : latencies)
+            if (row.series == series)
+                return &row;
+        latencies.push_back({series, 0, 0, 0, 0, 0});
+        return &latencies.back();
+    };
+    for (const auto &[name, value] : rows) {
+        if (LatencyRow *row = seriesOf(name, "-count"))
+            row->count = value;
+        else if (LatencyRow *row = seriesOf(name, "-p50-us"))
+            row->p50Us = value;
+        else if (LatencyRow *row = seriesOf(name, "-p95-us"))
+            row->p95Us = value;
+        else if (LatencyRow *row = seriesOf(name, "-p99-us"))
+            row->p99Us = value;
+        else if (LatencyRow *row = seriesOf(name, "-max-us"))
+            row->maxUs = value;
+        else if (name.compare(0, 4, "lat-") != 0)
+            scalars.emplace_back(name, value);
+    }
+}
+
+int
+cmdRemoteStats(const Options &options)
+{
+    int rc = kExitInternal;
+    auto client = connectRemote(options, rc);
+    if (!client)
+        return rc;
+
+    for (;;) {
+        const Result<server::StatsResult> stats = client->stats();
+        if (!stats.ok()) {
+            std::fprintf(stderr, "dynex: stats failed: %s\n",
+                         stats.status().toString().c_str());
+            return exitCodeFor(stats.status());
+        }
+
+        if (options.prom) {
+            std::printf("%s", obs::renderProm(stats.value().counters)
+                                  .c_str());
+        } else {
+            if (options.watchSec > 0)
+                std::printf("\x1b[H\x1b[2J"); // home + clear
+            obs::StatsRows scalars;
+            std::vector<LatencyRow> latencies;
+            splitStatsRows(stats.value().counters, scalars, latencies);
+
+            std::printf("dynex_serve %s:%u\n\n", options.host.c_str(),
+                        options.port);
+            Table counters;
+            counters.setHeader({"counter", "value"});
+            for (const auto &[name, value] : scalars)
+                counters.addRow({name, std::to_string(value)});
+            std::printf("%s", counters.toText().c_str());
+            if (!latencies.empty()) {
+                Table lat;
+                lat.setHeader({"latency", "count", "p50 us", "p95 us",
+                               "p99 us", "max us"});
+                for (const LatencyRow &row : latencies)
+                    lat.addRow({row.series, std::to_string(row.count),
+                                std::to_string(row.p50Us),
+                                std::to_string(row.p95Us),
+                                std::to_string(row.p99Us),
+                                std::to_string(row.maxUs)});
+                std::printf("\n%s", lat.toText().c_str());
+            }
+        }
+        if (options.watchSec == 0)
+            return kExitOk;
+        std::fflush(stdout);
+        std::this_thread::sleep_for(
+            std::chrono::seconds(options.watchSec));
+    }
+}
+
+/** Read a whole file; nullopt (with a complaint) on failure. */
+std::optional<std::string>
+readWholeFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        std::fprintf(stderr, "dynex: cannot read %s\n", path.c_str());
+        return std::nullopt;
+    }
+    std::string text;
+    char buffer[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        text.append(buffer, got);
+    const bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) {
+        std::fprintf(stderr, "dynex: cannot read %s\n", path.c_str());
+        return std::nullopt;
+    }
+    return text;
+}
+
+int
+cmdTraceMerge(const std::string &out_path,
+              const std::vector<std::string> &in_paths)
+{
+    std::vector<obs::MergeInput> inputs;
+    for (const std::string &path : in_paths) {
+        const auto text = readWholeFile(path);
+        if (!text)
+            return kExitIo;
+        Result<std::vector<obs::MergeEvent>> events =
+            obs::parseChromeTrace(*text);
+        if (!events.ok()) {
+            std::fprintf(stderr, "dynex: %s: %s\n", path.c_str(),
+                         events.status().toString().c_str());
+            return exitCodeFor(events.status());
+        }
+        inputs.push_back({path, std::move(events).value()});
+    }
+    const std::string merged = obs::mergeChromeTraces(inputs);
+    const Status wrote = obs::writeTextFile(out_path, merged);
+    if (!wrote.ok()) {
+        std::fprintf(stderr, "dynex: cannot write %s: %s\n",
+                     out_path.c_str(), wrote.toString().c_str());
+        return exitCodeFor(wrote);
+    }
+    std::size_t spans = 0;
+    for (const auto &input : inputs)
+        spans += input.events.size();
+    std::printf("merged %zu spans from %zu trace(s) into %s\n", spans,
+                inputs.size(), out_path.c_str());
+    return kExitOk;
+}
+
+int
+cmdPromCheck(const std::string &path)
+{
+    const auto text = readWholeFile(path);
+    if (!text)
+        return kExitIo;
+    const Status status = obs::promStrictParse(*text);
+    if (!status.ok()) {
+        std::fprintf(stderr, "dynex: %s: %s\n", path.c_str(),
+                     status.toString().c_str());
+        return exitCodeFor(status);
+    }
+    std::printf("%s: valid Prometheus text exposition\n", path.c_str());
     return kExitOk;
 }
 
@@ -930,6 +1162,25 @@ main(int argc, char **argv)
         if (!parseOptions(argc, argv, 3, options))
             return kExitUsage;
         return cmdRemoteSweep(argv[2], options);
+    }
+    if (command == "remote-stats") {
+        Options options;
+        if (!parseOptions(argc, argv, 2, options))
+            return kExitUsage;
+        return cmdRemoteStats(options);
+    }
+    if (command == "trace-merge") {
+        if (argc < 4)
+            return usage();
+        std::vector<std::string> inputs;
+        for (int i = 3; i < argc; ++i)
+            inputs.emplace_back(argv[i]);
+        return cmdTraceMerge(argv[2], inputs);
+    }
+    if (command == "prom-check") {
+        if (argc < 3)
+            return usage();
+        return cmdPromCheck(argv[2]);
     }
 
     if (command == "gen") {

@@ -20,9 +20,13 @@
  * Reports p50/p95/p99 latency, achieved throughput, and
  * BUSY/shed/retry counts as a table on stdout and, with --report, as
  * a dynex-metrics-v1 JSON run report (loadgen rows in the "server"
- * section). Exit is nonzero when nothing succeeded or when p95
- * exceeds --latency-budget-ms, so a ctest can gate on "the daemon
- * sustains this mix within budget".
+ * section). The report also embeds the server's own view of the run:
+ * a STATS snapshot is taken before and after the load and the delta
+ * of every scalar counter lands as a srv-delta-<name> row, so the
+ * report pairs client-observed latency with what the server actually
+ * did (admissions, sheds, store churn). Exit is nonzero when nothing
+ * succeeded or when p95 exceeds --latency-budget-ms, so a ctest can
+ * gate on "the daemon sustains this mix within budget".
  *
  * Exit codes: 0 ok, 1 budget exceeded / no progress, 2 usage,
  * 3 I/O error.
@@ -278,6 +282,53 @@ percentileUs(const std::vector<std::uint64_t> &sorted, double pct)
     return sorted[static_cast<std::size_t>(rank + 0.5)];
 }
 
+using StatsSnapshot =
+    std::vector<std::pair<std::string, std::uint64_t>>;
+
+/** One STATS round-trip on a throwaway connection; empty on any
+ * failure (the load run itself is unaffected). */
+StatsSnapshot
+fetchServerStats(const Options &options)
+{
+    server::Client control;
+    control.setClientId("loadgen-control");
+    if (!control.connect(options.host, options.port).ok())
+        return {};
+    const Result<server::StatsResult> stats = control.stats();
+    if (!stats.ok())
+        return {};
+    return stats.value().counters;
+}
+
+/** before/after server counter deltas as srv-delta-<name> rows.
+ * Latency rows (percentiles, buckets) are snapshots of a merged
+ * histogram, not monotonic counters, so they are left out. */
+void
+appendServerDelta(const StatsSnapshot &before,
+                  const StatsSnapshot &after, StatsSnapshot &rows)
+{
+    for (const auto &[name, afterValue] : after)
+    {
+        if (name.compare(0, 4, "lat-") == 0)
+            continue;
+        std::uint64_t beforeValue = 0;
+        for (const auto &[beforeName, value] : before)
+        {
+            if (beforeName == name)
+            {
+                beforeValue = value;
+                break;
+            }
+        }
+        // Gauges (store-resident-bytes) can shrink; report those as
+        // their absolute after-value rather than a wrapped delta.
+        rows.emplace_back("srv-delta-" + name,
+                          afterValue >= beforeValue
+                              ? afterValue - beforeValue
+                              : afterValue);
+    }
+}
+
 } // namespace
 
 int
@@ -401,6 +452,12 @@ main(int argc, char **argv)
         return usage();
     }
 
+    // Server-side view of the run, for --report: counters before the
+    // first request and after the last.
+    StatsSnapshot statsBefore;
+    if (!options.reportOut.empty())
+        statsBefore = fetchServerStats(options);
+
     const std::uint64_t runStartUs = nowUs();
     std::vector<WorkerResult> results(options.clients);
     std::vector<std::thread> threads;
@@ -492,6 +549,8 @@ main(int argc, char **argv)
             {"latency-p99-us", p99},
             {"run-us", runUs},
         };
+        appendServerDelta(statsBefore, fetchServerStats(options),
+                          report.extra);
         const Status wrote =
             obs::writeTextFile(options.reportOut, report.toJson());
         if (!wrote.ok())

@@ -9,6 +9,8 @@
  *               [--no-admission]
  *               [--chaos-seed N] [--chaos-spec SPEC]
  *               [--metrics-out F] [--trace-out F]
+ *               [--log-json] [--log-level L] [--log-rate N]
+ *               [--slow-request-ms N] [--no-telemetry]
  *               [--test-delay-ms N]
  *
  * Serves the DXP1 protocol (see docs/serving.md) over loopback TCP:
@@ -35,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace_events.h"
@@ -92,6 +95,17 @@ int usage()
         "                    off by default)\n"
         "  --metrics-out F   write a JSON run report on shutdown\n"
         "  --trace-out F     write Chrome trace events on shutdown\n"
+        "  --log-json        emit structured JSONL request logs on\n"
+        "                    stderr (one JSON object per line)\n"
+        "  --log-level L     log threshold: debug|info|warn|error\n"
+        "                    (default info; implies --log-json)\n"
+        "  --log-rate N      info/debug lines admitted per second, 0\n"
+        "                    = unlimited (default 200); warn/error\n"
+        "                    lines are never rate-limited\n"
+        "  --slow-request-ms N  warn-log any request slower than N ms\n"
+        "                    end-to-end (implies --log-json)\n"
+        "  --no-telemetry    disable latency histograms, request spans\n"
+        "                    and request logs (flat counters remain)\n"
         "  --test-delay-ms N (testing) stall each request N ms before\n"
         "                    executing, to exercise deadlines\n"
         "  --version         print the server version and exit\n"
@@ -120,6 +134,8 @@ int main(int argc, char **argv)
     std::string metricsOut;
     std::string traceOut;
     bool explicitTraces = false;
+    bool logJson = false;
+    obs::LoggerOptions logOptions;
 
     for (int i = 1; i < argc; ++i)
     {
@@ -147,6 +163,16 @@ int main(int argc, char **argv)
         if (flag == "--no-admission")
         {
             config.admission.enabled = false;
+            continue;
+        }
+        if (flag == "--log-json")
+        {
+            logJson = true;
+            continue;
+        }
+        if (flag == "--no-telemetry")
+        {
+            config.telemetry = false;
             continue;
         }
         const char *v = value();
@@ -242,6 +268,28 @@ int main(int argc, char **argv)
             }
             config.chaos = spec.value();
         }
+        else if (flag == "--log-level")
+        {
+            if (!obs::parseLogLevel(v, logOptions.minLevel))
+            {
+                std::fprintf(stderr,
+                             "dynex_serve: bad log level '%s'\n", v);
+                return 2;
+            }
+            logJson = true;
+        }
+        else if (flag == "--log-rate")
+        {
+            logOptions.ratePerSec =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+            logOptions.burst = logOptions.ratePerSec * 2;
+        }
+        else if (flag == "--slow-request-ms")
+        {
+            config.slowRequestMs =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+            logJson = true;
+        }
         else if (flag == "--test-delay-ms")
         {
             config.testDelayBeforeExecuteMs =
@@ -261,6 +309,12 @@ int main(int argc, char **argv)
     // server answers; the report is written during drain.
     std::unique_ptr<obs::MetricsCollector> collector;
     std::unique_ptr<obs::Tracer> tracer;
+    std::unique_ptr<obs::Logger> logger;
+    if (logJson)
+    {
+        logger = std::make_unique<obs::Logger>(logOptions);
+        obs::Logger::setActive(logger.get());
+    }
     if (!metricsOut.empty())
     {
         collector = std::make_unique<obs::MetricsCollector>();
@@ -297,16 +351,26 @@ int main(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
-    std::fprintf(stderr,
-                 "dynex_serve %s: listening on 127.0.0.1:%u "
-                 "(%u workers, %zu traces)\n",
-                 versionString(), server.port(), config.workers,
-                 config.traces.size());
+    if (logger)
+        logger->line(obs::LogLevel::Info, "listening")
+            .str("version", versionString())
+            .u64("port", server.port())
+            .u64("workers", config.workers)
+            .u64("traces", config.traces.size());
+    else
+        std::fprintf(stderr,
+                     "dynex_serve %s: listening on 127.0.0.1:%u "
+                     "(%u workers, %zu traces)\n",
+                     versionString(), server.port(), config.workers,
+                     config.traces.size());
 
     while (!gStopRequested.load(std::memory_order_relaxed))
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
-    std::fprintf(stderr, "dynex_serve: draining...\n");
+    if (logger)
+        logger->line(obs::LogLevel::Info, "draining");
+    else
+        std::fprintf(stderr, "dynex_serve: draining...\n");
     server.stop();
 
     int rc = 0;
@@ -344,12 +408,26 @@ int main(int argc, char **argv)
         }
     }
     const server::ServerCounters totals = server.counters();
-    std::fprintf(stderr,
-                 "dynex_serve: served %llu requests "
-                 "(%llu errors, %llu busy) over %llu connections\n",
-                 static_cast<unsigned long long>(totals.requests),
-                 static_cast<unsigned long long>(totals.errors),
-                 static_cast<unsigned long long>(totals.busy),
-                 static_cast<unsigned long long>(totals.connections));
+    if (logger)
+    {
+        logger->line(obs::LogLevel::Info, "served")
+            .u64("requests", totals.requests)
+            .u64("errors", totals.errors)
+            .u64("busy", totals.busy)
+            .u64("connections", totals.connections)
+            .u64("log-lines-dropped", logger->droppedLines());
+        obs::Logger::setActive(nullptr);
+    }
+    else
+    {
+        std::fprintf(
+            stderr,
+            "dynex_serve: served %llu requests "
+            "(%llu errors, %llu busy) over %llu connections\n",
+            static_cast<unsigned long long>(totals.requests),
+            static_cast<unsigned long long>(totals.errors),
+            static_cast<unsigned long long>(totals.busy),
+            static_cast<unsigned long long>(totals.connections));
+    }
     return rc;
 }
