@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the workload importers: decode
+ * throughput of the two external trace formats (line-oriented text
+ * and the lackey-style 10-byte binary layout) over a pre-serialized
+ * in-memory corpus, so the numbers isolate the hardened decoders from
+ * filesystem noise. Counters report both references and input bytes
+ * per second — the text decoder is parse-bound, the binary decoder
+ * chunk-copy-bound, and a regression in either shows up as a drop in
+ * its own bytes_per_second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "trace/record.h"
+#include "trace/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "workload/import.h"
+
+namespace
+{
+
+using namespace dynex;
+
+/** A mixed instruction/data stream with varied access sizes, the
+ * shape real imported traces have. */
+Trace
+corpusTrace(std::size_t refs)
+{
+    Rng rng(0x1992);
+    Trace trace("import_bench");
+    trace.reserve(refs);
+    while (trace.size() < refs) {
+        const Addr pc = 0x400000 + 4 * rng.nextBelow(65536);
+        const int body = 3 + static_cast<int>(rng.nextBelow(12));
+        for (int i = 0; i < body && trace.size() < refs; ++i) {
+            trace.append(ifetch(pc + 4 * static_cast<Addr>(i)));
+            if (trace.size() >= refs)
+                break;
+            const auto roll = rng.nextBelow(4);
+            const auto size =
+                static_cast<std::uint8_t>(1u << rng.nextBelow(4));
+            const Addr data = 0x7fff0000 + 8 * rng.nextBelow(16384);
+            if (roll == 0)
+                trace.append(load(data, size));
+            else if (roll == 1)
+                trace.append(store(data, size));
+        }
+    }
+    trace.mutableRecords().resize(refs);
+    return trace;
+}
+
+const Trace &
+sharedCorpus()
+{
+    static const Trace trace = corpusTrace(1 << 18);
+    return trace;
+}
+
+/** The corpus serialized once in the text format. */
+const std::string &
+textCorpus()
+{
+    static const std::string bytes = [] {
+        std::ostringstream out;
+        if (!workload::writeTextTrace(sharedCorpus(), out).ok())
+            DYNEX_FATAL("text corpus serialization failed in bench");
+        return out.str();
+    }();
+    return bytes;
+}
+
+/** The corpus serialized once in the lackey binary layout. */
+const std::string &
+lackeyCorpus()
+{
+    static const std::string bytes = [] {
+        std::ostringstream out;
+        if (!workload::writeLackeyTrace(sharedCorpus(), out).ok())
+            DYNEX_FATAL("lackey corpus serialization failed in bench");
+        return out.str();
+    }();
+    return bytes;
+}
+
+template <typename Reader>
+void
+runImportBenchmark(benchmark::State &state, const std::string &bytes,
+                   Reader read)
+{
+    const std::size_t refs = sharedCorpus().size();
+    for (auto _ : state) {
+        std::istringstream in(bytes);
+        Result<Trace> trace = read(in);
+        if (!trace.ok() || trace.value().size() != refs)
+            DYNEX_FATAL("import decode failed in bench");
+        benchmark::DoNotOptimize(trace.value());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * refs));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * bytes.size()));
+}
+
+void
+BM_ImportText(benchmark::State &state)
+{
+    runImportBenchmark(state, textCorpus(), [](std::istream &in) {
+        return workload::readTextTrace(in, "bench");
+    });
+}
+BENCHMARK(BM_ImportText)->Unit(benchmark::kMillisecond);
+
+void
+BM_ImportLackey(benchmark::State &state)
+{
+    runImportBenchmark(state, lackeyCorpus(), [](std::istream &in) {
+        return workload::readLackeyTrace(in, "bench");
+    });
+}
+BENCHMARK(BM_ImportLackey)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -261,6 +261,23 @@ Result<SweepResult> Client::sweep(const SweepRequest &request)
     return parseSweepResponse(payload.value());
 }
 
+Result<PutTraceResult> Client::put(const PutTraceRequest &request)
+{
+    // Reject an over-cap upload client-side; the frame would be
+    // bounced by the server's payload cap anyway.
+    if (request.refs.size() > kMaxPutRefs)
+        return Status::resourceLimit(
+            "put of " + std::to_string(request.refs.size()) +
+            " refs exceeds the wire cap of " +
+            std::to_string(kMaxPutRefs));
+    Result<std::string> payload =
+        call(MsgType::PutRequest, encodePutRequest(request),
+             MsgType::PutResponse);
+    if (!payload.ok())
+        return payload.status();
+    return parsePutResponse(payload.value());
+}
+
 Result<StatsResult> Client::stats()
 {
     Result<std::string> payload =

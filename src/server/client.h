@@ -129,6 +129,9 @@ class Client
     Result<ReplayResult> replay(const ReplayRequest &request);
     Result<SweepResult> sweep(const SweepRequest &request);
     Result<StatsResult> stats();
+    /** Upload a trace by value for subsequent replay/sweep requests.
+     * Uploads beyond kMaxPutRefs are rejected client-side. */
+    Result<PutTraceResult> put(const PutTraceRequest &request);
 
   private:
     /** One attempt: send, read one frame, unwrap ERROR / BUSY.

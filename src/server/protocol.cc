@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "sim/sweep.h"
 #include "util/crc32.h"
 
 namespace dynex
@@ -41,12 +42,14 @@ msgTypeName(MsgType type)
       case MsgType::SweepRequest: return "sweep";
       case MsgType::StatsRequest: return "stats";
       case MsgType::HelloRequest: return "hello";
+      case MsgType::PutRequest: return "put";
       case MsgType::PingResponse: return "ping-ok";
       case MsgType::ListResponse: return "list-ok";
       case MsgType::ReplayResponse: return "replay-ok";
       case MsgType::SweepResponse: return "sweep-ok";
       case MsgType::StatsResponse: return "stats-ok";
       case MsgType::HelloResponse: return "hello-ok";
+      case MsgType::PutResponse: return "put-ok";
       case MsgType::ErrorResponse: return "error";
       case MsgType::BusyResponse: return "busy";
     }
@@ -63,6 +66,7 @@ isRequestType(MsgType type)
       case MsgType::SweepRequest:
       case MsgType::StatsRequest:
       case MsgType::HelloRequest:
+      case MsgType::PutRequest:
         return true;
       default:
         return false;
@@ -82,12 +86,14 @@ isKnownType(std::uint16_t raw)
       case MsgType::SweepRequest:
       case MsgType::StatsRequest:
       case MsgType::HelloRequest:
+      case MsgType::PutRequest:
       case MsgType::PingResponse:
       case MsgType::ListResponse:
       case MsgType::ReplayResponse:
       case MsgType::SweepResponse:
       case MsgType::StatsResponse:
       case MsgType::HelloResponse:
+      case MsgType::PutResponse:
       case MsgType::ErrorResponse:
       case MsgType::BusyResponse:
         return true;
@@ -512,6 +518,13 @@ encodeSweepRequest(const SweepRequest &request)
     w.u8(request.engine);
     w.u8(request.stickyMax);
     w.u32(request.deadlineMs);
+    // Default-axis requests omit the sizes block entirely, keeping
+    // them byte-identical to the pre-extension layout.
+    if (!request.sizes.empty()) {
+        w.u32(static_cast<std::uint32_t>(request.sizes.size()));
+        for (const std::uint64_t size : request.sizes)
+            w.u64(size);
+    }
     return w.take();
 }
 
@@ -530,6 +543,20 @@ parseSweepRequest(std::string_view payload)
         return s;
     if (Status s = r.u32(request.deadlineMs); !s.ok())
         return s;
+    if (r.remaining() > 0) { // optional custom axis
+        std::uint32_t count = 0;
+        if (Status s = r.u32(count); !s.ok())
+            return s;
+        if (count > kMaxSweepAxisSizes)
+            return Status::resourceLimit(
+                "DXP1: sweep axis of " + std::to_string(count) +
+                " sizes exceeds cap " +
+                std::to_string(kMaxSweepAxisSizes));
+        request.sizes.resize(count);
+        for (std::uint64_t &size : request.sizes)
+            if (Status s = r.u64(size); !s.ok())
+                return s;
+    }
     if (Status s = r.done(); !s.ok())
         return s;
     if (request.engine > 2)
@@ -608,6 +635,90 @@ parseSweepResponse(std::string_view payload)
         if (Status s = r.str(failure.message); !s.ok())
             return s;
     }
+    if (Status s = r.done(); !s.ok())
+        return s;
+    return result;
+}
+
+std::string
+encodePutRequest(const PutTraceRequest &request)
+{
+    WireWriter w;
+    w.str(request.name);
+    w.u64(request.refs.size());
+    for (const MemRef &ref : request.refs) {
+        w.u64(ref.addr);
+        w.u8(static_cast<std::uint8_t>(ref.type));
+        w.u8(ref.size);
+    }
+    return w.take();
+}
+
+Result<PutTraceRequest>
+parsePutRequest(std::string_view payload)
+{
+    WireReader r(payload);
+    PutTraceRequest request;
+    if (Status s = r.str(request.name); !s.ok())
+        return s;
+    if (request.name.empty())
+        return Status::corruptInput("DXP1: empty put trace name");
+    std::uint64_t count = 0;
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    if (count > kMaxPutRefs)
+        return Status::resourceLimit(
+            "DXP1: put of " + std::to_string(count) +
+            " refs exceeds cap " + std::to_string(kMaxPutRefs));
+    // Every record takes 10 bytes; a count the body cannot hold is
+    // rejected before the reserve.
+    if (count > payload.size() / 10 + 1)
+        return Status::corruptInput("DXP1: implausible put count");
+    request.refs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t addr = 0;
+        std::uint8_t type = 0;
+        std::uint8_t size = 0;
+        if (Status s = r.u64(addr); !s.ok())
+            return s;
+        if (Status s = r.u8(type); !s.ok())
+            return s;
+        if (Status s = r.u8(size); !s.ok())
+            return s;
+        if (type > 2)
+            return Status::corruptInput(
+                "DXP1: put record " + std::to_string(i) +
+                ": unknown reference kind " + std::to_string(type));
+        if (size == 0)
+            return Status::corruptInput("DXP1: put record " +
+                                        std::to_string(i) +
+                                        ": zero access size");
+        request.refs.push_back(
+            MemRef{addr, static_cast<RefType>(type), size});
+    }
+    if (Status s = r.done(); !s.ok())
+        return s;
+    return request;
+}
+
+std::string
+encodePutResponse(const PutTraceResult &result)
+{
+    WireWriter w;
+    w.str(result.name);
+    w.u64(result.refs);
+    return w.take();
+}
+
+Result<PutTraceResult>
+parsePutResponse(std::string_view payload)
+{
+    WireReader r(payload);
+    PutTraceResult result;
+    if (Status s = r.str(result.name); !s.ok())
+        return s;
+    if (Status s = r.u64(result.refs); !s.ok())
+        return s;
     if (Status s = r.done(); !s.ok())
         return s;
     return result;

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "cache/stats.h"
+#include "trace/record.h"
 #include "util/status.h"
 
 namespace dynex
@@ -80,6 +81,7 @@ enum class MsgType : std::uint16_t
     SweepRequest = 0x0004,  ///< full paper-size-axis triad sweep
     StatsRequest = 0x0005,  ///< server + TraceStore counters
     HelloRequest = 0x0006,  ///< identify the client for fair admission
+    PutRequest = 0x0007,    ///< upload a trace by value for later runs
 
     PingResponse = 0x8001,
     ListResponse = 0x8002,
@@ -87,6 +89,7 @@ enum class MsgType : std::uint16_t
     SweepResponse = 0x8004,
     StatsResponse = 0x8005,
     HelloResponse = 0x8006,
+    PutResponse = 0x8007,
     ErrorResponse = 0x80fe, ///< structured Status for a failed request
     BusyResponse = 0x80ff,  ///< backpressure: shed, retry later
 };
@@ -235,7 +238,7 @@ struct ReplayResult
     CacheStats stats;
 };
 
-/** SweepRequest: the paper's size axis over one served trace. */
+/** SweepRequest: a size axis over one served trace. */
 struct SweepRequest
 {
     std::string trace;
@@ -243,6 +246,15 @@ struct SweepRequest
     std::uint8_t engine = 0;      ///< 0 = batched, 1 = per-leg, 2 = kernel
     std::uint8_t stickyMax = 1;
     std::uint32_t deadlineMs = 0; ///< 0 = no deadline
+    /**
+     * Custom cache-size axis; empty = the paper's default axis. The
+     * encoder omits the trailing block entirely when empty, so a
+     * default-axis request is byte-identical to the pre-extension
+     * layout, and old frames parse as the default axis. The server
+     * validates a custom axis like a campaign does (powers of two,
+     * strictly increasing, at most kMaxSweepAxisSizes entries).
+     */
+    std::vector<std::uint64_t> sizes;
 };
 
 /** One sweep point on the wire; doubles travel bit-exactly. */
@@ -272,6 +284,30 @@ struct SweepResult
     std::uint64_t refs = 0; ///< references per replay
     std::vector<SweepPointWire> points;
     std::vector<SweepFailureWire> failures;
+};
+
+/**
+ * Wire cap on uploaded references: 10 bytes each keeps the largest
+ * put frame comfortably under kMaxPayloadBytes.
+ */
+inline constexpr std::uint64_t kMaxPutRefs = 6ull * 1024 * 1024;
+
+/**
+ * PutRequest: upload a trace by value so campaigns can sweep imported
+ * workloads on a daemon that has no file for them. Records travel as
+ * 10-byte (addr u64, type u8, size u8) tuples.
+ */
+struct PutTraceRequest
+{
+    std::string name;
+    std::vector<MemRef> refs;
+};
+
+/** PutResponse: the stored identity (name echoed, count accepted). */
+struct PutTraceResult
+{
+    std::string name;
+    std::uint64_t refs = 0;
 };
 
 /** StatsResponse: ordered (name, value) counters. */
@@ -322,6 +358,12 @@ Result<SweepRequest> parseSweepRequest(std::string_view payload);
 
 std::string encodeSweepResponse(const SweepResult &result);
 Result<SweepResult> parseSweepResponse(std::string_view payload);
+
+std::string encodePutRequest(const PutTraceRequest &request);
+Result<PutTraceRequest> parsePutRequest(std::string_view payload);
+
+std::string encodePutResponse(const PutTraceResult &result);
+Result<PutTraceResult> parsePutResponse(std::string_view payload);
 
 std::string encodeStatsResponse(const StatsResult &stats);
 Result<StatsResult> parseStatsResponse(std::string_view payload);

@@ -42,6 +42,30 @@ bool isDinPath(const std::string &path)
            iequals(path.substr(path.size() - 4), ".din");
 }
 
+/** Uploaded traces key into the TraceStore as "put:<name>#v<N>". */
+bool isPutKey(const std::string &key)
+{
+    return key.rfind("put:", 0) == 0;
+}
+
+/** The raw upload name inside a put store key. */
+std::string putNameOf(const std::string &key)
+{
+    std::string name = key.substr(4);
+    const auto version = name.rfind("#v");
+    if (version != std::string::npos)
+        name.resize(version);
+    return name;
+}
+
+/** Encoded-residency charge of an uploaded trace: its wire footprint
+ * (10 bytes per reference), mirroring file-backed traces' on-disk
+ * charge. */
+std::uint64_t putEncodedBytes(std::uint64_t refs)
+{
+    return 10 * refs;
+}
+
 bool validModel(const std::string &model)
 {
     return iequals(model, "dm") || iequals(model, "dynex") ||
@@ -121,6 +145,15 @@ Server::Server(ServerConfig server_config)
                       "chaos: injected load failure for '" + name +
                       "'");
               }
+              if (isPutKey(name))
+              {
+                  std::shared_ptr<const Trace> uploaded =
+                      findUploaded(putNameOf(name));
+                  if (!uploaded)
+                      return Status::corruptInput(
+                          "unknown trace '" + putNameOf(name) + "'");
+                  return Trace(*uploaded);
+              }
               const ServedTrace *served = findServed(name);
               if (!served)
                   return Status::corruptInput("unknown trace '" + name +
@@ -140,8 +173,16 @@ Server::Server(ServerConfig server_config)
           [this](const std::string &name) -> std::uint64_t {
               // Encoded residency charge: the on-disk footprint of a
               // file-backed trace (DXT3 files make the --store-budget
-              // go several times further). Synthetic traces have no
+              // go several times further). Uploaded traces charge
+              // their wire footprint; synthetic traces have no
               // encoded form and charge decoded.
+              if (isPutKey(name))
+              {
+                  std::shared_ptr<const Trace> uploaded =
+                      findUploaded(putNameOf(name));
+                  return uploaded ? putEncodedBytes(uploaded->size())
+                                  : 0;
+              }
               const ServedTrace *served = findServed(name);
               return served ? served->fileBytes : 0;
           })
@@ -160,6 +201,27 @@ const ServedTrace *Server::findServed(const std::string &name) const
         if (served.name == name)
             return &served;
     return nullptr;
+}
+
+std::shared_ptr<const Trace>
+Server::findUploaded(const std::string &name,
+                     std::uint64_t *version) const
+{
+    std::lock_guard<std::mutex> lock(uploadsMutex);
+    const auto found = uploads.find(name);
+    if (found == uploads.end())
+        return nullptr;
+    if (version)
+        *version = found->second.version;
+    return found->second.trace;
+}
+
+std::string Server::storeKeyFor(const std::string &name) const
+{
+    std::uint64_t version = 0;
+    if (findUploaded(name, &version))
+        return "put:" + name + "#v" + std::to_string(version);
+    return name;
 }
 
 Status Server::start()
@@ -445,6 +507,10 @@ Status Server::checkDeadline(std::uint64_t arrival_ns,
 
 std::uint64_t Server::estimateRefs(const std::string &trace_name) const
 {
+    // Uploaded traces are decoded in memory: the count is exact.
+    if (std::shared_ptr<const Trace> uploaded =
+            findUploaded(trace_name))
+        return uploaded->size();
     const ServedTrace *served = findServed(trace_name);
     if (!served)
         return 0;
@@ -563,6 +629,18 @@ std::string Server::handleRequest(const Frame &request,
         }
         return handleSweep(parsed.value(), ctx, client_id);
     }
+    case MsgType::PutRequest:
+    {
+        Result<PutTraceRequest> parsed = parsePutRequest(request.payload);
+        if (!parsed.ok())
+            return errorFrame(
+                parsed.status().withContext("put request"));
+        {
+            std::lock_guard<std::mutex> tally(countersMutex);
+            ++tallies.puts;
+        }
+        return handlePut(parsed.value());
+    }
     default:
         return errorFrame(Status::internal("unhandled request type"));
     }
@@ -572,7 +650,10 @@ std::string Server::handlePing()
 {
     PingInfo info;
     info.version = versionString();
-    info.traces = config.traces.size();
+    {
+        std::lock_guard<std::mutex> lock(uploadsMutex);
+        info.traces = config.traces.size() + uploads.size();
+    }
     return encodeFrame(MsgType::PingResponse, encodePingResponse(info));
 }
 
@@ -588,8 +669,53 @@ std::string Server::handleList()
         entry.resident = traceStore.resident(served.name) ? 1 : 0;
         entries.push_back(std::move(entry));
     }
+    // Uploaded traces list after the spec's, charged at their wire
+    // footprint. Snapshot the registry first: the store's residency
+    // check must not run under the uploads lock (its loader takes it).
+    std::vector<std::pair<std::string, std::uint64_t>> uploaded;
+    {
+        std::lock_guard<std::mutex> lock(uploadsMutex);
+        for (const auto &[name, entry] : uploads)
+            uploaded.emplace_back(
+                "put:" + name + "#v" + std::to_string(entry.version),
+                putEncodedBytes(entry.trace->size()));
+    }
+    for (const auto &[key, bytes] : uploaded)
+    {
+        TraceListEntry entry;
+        entry.name = putNameOf(key);
+        entry.fileBytes = bytes;
+        entry.resident = traceStore.resident(key) ? 1 : 0;
+        entries.push_back(std::move(entry));
+    }
     return encodeFrame(MsgType::ListResponse,
                        encodeListResponse(entries));
+}
+
+std::string Server::handlePut(const PutTraceRequest &request)
+{
+    if (request.refs.empty())
+        return errorFrame(
+            Status::corruptInput("put of an empty trace"));
+    if (findServed(request.name))
+        return errorFrame(Status::corruptInput(
+            "trace '" + request.name +
+            "' is already served from the spec"));
+    auto trace = std::make_shared<Trace>(request.name);
+    trace->reserve(request.refs.size());
+    for (const MemRef &ref : request.refs)
+        trace->append(ref);
+    {
+        std::lock_guard<std::mutex> lock(uploadsMutex);
+        UploadedTrace &entry = uploads[request.name];
+        entry.trace = std::move(trace);
+        ++entry.version;
+    }
+    PutTraceResult result;
+    result.name = request.name;
+    result.refs = request.refs.size();
+    return encodeFrame(MsgType::PutResponse,
+                       encodePutResponse(result));
 }
 
 std::string Server::handleStats()
@@ -633,8 +759,8 @@ std::string Server::handleReplay(const ReplayRequest &request,
         const std::uint64_t loadStartNs = obs::monotonicNs();
         if (wantsOptimal)
         {
-            Result<IndexedTrace> warm =
-                traceStore.indexed(request.trace, request.lineBytes);
+            Result<IndexedTrace> warm = traceStore.indexed(
+                storeKeyFor(request.trace), request.lineBytes);
             if (!warm.ok())
                 return errorFrame(warm.status());
             trace = warm.value().trace;
@@ -643,7 +769,7 @@ std::string Server::handleReplay(const ReplayRequest &request,
         else
         {
             Result<std::shared_ptr<const Trace>> loaded =
-                traceStore.trace(request.trace);
+                traceStore.trace(storeKeyFor(request.trace));
             if (!loaded.ok())
                 return errorFrame(loaded.status());
             trace = loaded.value();
@@ -704,8 +830,19 @@ std::string Server::handleSweep(const SweepRequest &request,
                                 const RequestContext &ctx,
                                 const std::string &client_id)
 {
-    const Status geometry = validGeometry(
-        paperCacheSizes().back(), request.lineBytes);
+    // Empty = the paper's default axis; a custom axis gets the same
+    // validation a campaign spec does.
+    const std::vector<std::uint64_t> &axis =
+        request.sizes.empty() ? paperCacheSizes() : request.sizes;
+    if (!request.sizes.empty())
+    {
+        const Status valid =
+            validateSweepAxis(request.sizes, request.lineBytes);
+        if (!valid.ok())
+            return errorFrame(valid);
+    }
+    const Status geometry =
+        validGeometry(axis.back(), request.lineBytes);
     if (!geometry.ok())
         return errorFrame(geometry);
     if (request.engine > 2)
@@ -715,11 +852,11 @@ std::string Server::handleSweep(const SweepRequest &request,
     if (!deadline.ok())
         return errorFrame(deadline);
 
-    // A sweep replays three models at every paper size.
+    // A sweep replays three models at every axis size.
     const WorkKind kind = request.engine == 0 ? WorkKind::SweepBatched
                           : request.engine == 1 ? WorkKind::SweepPerLeg
                                                 : WorkKind::SweepKernel;
-    const std::uint64_t legs = 3 * paperCacheSizes().size();
+    const std::uint64_t legs = 3 * axis.size();
     const std::uint64_t admitStartNs = obs::monotonicNs();
     const AdmissionDecision ticket =
         admission.admit(client_id, kind, estimateRefs(request.trace),
@@ -735,8 +872,8 @@ std::string Server::handleSweep(const SweepRequest &request,
     Result<IndexedTrace> warm = [&] {
         obs::ScopedSpan span("srv", "store-load", ctx.traceId);
         const std::uint64_t loadStartNs = obs::monotonicNs();
-        Result<IndexedTrace> loaded =
-            traceStore.indexed(request.trace, request.lineBytes);
+        Result<IndexedTrace> loaded = traceStore.indexed(
+            storeKeyFor(request.trace), request.lineBytes);
         recordLatency(obs::Latency::StoreLoad,
                       obs::monotonicNs() - loadStartNs);
         return loaded;
@@ -762,7 +899,7 @@ std::string Server::handleSweep(const SweepRequest &request,
         obs::ScopedSpan span("srv", "replay", ctx.traceId);
         const std::uint64_t replayStartNs = obs::monotonicNs();
         SizeSweepOutcome swept = sweepSizesChecked(
-            *warm.value().trace, *warm.value().index, paperCacheSizes(),
+            *warm.value().trace, *warm.value().index, axis,
             request.lineBytes, sweepConfig, engine);
         recordLatency(obs::Latency::Replay,
                       obs::monotonicNs() - replayStartNs);
@@ -830,6 +967,7 @@ Server::statsRows() const
         {"replays", server.replays},
         {"sweeps", server.sweeps},
         {"helloes", server.helloes},
+        {"puts", server.puts},
         {"deadline-expirations", server.deadlineExpirations},
         {"admitted", admit.admitted},
         {"shed", admit.shed},

@@ -1,9 +1,12 @@
 /**
  * @file
  * The dynex simulation server: a concurrent TCP service that answers
- * DXP1 requests (ping / list / replay / sweep / stats) over a set of
- * served traces, so one warm process can serve many sweeps without
- * re-reading or re-indexing anything.
+ * DXP1 requests (ping / list / replay / sweep / stats / put) over a
+ * set of served traces, so one warm process can serve many sweeps
+ * without re-reading or re-indexing anything. PUT uploads a trace by
+ * value (campaigns ship imported workloads this way); uploads live in
+ * a versioned registry beside the spec's traces and are simulated
+ * through the same TraceStore path.
  *
  * Architecture:
  *   - one listener thread accepts connections and pushes them onto a
@@ -48,6 +51,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -117,6 +121,7 @@ struct ServerCounters
     std::uint64_t sweeps = 0;
     std::uint64_t stats = 0;
     std::uint64_t helloes = 0;
+    std::uint64_t puts = 0;     ///< traces uploaded by value
     std::uint64_t deadlineExpirations = 0;
 };
 
@@ -182,6 +187,7 @@ class Server
                             const RequestContext &ctx,
                             const std::string &client_id);
     std::string handleStats();
+    std::string handlePut(const PutTraceRequest &request);
 
     /** Record @p ns into @p series when telemetry is on. */
     void recordLatency(obs::Latency series, std::uint64_t ns);
@@ -205,6 +211,27 @@ class Server
 
     std::string errorFrame(const Status &status);
     const ServedTrace *findServed(const std::string &name) const;
+
+    /** A trace uploaded by value via PUT, plus its version stamp. */
+    struct UploadedTrace
+    {
+        std::shared_ptr<const Trace> trace;
+        std::uint64_t version = 0;
+    };
+
+    /** The uploaded trace registered under @p name (nullptr when none);
+     * fills @p version when given. */
+    std::shared_ptr<const Trace>
+    findUploaded(const std::string &name,
+                 std::uint64_t *version = nullptr) const;
+
+    /**
+     * The TraceStore key for a request's trace name. Uploaded traces
+     * key as "put:<name>#v<version>" so a re-upload under the same
+     * name never hits the previous version's cached decode or index;
+     * served traces key as themselves.
+     */
+    std::string storeKeyFor(const std::string &name) const;
 
     ServerConfig config;
     AdmissionController admission;
@@ -233,6 +260,9 @@ class Server
 
     mutable std::mutex countersMutex;
     ServerCounters tallies;
+
+    mutable std::mutex uploadsMutex;
+    std::map<std::string, UploadedTrace> uploads;
 
     obs::HistogramSet latencies;
 };

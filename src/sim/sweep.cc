@@ -8,6 +8,7 @@
 #include "sim/parallel.h"
 #include "sim/workloads.h"
 #include "trace/next_use.h"
+#include "util/bitops.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -29,6 +30,38 @@ paperLineSizes()
 {
     static const std::vector<std::uint32_t> lines = {4, 8, 16, 32, 64};
     return lines;
+}
+
+Status
+validateSweepAxis(const std::vector<std::uint64_t> &sizes,
+                  std::uint32_t line_bytes)
+{
+    if (sizes.empty())
+        return Status::corruptInput("empty cache-size axis");
+    if (sizes.size() > kMaxSweepAxisSizes)
+        return Status::resourceLimit(
+            "cache-size axis of " + std::to_string(sizes.size()) +
+            " entries exceeds the cap of " +
+            std::to_string(kMaxSweepAxisSizes));
+    std::uint64_t previous = 0;
+    for (const std::uint64_t size : sizes) {
+        if (!isPowerOfTwo(size))
+            return Status::corruptInput(
+                "cache size " + std::to_string(size) +
+                " is not a power of two");
+        if (size < line_bytes)
+            return Status::corruptInput(
+                "cache size " + std::to_string(size) +
+                " is smaller than the " + std::to_string(line_bytes) +
+                "-byte line");
+        if (size <= previous)
+            return Status::corruptInput(
+                "cache sizes must be strictly increasing (saw " +
+                std::to_string(size) + " after " +
+                std::to_string(previous) + ")");
+        previous = size;
+    }
+    return Status();
 }
 
 double

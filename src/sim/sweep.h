@@ -15,12 +15,26 @@
 #include "sim/parallel.h"
 #include "sim/runner.h"
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace dynex
 {
 
 /** The paper's cache-size axis (1KB to 128KB). */
 const std::vector<std::uint64_t> &paperCacheSizes();
+
+/** Most sizes a single sweep axis may carry (campaigns, wire). */
+inline constexpr std::size_t kMaxSweepAxisSizes = 64;
+
+/**
+ * Validate a caller-supplied cache-size axis at @p line_bytes
+ * granularity: non-empty, at most kMaxSweepAxisSizes entries, every
+ * size a power of two no smaller than the line, and strictly
+ * increasing. Violations yield CorruptInput (ResourceLimit for the
+ * count cap) naming the offending size.
+ */
+Status validateSweepAxis(const std::vector<std::uint64_t> &sizes,
+                         std::uint32_t line_bytes);
 
 /** The paper's line-size axis (4B to 64B). */
 const std::vector<std::uint32_t> &paperLineSizes();

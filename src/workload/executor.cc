@@ -1,0 +1,261 @@
+#include "workload/executor.h"
+
+#include <cstring>
+#include <utility>
+
+#include "obs/run_report.h"
+#include "server/client.h"
+#include "sim/sweep.h"
+#include "sim/workloads.h"
+#include "tracegen/spec.h"
+#include "trace/mmap_io.h"
+#include "trace/text_io.h"
+#include "util/string_utils.h"
+#include "workload/import.h"
+
+namespace dynex
+{
+namespace workload
+{
+
+namespace
+{
+
+bool
+hasSuffix(const std::string &text, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return text.size() >= n &&
+           iequals(text.substr(text.size() - n), suffix);
+}
+
+/** The sweep configuration a (campaign, line) leg runs under — the
+ * same derivation the CLI and server use, so all three execution
+ * paths produce bit-identical legs. */
+DynamicExclusionConfig
+legConfig(const CampaignSpec &spec, std::uint32_t line_bytes)
+{
+    DynamicExclusionConfig config;
+    config.stickyMax = spec.stickyMax;
+    config.useLastLine = line_bytes > 4;
+    return config;
+}
+
+void
+appendOutcome(CampaignReport &report, const std::string &label,
+              std::uint32_t line_bytes,
+              const std::vector<std::uint64_t> &sizes,
+              const SizeSweepOutcome &outcome)
+{
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        CampaignLeg leg;
+        leg.trace = label;
+        leg.lineBytes = line_bytes;
+        leg.sizeBytes = sizes[s];
+        leg.ok = s < outcome.ok.size() && outcome.ok[s] != 0;
+        if (s < outcome.points.size()) {
+            leg.dmMissPct = outcome.points[s].dmMissPct;
+            leg.deMissPct = outcome.points[s].deMissPct;
+            leg.optMissPct = outcome.points[s].optMissPct;
+        }
+        report.legs.push_back(std::move(leg));
+    }
+    // Failures carry the campaign label, not the engine's trace name:
+    // remote legs run under a campaign-scoped wire name that must not
+    // leak into the (byte-identical) report.
+    for (const FailedLeg &failed : outcome.failures) {
+        CampaignFailure failure;
+        failure.trace = label;
+        failure.lineBytes = line_bytes;
+        failure.sizeBytes = failed.sizeBytes;
+        failure.model = failed.model;
+        failure.status = failed.status.toString();
+        report.failures.push_back(std::move(failure));
+    }
+}
+
+Status
+runLocal(const CampaignSpec &spec, CampaignReport &report)
+{
+    for (const TraceSource &source : spec.traces) {
+        Result<Trace> trace = resolveSource(source, spec.refs);
+        if (!trace.ok())
+            return trace.status();
+        for (const std::uint32_t line : spec.lines) {
+            const SizeSweepOutcome outcome =
+                sweepSizesChecked(trace.value(), spec.sizes, line,
+                                  legConfig(spec, line), spec.engine);
+            appendOutcome(report, source.label, line, spec.sizes,
+                          outcome);
+        }
+    }
+    return Status();
+}
+
+Status
+runRemote(const CampaignSpec &spec, const CampaignOptions &options,
+          CampaignReport &report)
+{
+    server::Client client;
+    client.setClientId(options.clientId);
+    if (options.retries > 0) {
+        server::RetryPolicy policy;
+        policy.retries = options.retries;
+        policy.backoffMs = options.backoffMs;
+        client.setRetryPolicy(policy);
+    }
+    if (Status s = client.connect(options.host, options.port); !s.ok())
+        return s;
+
+    for (const TraceSource &source : spec.traces) {
+        Result<Trace> trace = resolveSource(source, spec.refs);
+        if (!trace.ok())
+            return trace.status();
+
+        // Upload under a campaign-scoped wire name: a default daemon
+        // serves the whole synthetic suite, so a bare bench label
+        // would collide with the served spec and be rejected. The
+        // report still carries the plain label.
+        const std::string wireName = "campaign:" + source.label;
+        server::PutTraceRequest upload;
+        upload.name = wireName;
+        upload.refs = trace.value().records();
+        Result<server::PutTraceResult> put = client.put(upload);
+        if (!put.ok())
+            return put.status().withContext("put '" + source.label +
+                                            "'");
+
+        for (const std::uint32_t line : spec.lines) {
+            server::SweepRequest request;
+            request.trace = wireName;
+            request.lineBytes = line;
+            request.engine =
+                static_cast<std::uint8_t>(spec.engine);
+            request.stickyMax = spec.stickyMax;
+            request.deadlineMs = options.deadlineMs;
+            request.sizes = spec.sizes;
+            Result<server::SweepResult> swept =
+                client.sweep(request);
+            if (!swept.ok())
+                return swept.status().withContext(
+                    "sweep '" + source.label + "'");
+
+            // Rebuild the exact SizeSweepOutcome shape the local path
+            // feeds appendOutcome, so merging is one code path.
+            SizeSweepOutcome outcome;
+            for (const server::SweepPointWire &point :
+                 swept.value().points) {
+                SizeSweepPoint local;
+                local.sizeBytes = point.sizeBytes;
+                local.dmMissPct = point.dmMissPct;
+                local.deMissPct = point.deMissPct;
+                local.optMissPct = point.optMissPct;
+                outcome.points.push_back(local);
+                outcome.ok.push_back(point.ok);
+            }
+            for (const server::SweepFailureWire &wire :
+                 swept.value().failures) {
+                FailedLeg failed;
+                failed.bench = wire.bench;
+                failed.sizeBytes = wire.sizeBytes;
+                failed.model = wire.model;
+                failed.status = server::statusFromWire(
+                    {wire.code, wire.message});
+                outcome.failures.push_back(std::move(failed));
+            }
+            appendOutcome(report, source.label, line, spec.sizes,
+                          outcome);
+        }
+    }
+    return Status();
+}
+
+} // namespace
+
+const char *
+replayEngineName(ReplayEngine engine)
+{
+    switch (engine) {
+      case ReplayEngine::Batched:
+        return "batched";
+      case ReplayEngine::PerLeg:
+        return "per-leg";
+      case ReplayEngine::Kernel:
+        return "kernel";
+    }
+    return "batched";
+}
+
+Result<Trace>
+resolveSource(const TraceSource &source, Count refs)
+{
+    switch (source.kind) {
+      case SourceKind::Bench: {
+        if (!isSpecBenchmark(source.spec))
+            return Status::corruptInput("unknown benchmark '" +
+                                        source.spec + "'");
+        const Count budget =
+            refs != 0 ? refs : Workloads::defaultRefs();
+        Trace trace(*Workloads::instructions(source.spec, budget));
+        trace.setName(source.label);
+        return trace;
+      }
+      case SourceKind::File: {
+        Result<Trace> trace = hasSuffix(source.spec, ".din")
+                                  ? readDinTraceFile(source.spec)
+                                  : readTraceFileFast(source.spec);
+        if (!trace.ok())
+            return trace.status();
+        trace.value().setName(source.label);
+        return trace;
+      }
+      case SourceKind::Import: {
+        Result<Trace> trace =
+            source.format == "lackey"
+                ? readLackeyTraceFile(source.spec, source.label)
+                : readTextTraceFile(source.spec, source.label);
+        if (!trace.ok())
+            return trace.status();
+        return trace;
+      }
+    }
+    return Status::internal("unhandled trace source kind");
+}
+
+Result<CampaignReport>
+runCampaign(const CampaignSpec &spec, const CampaignOptions &options)
+{
+    CampaignReport report;
+    report.name = spec.name;
+    report.engine = replayEngineName(spec.engine);
+    report.models = spec.models;
+
+    const Status ran = options.port == 0
+                           ? runLocal(spec, report)
+                           : runRemote(spec, options, report);
+    if (!ran.ok())
+        return ran.withContext("campaign '" + spec.name + "'");
+    return report;
+}
+
+Status
+writeCampaignOutputs(const CampaignReport &report,
+                     const CampaignSpec &spec)
+{
+    if (!spec.jsonOut.empty()) {
+        if (Status s = obs::writeTextFile(spec.jsonOut,
+                                          report.toJson());
+            !s.ok())
+            return s;
+    }
+    if (!spec.csvOut.empty()) {
+        if (Status s =
+                obs::writeTextFile(spec.csvOut, report.toCsv());
+            !s.ok())
+            return s;
+    }
+    return Status();
+}
+
+} // namespace workload
+} // namespace dynex

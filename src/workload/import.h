@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Real-trace importers: streaming converters from two external trace
+ * formats into the in-memory Trace (and from there into CRC-checked
+ * DXT2/DXT3 files via trace/trace_io).
+ *
+ * Text format ("text"): one reference per line, gzip-friendly,
+ *
+ *   <type> <hex-address> [size]
+ *
+ * with type i = instruction fetch, l = data load, s = data store
+ * (case-insensitive), an optional 0x prefix on the address, and an
+ * optional decimal access size 1..255 (default 4). '#' starts a
+ * comment (whole-line or trailing); blank lines are ignored.
+ *
+ * Lackey format ("lackey"): a headerless dense binary layout in the
+ * spirit of ChampSim / valgrind-lackey pipes — 10-byte little-endian
+ * records { addr u64, kind u8, size u8 } with kind 0 = ifetch,
+ * 1 = load, 2 = store and size 1..255.
+ *
+ * Both readers follow the hardened-decoder discipline of the binary
+ * trace readers: a reference cap bounds every allocation
+ * (ResourceLimit beyond it), malformed input yields CorruptInput
+ * naming the offending line (text) or record + byte offset (lackey),
+ * and stream faults yield IoError with the errno text. Both paths are
+ * exercised by the seeded corruption fuzzer.
+ */
+
+#ifndef DYNEX_WORKLOAD_IMPORT_H
+#define DYNEX_WORKLOAD_IMPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+#include "util/status.h"
+
+namespace dynex
+{
+namespace workload
+{
+
+/** Default importer reference cap (bounds the decoded allocation). */
+inline constexpr std::uint64_t kDefaultImportRefCap = 64ull << 20;
+
+/** Knobs shared by both importers. */
+struct ImportOptions
+{
+    /** References beyond this yield ResourceLimit (never silent
+     * truncation). 0 falls back to kDefaultImportRefCap. */
+    std::uint64_t maxRefs = kDefaultImportRefCap;
+};
+
+/** Parse the line-oriented text format. Errors name the line. */
+Result<Trace> readTextTrace(std::istream &in, const std::string &name,
+                            const ImportOptions &options = {});
+
+/** readTextTrace from a file; the trace is named after the basename
+ * unless @p name is non-empty. */
+Result<Trace> readTextTraceFile(const std::string &path,
+                                const std::string &name = {},
+                                const ImportOptions &options = {});
+
+/** Serialize @p trace in the text format (round-trips exactly,
+ * including access sizes). */
+Status writeTextTrace(const Trace &trace, std::ostream &out);
+Status writeTextTraceFile(const Trace &trace, const std::string &path);
+
+/** Parse the lackey-style binary format. Errors name the record index
+ * and byte offset. Reads in bounded chunks; never trusts a length. */
+Result<Trace> readLackeyTrace(std::istream &in, const std::string &name,
+                              const ImportOptions &options = {});
+
+/** readLackeyTrace from a file (named after the basename unless
+ * @p name is non-empty). */
+Result<Trace> readLackeyTraceFile(const std::string &path,
+                                  const std::string &name = {},
+                                  const ImportOptions &options = {});
+
+/** Serialize @p trace in the lackey binary layout. */
+Status writeLackeyTrace(const Trace &trace, std::ostream &out);
+Status writeLackeyTraceFile(const Trace &trace,
+                            const std::string &path);
+
+/** Strip directories from @p path ("dir/a.txt" -> "a.txt"). */
+std::string importBaseName(const std::string &path);
+
+} // namespace workload
+} // namespace dynex
+
+#endif // DYNEX_WORKLOAD_IMPORT_H

@@ -1,0 +1,165 @@
+#include "workload/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace dynex
+{
+namespace workload
+{
+
+namespace
+{
+
+/** JSON string escaping (labels and status text). */
+std::string
+jsonString(const std::string &text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** Shortest round-trippable decimal: the same double always renders
+ * the same bytes, the basis of the byte-identity guarantee. */
+std::string
+jsonDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+jsonU64(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+bool
+wantsModel(const std::vector<std::string> &models, const char *model)
+{
+    return std::find(models.begin(), models.end(), model) !=
+           models.end();
+}
+
+} // namespace
+
+std::string
+CampaignReport::toJson() const
+{
+    const bool dm = wantsModel(models, "dm");
+    const bool de = wantsModel(models, "dynex");
+    const bool opt = wantsModel(models, "opt");
+
+    std::string out = "{\n\"schema\":\"dynex-metrics-v1\",\n";
+    out += "\"campaign\":{\"name\":" + jsonString(name) +
+           ",\"engine\":" + jsonString(engine) + ",\"models\":[";
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        if (i)
+            out += ',';
+        out += jsonString(models[i]);
+    }
+    out += "]},\n";
+
+    out += "\"legs\":[";
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+        const CampaignLeg &leg = legs[i];
+        out += i ? ",\n" : "\n";
+        out += "{\"trace\":" + jsonString(leg.trace) +
+               ",\"lineBytes\":" + jsonU64(leg.lineBytes) +
+               ",\"sizeBytes\":" + jsonU64(leg.sizeBytes) +
+               ",\"ok\":" + (leg.ok ? "true" : "false");
+        if (dm)
+            out += ",\"dmMissPct\":" + jsonDouble(leg.dmMissPct);
+        if (de)
+            out += ",\"dynexMissPct\":" + jsonDouble(leg.deMissPct);
+        if (opt)
+            out += ",\"optMissPct\":" + jsonDouble(leg.optMissPct);
+        out += '}';
+    }
+    out += "\n],\n";
+
+    out += "\"failures\":[";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const CampaignFailure &failure = failures[i];
+        out += i ? ",\n" : "\n";
+        out += "{\"trace\":" + jsonString(failure.trace) +
+               ",\"lineBytes\":" + jsonU64(failure.lineBytes) +
+               ",\"sizeBytes\":" + jsonU64(failure.sizeBytes) +
+               ",\"model\":" + jsonString(failure.model) +
+               ",\"status\":" + jsonString(failure.status) + '}';
+    }
+    out += "\n]\n}\n";
+    return out;
+}
+
+std::string
+CampaignReport::toCsv() const
+{
+    const bool dm = wantsModel(models, "dm");
+    const bool de = wantsModel(models, "dynex");
+    const bool opt = wantsModel(models, "opt");
+
+    std::ostringstream out;
+    CsvWriter csv(out);
+
+    std::vector<std::string> header = {"trace", "line_bytes",
+                                       "size_bytes", "ok"};
+    if (dm)
+        header.push_back("dm_miss_pct");
+    if (de)
+        header.push_back("dynex_miss_pct");
+    if (opt)
+        header.push_back("opt_miss_pct");
+    csv.writeRow(header);
+
+    for (const CampaignLeg &leg : legs) {
+        std::vector<std::string> row = {
+            leg.trace, std::to_string(leg.lineBytes),
+            std::to_string(leg.sizeBytes), leg.ok ? "1" : "0"};
+        if (dm)
+            row.push_back(jsonDouble(leg.dmMissPct));
+        if (de)
+            row.push_back(jsonDouble(leg.deMissPct));
+        if (opt)
+            row.push_back(jsonDouble(leg.optMissPct));
+        csv.writeRow(row);
+    }
+    return out.str();
+}
+
+} // namespace workload
+} // namespace dynex

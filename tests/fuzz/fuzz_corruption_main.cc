@@ -4,9 +4,12 @@
  *
  *     dynex_fuzz_corruption [seed] [iterations] [format]
  *
- * The optional format argument ("dxt1", "dxt2", "dxt3", "din")
- * restricts the corpus to one format, spending the whole budget on it
- * (the fuzz_dxt3_smoke ctest uses this).
+ * The optional format argument ("dxt1", "dxt2", "dxt3", "din",
+ * "text", "lackey", "campaign") restricts the corpus to one format,
+ * spending the whole budget on it (the fuzz_dxt3_smoke ctest uses
+ * this); the group names "trace" and "import" select the binary
+ * readers or the whole workload surface (importers + campaign DSL,
+ * the fuzz_import_smoke ctest).
  *
  * Runs the same deterministic mutation engine as the gtest smoke test
  * but with an arbitrary budget, and exits nonzero when any mutation

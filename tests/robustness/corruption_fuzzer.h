@@ -1,14 +1,14 @@
 /**
  * @file
- * Deterministic corruption fuzzer over the trace readers. Starting
- * from valid DXT1, DXT2, DXT3, and din images, a seeded Rng applies
- * byte
- * flips and truncations and feeds each mutant to the matching reader.
- * Every mutation must yield either a clean success (CRC-less formats
- * can survive benign flips) or a structured, non-Internal error —
- * never a crash, hang, or unbounded allocation. Shared between the
- * gtest smoke test and the standalone fuzz binary so both run the
- * exact same corpus for a given seed.
+ * Deterministic corruption fuzzer over the trace readers, the
+ * workload importers, and the campaign DSL parser. Starting from
+ * valid DXT1, DXT2, DXT3, din, text, lackey, and .dxc images, a
+ * seeded Rng applies byte flips and truncations and feeds each mutant
+ * to the matching parser. Every mutation must yield either a clean
+ * success (CRC-less formats can survive benign flips) or a
+ * structured, non-Internal error — never a crash, hang, or unbounded
+ * allocation. Shared between the gtest smoke test and the standalone
+ * fuzz binary so both run the exact same corpus for a given seed.
  */
 
 #ifndef DYNEX_TESTS_ROBUSTNESS_CORRUPTION_FUZZER_H
@@ -22,6 +22,8 @@
 #include "trace/text_io.h"
 #include "trace/trace_io.h"
 #include "util/rng.h"
+#include "workload/campaign.h"
+#include "workload/import.h"
 
 namespace dynex::test
 {
@@ -42,10 +44,13 @@ struct FuzzReport
 namespace fuzz_detail
 {
 
-/** A seed corpus entry: a format label, a valid image, and a parser. */
+/** A seed corpus entry: a format label, the group it belongs to
+ * ("trace" readers or the workload "import" surface), a valid image,
+ * and a parser. */
 struct Subject
 {
     const char *format;
+    const char *group;
     std::string image;
     // Returns the parse Status (Ok on success).
     Status (*parse)(const std::string &bytes);
@@ -81,6 +86,48 @@ parseDin(const std::string &bytes)
     return readDinTrace(in, "fuzz").status();
 }
 
+inline Status
+parseImportText(const std::string &bytes)
+{
+    std::istringstream in(bytes);
+    return workload::readTextTrace(in, "fuzz").status();
+}
+
+inline Status
+parseImportLackey(const std::string &bytes)
+{
+    std::istringstream in(bytes);
+    return workload::readLackeyTrace(in, "fuzz").status();
+}
+
+inline Status
+parseCampaignSpec(const std::string &bytes)
+{
+    return workload::parseCampaign(bytes).status();
+}
+
+/** A valid campaign document exercising every statement kind, so
+ * mutations can land in any production of the grammar. */
+inline std::string
+corpusCampaign()
+{
+    return "# fuzz corpus campaign\n"
+           "campaign \"fuzz-corpus\" {\n"
+           "  trace bench espresso;\n"
+           "  trace file \"traces/li.dxt2\" as li;\n"
+           "  trace import \"traces/gcc.txt\" format text as gcc;\n"
+           "  trace import \"traces/cc1.lk\" format lackey;\n"
+           "  models dm, dynex, opt;\n"
+           "  sizes 1KB, 2KB, 4KB, 8KB;\n"
+           "  lines 4, 16;\n"
+           "  refs 100000;\n"
+           "  engine kernel;\n"
+           "  sticky 2;\n"
+           "  output json \"out.json\";\n"
+           "  output csv \"out.csv\";\n"
+           "}\n";
+}
+
 inline std::vector<Subject>
 buildCorpus()
 {
@@ -89,23 +136,37 @@ buildCorpus()
     {
         std::ostringstream out;
         writeTrace(trace, out, TraceFormat::Dxt1);
-        corpus.push_back({"dxt1", out.str(), &parseBinary});
+        corpus.push_back({"dxt1", "trace", out.str(), &parseBinary});
     }
     {
         std::ostringstream out;
         writeTrace(trace, out, TraceFormat::Dxt2);
-        corpus.push_back({"dxt2", out.str(), &parseBinary});
+        corpus.push_back({"dxt2", "trace", out.str(), &parseBinary});
     }
     {
         std::ostringstream out;
         writeTrace(trace, out, TraceFormat::Dxt3);
-        corpus.push_back({"dxt3", out.str(), &parseBinary});
+        corpus.push_back({"dxt3", "trace", out.str(), &parseBinary});
     }
     {
         std::ostringstream out;
         writeDinTrace(trace, out);
-        corpus.push_back({"din", out.str(), &parseDin});
+        corpus.push_back({"din", "trace", out.str(), &parseDin});
     }
+    {
+        std::ostringstream out;
+        workload::writeTextTrace(trace, out);
+        corpus.push_back(
+            {"text", "import", out.str(), &parseImportText});
+    }
+    {
+        std::ostringstream out;
+        workload::writeLackeyTrace(trace, out);
+        corpus.push_back(
+            {"lackey", "import", out.str(), &parseImportLackey});
+    }
+    corpus.push_back(
+        {"campaign", "import", corpusCampaign(), &parseCampaignSpec});
     return corpus;
 }
 
@@ -135,11 +196,12 @@ mutate(std::string &image, Rng &rng)
 } // namespace fuzz_detail
 
 /**
- * Run @p iterations seeded mutations across the DXT1/DXT2/DXT3/din
- * corpus. Iterations are split round-robin across the formats so a
+ * Run @p iterations seeded mutations across the corpus (trace
+ * readers: dxt1/dxt2/dxt3/din; workload surface: text/lackey/
+ * campaign). Iterations are split round-robin across the formats so a
  * small budget still covers all of them. A non-empty @p format
- * restricts the corpus to that one format (e.g. "dxt3"), spending the
- * whole budget on it.
+ * restricts the corpus to one format (e.g. "dxt3") or one group
+ * ("trace", "import"), spending the whole budget on it.
  */
 inline FuzzReport
 runCorruptionFuzzer(std::uint64_t seed, std::uint64_t iterations,
@@ -148,7 +210,7 @@ runCorruptionFuzzer(std::uint64_t seed, std::uint64_t iterations,
     auto corpus = fuzz_detail::buildCorpus();
     if (!format.empty()) {
         std::erase_if(corpus, [&](const fuzz_detail::Subject &s) {
-            return format != s.format;
+            return format != s.format && format != s.group;
         });
         if (corpus.empty()) {
             FuzzReport report;

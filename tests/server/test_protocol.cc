@@ -14,6 +14,7 @@
 #include <string>
 
 #include "server/protocol.h"
+#include "sim/sweep.h"
 #include "util/crc32.h"
 
 #include "../robustness/frame_fuzzer.h"
@@ -298,6 +299,112 @@ TEST(Dxp1Bodies, SweepRequestAcceptsEveryEngineAndRejectsUnknown)
         parseSweepRequest(encodeSweepRequest(request));
     ASSERT_FALSE(rejected.ok());
     EXPECT_EQ(rejected.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Bodies, SweepRequestCustomAxisRoundTrips)
+{
+    SweepRequest request;
+    request.trace = "espresso";
+    request.lineBytes = 16;
+    request.sizes = {1024, 2048, 4096};
+    const auto parsed = parseSweepRequest(encodeSweepRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().sizes, request.sizes);
+}
+
+TEST(Dxp1Bodies, SweepRequestWithoutAxisKeepsTheLegacyLayout)
+{
+    // An empty axis must encode byte-identically to the pre-axis
+    // layout (no trailing count), so old servers still parse it.
+    SweepRequest request;
+    request.trace = "espresso";
+    request.lineBytes = 16;
+    const std::string legacy = encodeSweepRequest(request);
+    request.sizes = {1024};
+    const std::string custom = encodeSweepRequest(request);
+    EXPECT_EQ(custom.size(), legacy.size() + 4 + 8);
+    const auto parsed = parseSweepRequest(legacy);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_TRUE(parsed.value().sizes.empty());
+}
+
+TEST(Dxp1Bodies, SweepRequestAxisOverCapIsResourceLimit)
+{
+    SweepRequest request;
+    request.trace = "espresso";
+    request.sizes.assign(kMaxSweepAxisSizes + 1, 1024);
+    const auto parsed = parseSweepRequest(encodeSweepRequest(request));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::ResourceLimit);
+}
+
+TEST(Dxp1Bodies, PutRequestRoundTrips)
+{
+    PutTraceRequest request;
+    request.name = "campaign:gcc";
+    request.refs = {ifetch(0x1000), load(0x2000, 8),
+                    store(0xffff'ffff'0000ull, 1)};
+    const auto parsed = parsePutRequest(encodePutRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().name, request.name);
+    ASSERT_EQ(parsed.value().refs.size(), request.refs.size());
+    for (std::size_t i = 0; i < request.refs.size(); ++i) {
+        EXPECT_EQ(parsed.value().refs[i].addr, request.refs[i].addr);
+        EXPECT_EQ(parsed.value().refs[i].type, request.refs[i].type);
+        EXPECT_EQ(parsed.value().refs[i].size, request.refs[i].size);
+    }
+}
+
+TEST(Dxp1Bodies, PutRequestRejectsAnEmptyName)
+{
+    PutTraceRequest request;
+    request.refs = {ifetch(0x1000)};
+    const auto parsed = parsePutRequest(encodePutRequest(request));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Bodies, PutRequestRejectsAnUnknownReferenceKind)
+{
+    PutTraceRequest request;
+    request.name = "x";
+    request.refs = {ifetch(0x1000)};
+    std::string payload = encodePutRequest(request);
+    // Layout: str name (u32 + bytes), u64 count, then 10-byte records
+    // { addr u64, kind u8, size u8 }; corrupt the first kind byte.
+    const std::size_t kindAt = 4 + request.name.size() + 8 + 8;
+    ASSERT_LT(kindAt, payload.size());
+    payload[kindAt] = 7;
+    const auto parsed = parsePutRequest(payload);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::CorruptInput);
+}
+
+TEST(Dxp1Bodies, PutRequestCountOverCapIsResourceLimit)
+{
+    PutTraceRequest request;
+    request.name = "x";
+    request.refs = {ifetch(0x1000)};
+    std::string payload = encodePutRequest(request);
+    // Rewrite the u64 count (after the name) to an absurd value; the
+    // cap check must fire before any allocation.
+    const std::size_t countAt = 4 + request.name.size();
+    for (std::size_t i = 0; i < 8; ++i)
+        payload[countAt + i] = static_cast<char>(0xff);
+    const auto parsed = parsePutRequest(payload);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::ResourceLimit);
+}
+
+TEST(Dxp1Bodies, PutResponseRoundTrips)
+{
+    PutTraceResult result;
+    result.name = "campaign:gcc";
+    result.refs = 123456;
+    const auto parsed = parsePutResponse(encodePutResponse(result));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().name, result.name);
+    EXPECT_EQ(parsed.value().refs, result.refs);
 }
 
 TEST(Dxp1Bodies, ReplayResponseRoundTrips)

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Importer tests: exact round-trips through the text and lackey
+ * external formats (including access sizes and all reference kinds),
+ * tolerant text parsing (comments, blanks, case, 0x prefixes), and
+ * the hardened-decoder contract — structured errors naming the line
+ * (text) or record + byte offset (lackey), reference caps as
+ * ResourceLimit, and file-level errors carrying the path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "util/rng.h"
+#include "workload/import.h"
+
+namespace dynex::workload
+{
+namespace
+{
+
+Trace
+corpusTrace(int refs = 500)
+{
+    Trace trace("import-corpus");
+    Rng rng(0x1992);
+    for (int i = 0; i < refs; ++i) {
+        const Addr addr = rng.next() & 0xffff'ffff'ffffull;
+        const auto size = static_cast<std::uint8_t>(1 + rng.nextBelow(255));
+        switch (rng.nextBelow(3)) {
+        case 0: trace.append(ifetch(addr, size)); break;
+        case 1: trace.append(load(addr, size)); break;
+        default: trace.append(store(addr, size)); break;
+        }
+    }
+    return trace;
+}
+
+void
+expectSameRecords(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].addr, b[i].addr) << "ref " << i;
+        EXPECT_EQ(a[i].type, b[i].type) << "ref " << i;
+        EXPECT_EQ(a[i].size, b[i].size) << "ref " << i;
+    }
+}
+
+TEST(ImportText, RoundTripsExactly)
+{
+    const Trace trace = corpusTrace();
+    std::ostringstream out;
+    ASSERT_TRUE(writeTextTrace(trace, out).ok());
+    std::istringstream in(out.str());
+    const auto back = readTextTrace(in, "back");
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    EXPECT_EQ(back.value().name(), "back");
+    expectSameRecords(trace, back.value());
+}
+
+TEST(ImportText, AcceptsCommentsBlanksCaseAndPrefixes)
+{
+    std::istringstream in("# header comment\n"
+                          "\n"
+                          "I 0x1000\n"
+                          "l 2000 8   # trailing comment\n"
+                          "S 0xABCD 1\n"
+                          "   \t  \n");
+    const auto trace = readTextTrace(in, "t");
+    ASSERT_TRUE(trace.ok()) << trace.status().toString();
+    ASSERT_EQ(trace.value().size(), 3u);
+    EXPECT_EQ(trace.value()[0].type, RefType::Ifetch);
+    EXPECT_EQ(trace.value()[0].addr, 0x1000u);
+    EXPECT_EQ(trace.value()[0].size, 4u); // default access size
+    EXPECT_EQ(trace.value()[1].type, RefType::Load);
+    EXPECT_EQ(trace.value()[1].addr, 0x2000u);
+    EXPECT_EQ(trace.value()[1].size, 8u);
+    EXPECT_EQ(trace.value()[2].type, RefType::Store);
+    EXPECT_EQ(trace.value()[2].addr, 0xabcdu);
+}
+
+TEST(ImportText, ErrorsNameTheOffendingLine)
+{
+    std::istringstream in("i 1000\n"
+                          "l 2000\n"
+                          "q 3000\n");
+    const auto trace = readTextTrace(in, "t");
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.status().code(), StatusCode::CorruptInput);
+    EXPECT_NE(trace.status().message().find("line 3"),
+              std::string::npos)
+        << trace.status().toString();
+}
+
+TEST(ImportText, RejectsMalformedAddressesAndSizes)
+{
+    {
+        std::istringstream in("i zzzz\n");
+        const auto trace = readTextTrace(in, "t");
+        ASSERT_FALSE(trace.ok());
+        EXPECT_EQ(trace.status().code(), StatusCode::CorruptInput);
+    }
+    {
+        std::istringstream in("i 1000 0\n");
+        const auto trace = readTextTrace(in, "t");
+        ASSERT_FALSE(trace.ok());
+        EXPECT_EQ(trace.status().code(), StatusCode::CorruptInput);
+    }
+    {
+        std::istringstream in("i 1000 300\n");
+        const auto trace = readTextTrace(in, "t");
+        ASSERT_FALSE(trace.ok());
+        EXPECT_EQ(trace.status().code(), StatusCode::CorruptInput);
+    }
+    {
+        std::istringstream in("i\n");
+        const auto trace = readTextTrace(in, "t");
+        ASSERT_FALSE(trace.ok());
+        EXPECT_EQ(trace.status().code(), StatusCode::CorruptInput);
+    }
+}
+
+TEST(ImportText, ReferenceCapIsResourceLimitNotTruncation)
+{
+    std::istringstream in("i 1000\ni 2000\ni 3000\n");
+    ImportOptions options;
+    options.maxRefs = 2;
+    const auto trace = readTextTrace(in, "t", options);
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.status().code(), StatusCode::ResourceLimit);
+}
+
+TEST(ImportLackey, RoundTripsExactly)
+{
+    const Trace trace = corpusTrace();
+    std::ostringstream out;
+    ASSERT_TRUE(writeLackeyTrace(trace, out).ok());
+    std::istringstream in(out.str());
+    const auto back = readLackeyTrace(in, "back");
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    expectSameRecords(trace, back.value());
+}
+
+TEST(ImportLackey, TruncatedTailNamesRecordAndOffset)
+{
+    const Trace trace = corpusTrace(4);
+    std::ostringstream out;
+    ASSERT_TRUE(writeLackeyTrace(trace, out).ok());
+    std::string bytes = out.str();
+    bytes.resize(bytes.size() - 3); // leave a 7-byte partial record
+    std::istringstream in(bytes);
+    const auto back = readLackeyTrace(in, "t");
+    ASSERT_FALSE(back.ok());
+    EXPECT_EQ(back.status().code(), StatusCode::CorruptInput);
+    EXPECT_NE(back.status().message().find("record 3"),
+              std::string::npos)
+        << back.status().toString();
+    EXPECT_NE(back.status().message().find("offset 30"),
+              std::string::npos)
+        << back.status().toString();
+}
+
+TEST(ImportLackey, RejectsUnknownKindAndZeroSize)
+{
+    const Trace trace = corpusTrace(2);
+    std::ostringstream out;
+    ASSERT_TRUE(writeLackeyTrace(trace, out).ok());
+    {
+        std::string bytes = out.str();
+        bytes[8] = 9; // record 0's kind byte
+        std::istringstream in(bytes);
+        const auto back = readLackeyTrace(in, "t");
+        ASSERT_FALSE(back.ok());
+        EXPECT_EQ(back.status().code(), StatusCode::CorruptInput);
+    }
+    {
+        std::string bytes = out.str();
+        bytes[9] = 0; // record 0's size byte
+        std::istringstream in(bytes);
+        const auto back = readLackeyTrace(in, "t");
+        ASSERT_FALSE(back.ok());
+        EXPECT_EQ(back.status().code(), StatusCode::CorruptInput);
+    }
+}
+
+TEST(ImportLackey, ReferenceCapIsResourceLimit)
+{
+    const Trace trace = corpusTrace(5);
+    std::ostringstream out;
+    ASSERT_TRUE(writeLackeyTrace(trace, out).ok());
+    std::istringstream in(out.str());
+    ImportOptions options;
+    options.maxRefs = 4;
+    const auto back = readLackeyTrace(in, "t", options);
+    ASSERT_FALSE(back.ok());
+    EXPECT_EQ(back.status().code(), StatusCode::ResourceLimit);
+}
+
+TEST(ImportFiles, RoundTripThroughFilesAndDefaultNames)
+{
+    const Trace trace = corpusTrace(50);
+    const std::string dir = ::testing::TempDir();
+    const std::string textPath = dir + "import_roundtrip.txt";
+    const std::string lackeyPath = dir + "import_roundtrip.lk";
+
+    ASSERT_TRUE(writeTextTraceFile(trace, textPath).ok());
+    const auto text = readTextTraceFile(textPath);
+    ASSERT_TRUE(text.ok()) << text.status().toString();
+    EXPECT_EQ(text.value().name(), "import_roundtrip.txt");
+    expectSameRecords(trace, text.value());
+
+    ASSERT_TRUE(writeLackeyTraceFile(trace, lackeyPath).ok());
+    const auto lackey = readLackeyTraceFile(lackeyPath, "renamed");
+    ASSERT_TRUE(lackey.ok()) << lackey.status().toString();
+    EXPECT_EQ(lackey.value().name(), "renamed");
+    expectSameRecords(trace, lackey.value());
+
+    std::remove(textPath.c_str());
+    std::remove(lackeyPath.c_str());
+}
+
+TEST(ImportFiles, MissingFileIsIoErrorCarryingThePath)
+{
+    const auto trace = readTextTraceFile("/nonexistent/nope.txt");
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.status().code(), StatusCode::IoError);
+    EXPECT_NE(trace.status().message().find("nope.txt"),
+              std::string::npos)
+        << trace.status().toString();
+}
+
+} // namespace
+} // namespace dynex::workload

@@ -6,7 +6,11 @@
  *   dynex list
  *   dynex gen <benchmark> <out.{dxt,din}> [--refs N] [--stream KIND]
  *   dynex info <trace-file>
- *   dynex convert <in.{dxt,din}> <out.{dxt,din}>
+ *   dynex convert <in> <out> [--to FORMAT] [--force]
+ *   dynex import <in> <out> --format {text,lackey}
+ *             [--out-format {dxt2,dxt3}] [--refs N] [--force]
+ *   dynex campaign run <spec.dxc> [--host H --port P] [--threads N]
+ *   dynex campaign check <spec.dxc>
  *   dynex sim <trace-file|benchmark> [--cache KIND] [--size S]
  *             [--line L] [--sticky N] [--lastline] [--victim N]
  *             [--refs N] [--stream KIND]
@@ -60,6 +64,9 @@
 #include "util/thread_pool.h"
 #include "util/table.h"
 #include "util/version.h"
+#include "workload/campaign.h"
+#include "workload/executor.h"
+#include "workload/import.h"
 
 namespace
 {
@@ -92,6 +99,10 @@ struct Options
     bool progress = false;   // --progress: stderr progress bar
     unsigned watchSec = 0;   // remote-stats --watch: refresh period
     bool prom = false;       // remote-stats --prom: Prometheus text
+    std::string format;      // import --format: input format
+    std::string outFormat;   // import --out-format: dxt2 | dxt3
+    std::string convertTo;   // convert --to: output format override
+    bool force = false;      // --force: overwrite existing outputs
 };
 
 /** Apply --threads to the simulation pool before any sweep runs. */
@@ -133,16 +144,30 @@ exitCodeFor(const Status &status)
     return kExitInternal;
 }
 
-int
-usage()
+/** The full usage text: every subcommand, every flag, the exit-code
+ * contract. `dynex help` prints it to stdout (exit 0); error paths
+ * print it to stderr (exit 2). */
+void
+printUsage(std::FILE *out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: dynex <command> [args]\n"
+        "  help | --help | -h                    this text (to stdout)\n"
         "  list                                  suite benchmarks\n"
         "  gen <benchmark> <out.{dxt,din}>       generate a trace file\n"
         "  info <trace-file>                     summarize a trace\n"
-        "  convert <in> <out>                    convert dxt <-> din\n"
+        "  convert <in> <out> [--to F] [--force] convert trace formats\n"
+        "                                        (dxt1/dxt2/dxt3/din/\n"
+        "                                        text/lackey)\n"
+        "  import <in> <out> --format F          import an external\n"
+        "         [--out-format dxt2|dxt3]       trace (text or lackey\n"
+        "         [--refs N] [--force]           layout) into dxt2/dxt3\n"
+        "  campaign run <spec.dxc> [options]     run a campaign spec\n"
+        "                                        locally, or on a\n"
+        "                                        dynex_serve daemon\n"
+        "                                        with --host/--port\n"
+        "  campaign check <spec.dxc>             parse + validate only\n"
         "  sim <trace|benchmark> [options]       run one cache model\n"
         "  triad <trace|benchmark> [options]     dm vs dynex vs optimal\n"
         "  sweep <trace|benchmark> [options]     triad over the paper's\n"
@@ -163,6 +188,19 @@ usage()
         "  version | --version                   print the version\n"
         "options: --cache K --size S --line L --sticky N --lastline\n"
         "         --victim N --refs N --stream mixed|ifetch|data\n"
+        "         --format F   import: input format; valid formats:\n"
+        "                      text (one '<type> <hex-addr> [size]'\n"
+        "                      reference per line, # comments) and\n"
+        "                      lackey (dense 10-byte binary records:\n"
+        "                      addr u64, kind u8, size u8)\n"
+        "         --out-format F  import: on-disk output format (dxt2\n"
+        "                      default, dxt3 compressed); without it\n"
+        "                      the output extension decides\n"
+        "         --to F       convert: output format override (dxt1,\n"
+        "                      dxt2, dxt3, din, text, lackey); without\n"
+        "                      it the output extension decides\n"
+        "         --force      convert/import: overwrite an existing\n"
+        "                      output file instead of refusing\n"
         "         --threads N  simulation worker threads for triad and\n"
         "                      sweep (default: DYNEX_THREADS if set,\n"
         "                      else all hardware threads); any count\n"
@@ -186,8 +224,10 @@ usage()
         "                      Perfetto\n"
         "         --progress   sweep: draw a progress bar on stderr\n"
         "                      (stdout tables are unaffected)\n"
-        "         --host H --port P  remote-*: dynex_serve address\n"
-        "                      (default host 127.0.0.1)\n"
+        "         --host H --port P  remote-* and campaign run: a\n"
+        "                      dynex_serve address (default host\n"
+        "                      127.0.0.1); campaign run without --port\n"
+        "                      executes locally\n"
         "         --deadline-ms N  remote-*: per-request deadline; an\n"
         "                      expired deadline is a data error; with\n"
         "                      --retries it also bounds the total time\n"
@@ -211,7 +251,13 @@ usage()
         "                      stitch with trace-merge)\n"
         "exit codes: 0 ok, 2 usage error, 3 i/o error, 4 data error\n"
         "            (corrupt/implausible input), 5 internal error\n"
-        "            (failed sweep legs, library bugs)\n");
+        "            (failed sweep or campaign legs, library bugs)\n");
+}
+
+int
+usage()
+{
+    printUsage(stderr);
     return kExitUsage;
 }
 
@@ -307,6 +353,46 @@ parseOptions(int argc, char **argv, int first, Options &options)
         };
         if (flag == "--lastline") {
             options.lastLine = true;
+        } else if (flag == "--force") {
+            options.force = true;
+        } else if (flag == "--format") {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!iequals(v, "text") && !iequals(v, "lackey")) {
+                std::fprintf(stderr,
+                             "dynex: bad --format '%s' (valid formats: "
+                             "text, lackey)\n",
+                             v);
+                return false;
+            }
+            options.format = v;
+        } else if (flag == "--out-format") {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!iequals(v, "dxt2") && !iequals(v, "dxt3")) {
+                std::fprintf(stderr,
+                             "dynex: bad --out-format '%s' (valid "
+                             "formats: dxt2, dxt3)\n",
+                             v);
+                return false;
+            }
+            options.outFormat = v;
+        } else if (flag == "--to") {
+            const char *v = value();
+            if (!v)
+                return false;
+            if (!iequals(v, "dxt1") && !iequals(v, "dxt2") &&
+                !iequals(v, "dxt3") && !iequals(v, "din") &&
+                !iequals(v, "text") && !iequals(v, "lackey")) {
+                std::fprintf(stderr,
+                             "dynex: bad --to '%s' (valid formats: "
+                             "dxt1, dxt2, dxt3, din, text, lackey)\n",
+                             v);
+                return false;
+            }
+            options.convertTo = v;
         } else if (flag == "--progress") {
             options.progress = true;
         } else if (flag == "--prom") {
@@ -491,19 +577,229 @@ cmdInfo(const std::string &path)
     return 0;
 }
 
-int
-cmdConvert(const std::string &in_path, const std::string &out_path)
+/** Overwrite guard for convert/import outputs: refuse to clobber an
+ * existing file unless --force was given. */
+bool
+outputWritable(const std::string &path, const Options &options,
+               int &exit_code)
 {
-    int rc = kExitInternal;
+    if (options.force)
+        return true;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return true;
+    std::fclose(file);
+    std::fprintf(stderr,
+                 "dynex: %s exists; pass --force to overwrite\n",
+                 path.c_str());
+    exit_code = kExitIo;
+    return false;
+}
+
+/** Write @p trace to @p path in format @p to ("dxt1", "dxt2", "dxt3",
+ * "din", "text", "lackey"); empty @p to lets the extension decide. */
+int
+writeTraceAs(const Trace &trace, const std::string &path,
+             const std::string &to)
+{
+    if (to.empty())
+        return storeTraceFile(trace, path);
+    Status status;
+    if (iequals(to, "dxt1"))
+        status = writeTraceFile(trace, path, TraceFormat::Dxt1);
+    else if (iequals(to, "dxt2"))
+        status = writeTraceFile(trace, path, TraceFormat::Dxt2);
+    else if (iequals(to, "dxt3"))
+        status = writeTraceFile(trace, path, TraceFormat::Dxt3);
+    else if (iequals(to, "din"))
+        status = writeDinTraceFile(trace, path);
+    else if (iequals(to, "text"))
+        status = workload::writeTextTraceFile(trace, path);
+    else
+        status = workload::writeLackeyTraceFile(trace, path);
+    if (!status.ok())
+        std::fprintf(stderr, "dynex: cannot write %s: %s\n",
+                     path.c_str(), status.toString().c_str());
+    return exitCodeFor(status);
+}
+
+int
+cmdConvert(const std::string &in_path, const std::string &out_path,
+           const Options &options)
+{
+    int rc = kExitOk;
+    if (!outputWritable(out_path, options, rc))
+        return rc;
+    rc = kExitInternal;
     const auto trace = loadTraceFile(in_path, rc);
     if (!trace)
         return rc;
-    rc = storeTraceFile(*trace, out_path);
+    rc = writeTraceAs(*trace, out_path, options.convertTo);
     if (rc != kExitOk)
         return rc;
     std::printf("converted %zu references: %s -> %s\n", trace->size(),
                 in_path.c_str(), out_path.c_str());
     return kExitOk;
+}
+
+int
+cmdImport(const std::string &in_path, const std::string &out_path,
+          const Options &options)
+{
+    if (options.format.empty()) {
+        std::fprintf(stderr,
+                     "dynex: import needs --format text|lackey\n");
+        return kExitUsage;
+    }
+    int rc = kExitOk;
+    if (!outputWritable(out_path, options, rc))
+        return rc;
+
+    workload::ImportOptions limits;
+    if (options.refs > 0)
+        limits.maxRefs = options.refs;
+    Result<Trace> trace =
+        iequals(options.format, "lackey")
+            ? workload::readLackeyTraceFile(in_path, {}, limits)
+            : workload::readTextTraceFile(in_path, {}, limits);
+    if (!trace.ok()) {
+        std::fprintf(stderr, "dynex: cannot import %s: %s\n",
+                     in_path.c_str(),
+                     trace.status().toString().c_str());
+        return exitCodeFor(trace.status());
+    }
+
+    rc = writeTraceAs(trace.value(), out_path, options.outFormat);
+    if (rc != kExitOk)
+        return rc;
+    std::printf("imported %zu references (%s): %s -> %s\n",
+                trace.value().size(), options.format.c_str(),
+                in_path.c_str(), out_path.c_str());
+    return kExitOk;
+}
+
+/** The summary table `campaign run` prints: one row per leg, with a
+ * miss column per model the spec requests. */
+void
+printCampaignTable(const workload::CampaignSpec &spec,
+                   const workload::CampaignReport &report)
+{
+    std::vector<std::string> header = {"trace", "line", "size"};
+    for (const std::string &model : spec.models)
+        header.push_back(model + " miss %");
+    Table table;
+    table.setHeader(header);
+    for (const auto &leg : report.legs) {
+        std::vector<std::string> row = {leg.trace,
+                                        formatSize(leg.lineBytes),
+                                        formatSize(leg.sizeBytes)};
+        for (const std::string &model : spec.models) {
+            if (!leg.ok) {
+                row.push_back("-");
+                continue;
+            }
+            const double pct = model == "dm"      ? leg.dmMissPct
+                               : model == "dynex" ? leg.deMissPct
+                                                  : leg.optMissPct;
+            row.push_back(Table::fmt(pct, 3));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s", table.toText().c_str());
+}
+
+int
+cmdCampaign(const std::string &verb, const std::string &spec_path,
+            const Options &options)
+{
+    Result<workload::CampaignSpec> parsed =
+        workload::parseCampaignFile(spec_path);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "dynex: %s\n",
+                     parsed.status().toString().c_str());
+        return exitCodeFor(parsed.status());
+    }
+    const workload::CampaignSpec &spec = parsed.value();
+
+    if (verb == "check") {
+        std::printf("campaign: %s\n", spec.name.c_str());
+        std::printf("engine:   %s (sticky %u)\n",
+                    workload::replayEngineName(spec.engine),
+                    static_cast<unsigned>(spec.stickyMax));
+        Table traces;
+        traces.setHeader({"trace", "kind", "source"});
+        for (const auto &source : spec.traces) {
+            const std::string kind =
+                source.kind == workload::SourceKind::Bench ? "bench"
+                : source.kind == workload::SourceKind::File
+                    ? "file"
+                    : "import " + source.format;
+            traces.addRow({source.label, kind, source.spec});
+        }
+        std::printf("%s", traces.toText().c_str());
+        std::string sizes;
+        for (const std::uint64_t size : spec.sizes)
+            sizes += (sizes.empty() ? "" : ", ") + formatSize(size);
+        std::string lines;
+        for (const std::uint32_t line : spec.lines)
+            lines += (lines.empty() ? "" : ", ") + formatSize(line);
+        std::printf("sizes:    %s\n", sizes.c_str());
+        std::printf("lines:    %s\n", lines.c_str());
+        std::printf("legs:     %zu\n", spec.traces.size() *
+                                           spec.lines.size() *
+                                           spec.sizes.size());
+        std::printf("%s: valid campaign spec\n", spec_path.c_str());
+        return kExitOk;
+    }
+
+    applyThreads(options);
+    workload::CampaignOptions run;
+    run.host = options.host;
+    run.port = options.port;
+    run.deadlineMs = options.deadlineMs;
+    run.retries = options.retries;
+    run.backoffMs = options.backoffMs;
+    if (!options.clientId.empty())
+        run.clientId = options.clientId;
+    const Result<workload::CampaignReport> ran =
+        workload::runCampaign(spec, run);
+    if (!ran.ok()) {
+        std::fprintf(stderr, "dynex: %s\n",
+                     ran.status().toString().c_str());
+        return exitCodeFor(ran.status());
+    }
+    const workload::CampaignReport &report = ran.value();
+
+    int rc = kExitOk;
+    const Status wrote = workload::writeCampaignOutputs(report, spec);
+    if (!wrote.ok()) {
+        std::fprintf(stderr, "dynex: %s\n", wrote.toString().c_str());
+        rc = exitCodeFor(wrote);
+    }
+
+    std::printf("campaign %s: %zu leg(s), engine %s%s\n\n",
+                report.name.c_str(), report.legs.size(),
+                report.engine.c_str(),
+                options.port ? " (remote)" : "");
+    printCampaignTable(spec, report);
+    if (!spec.jsonOut.empty())
+        std::printf("\nwrote %s\n", spec.jsonOut.c_str());
+    if (!spec.csvOut.empty())
+        std::printf("wrote %s\n", spec.csvOut.c_str());
+
+    if (!report.allOk()) {
+        Table failed;
+        failed.setHeader({"failed leg", "status"});
+        for (const auto &failure : report.failures)
+            failed.addRow({failure.trace + " @ " +
+                               formatSize(failure.sizeBytes),
+                           failure.status});
+        std::printf("\n%zu leg(s) failed; results above are "
+                    "partial\n\n%s",
+                    report.failures.size(), failed.toText().c_str());
+        return kExitInternal;
+    }
+    return rc;
 }
 
 int
@@ -1146,6 +1442,10 @@ main(int argc, char **argv)
         std::printf("dynex %s\n", versionString());
         return 0;
     }
+    if (command == "help" || command == "--help" || command == "-h") {
+        printUsage(stdout);
+        return kExitOk;
+    }
     if (command == "list")
         return cmdList();
 
@@ -1200,7 +1500,33 @@ main(int argc, char **argv)
     if (command == "convert") {
         if (argc < 4)
             return usage();
-        return cmdConvert(argv[2], argv[3]);
+        Options options;
+        if (!parseOptions(argc, argv, 4, options))
+            return kExitUsage;
+        return cmdConvert(argv[2], argv[3], options);
+    }
+    if (command == "import") {
+        if (argc < 4)
+            return usage();
+        Options options;
+        if (!parseOptions(argc, argv, 4, options))
+            return kExitUsage;
+        return cmdImport(argv[2], argv[3], options);
+    }
+    if (command == "campaign") {
+        if (argc < 4)
+            return usage();
+        const std::string verb = argv[2];
+        if (verb != "run" && verb != "check") {
+            std::fprintf(stderr,
+                         "dynex: campaign needs a verb: run or "
+                         "check\n");
+            return usage();
+        }
+        Options options;
+        if (!parseOptions(argc, argv, 4, options))
+            return kExitUsage;
+        return cmdCampaign(verb, argv[3], options);
     }
     if (command == "sim" || command == "triad" || command == "sweep" ||
         command == "analyze") {
